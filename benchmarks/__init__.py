@@ -1,0 +1,4 @@
+"""Benchmark harness: one module per table/figure of the paper plus
+ablations.  Run with ``pytest benchmarks/ --benchmark-only``; set
+``REPRO_FULL=1`` for the full 5 x 20 problem grid.  Outputs land in
+``benchmarks/results/``."""

@@ -1,0 +1,367 @@
+"""Ablations of the design choices DESIGN.md §4 calls out.
+
+1. Multi-issue on/off (the core Fig. 8 mechanism) at solver level.
+2. Data prefetching on/off.
+3. Elimination-tree-guided initial order vs natural order for the
+   factorization program (Section IV-C).
+4. Network width sweep C ∈ {8, 16, 32, 64}.
+5. Per-domain variant choice (direct vs indirect) on the MIB backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.backends import MIBSolver
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    schedule_program,
+)
+from repro.linalg import symbolic_factor
+from repro.problems import DOMAINS, benchmark_suite, portfolio_problem, svm_problem
+from repro.solver import Settings, assemble_kkt
+
+from benchmarks.common import emit
+
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+def test_ablation_multi_issue(benchmark):
+    problem = svm_problem(16, n_samples=64)
+
+    def run():
+        rows = []
+        for mi, pf in ((False, False), (True, False), (True, True)):
+            solver = MIBSolver(
+                problem,
+                variant="direct",
+                c=32,
+                settings=SETTINGS,
+                multi_issue=mi,
+                prefetch=pf,
+            )
+            rows.append(
+                [
+                    f"multi_issue={mi}, prefetch={pf}",
+                    solver.kernels.cycles("kkt_solve"),
+                    solver.kernels.cycles("factor"),
+                    solver.iteration_cycles(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_multi_issue.txt",
+        ascii_table(
+            ["scheduler", "kkt_solve cyc", "factor cyc", "iteration cyc"],
+            rows,
+            title="Ablation 1/2 — multi-issue and prefetching (SVM, C=32)",
+        ),
+    )
+    base, multi, full = rows
+    assert multi[3] < base[3]  # multi-issue helps
+    assert full[3] <= multi[3]  # prefetching never hurts
+
+
+def test_ablation_etree_order(benchmark):
+    """Initial order for factorization scheduling: etree postorder
+    (paper's method) vs the naive ascending-row order."""
+    problem = portfolio_problem(40)
+    kkt = assemble_kkt(problem, 1e-6, np.full(problem.m, 0.1))
+    sym = symbolic_factor(kkt.matrix)
+    dim = problem.n + problem.m
+
+    def build(order_mode):
+        kb = KernelBuilder(32)
+        ops = kb.factorization(
+            sym,
+            kkt.matrix,
+            y=kb.vector("fy", dim),
+            d=kb.vector("fd", dim),
+            dinv=kb.vector("fdinv", dim),
+        )
+        if order_mode == "natural":
+            # Undo the etree-postorder emission by sorting ops back to
+            # ascending row order (stable within each row).
+            def row_of(op):
+                tag = op.tag
+                for prefix in ("factor.load", "factor.zero", "factor.upd",
+                               "factor.fin", "factor.recip"):
+                    if tag.startswith(prefix):
+                        rest = tag[len(prefix):]
+                        return int(rest.split(".")[0])
+                return 0
+
+            ops = sorted(ops, key=row_of)
+        return NetworkProgram(f"factor-{order_mode}", list(ops))
+
+    def run():
+        out = {}
+        for mode in ("etree", "natural"):
+            sched = schedule_program(build(mode), 32, ScheduleOptions())
+            out[mode] = sched.cycles
+        return out
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_etree.txt",
+        ascii_table(
+            ["initial order", "factor cycles"],
+            [[k, v] for k, v in cycles.items()],
+            title="Ablation 3 — factorization initial order (portfolio, C=32)",
+        ),
+    )
+    # The etree order interleaves independent subtrees; it must not be
+    # worse than the naive order.
+    assert cycles["etree"] <= cycles["natural"]
+
+
+def test_ablation_width_sweep(benchmark):
+    problem = svm_problem(16, n_samples=64)
+
+    def run():
+        rows = []
+        for c in (8, 16, 32, 64):
+            solver = MIBSolver(problem, variant="indirect", c=c, settings=SETTINGS)
+            report = solver.solve()
+            rows.append(
+                [
+                    f"C={c}",
+                    f"{solver.clock_hz / 1e6:.0f} MHz",
+                    solver.kernels.cycles("apply_s"),
+                    report.cycles,
+                    f"{report.runtime_seconds * 1e6:.1f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_width.txt",
+        ascii_table(
+            ["width", "clock", "apply_s cyc", "solve cyc", "runtime us"],
+            rows,
+            title="Ablation 4 — network width sweep (SVM, indirect)",
+        ),
+    )
+    cycles = [r[3] for r in rows]
+    assert cycles[0] > cycles[-1]  # wider networks need fewer cycles
+
+
+def test_ablation_dynamic_vs_static_scheduling(benchmark):
+    """Future-work ablation: run-time scoreboard issue (bounded window)
+    vs the paper's compile-time first-fit scheduling."""
+    problem = svm_problem(24, n_samples=96)
+    from repro.compiler import row_major_view
+
+    def fresh_ops():
+        # The scheduler annotates (and, with prefetching, rewrites) ops
+        # in place, so every run gets a fresh lowering.
+        kb = KernelBuilder(32)
+        x = kb.vector("x", problem.n)
+        y = kb.vector("y", problem.m)
+        return kb.spmv(row_major_view(problem.a), x, y, "A")
+
+    def run():
+        rows = []
+        for label, options in (
+            ("static single-issue", ScheduleOptions(multi_issue=False, prefetch=False)),
+            ("dynamic, window 2", ScheduleOptions(mode="dynamic", dynamic_window=2)),
+            ("dynamic, window 8", ScheduleOptions(mode="dynamic", dynamic_window=8)),
+            ("dynamic, window 32", ScheduleOptions(mode="dynamic", dynamic_window=32)),
+            ("static first-fit (paper)", ScheduleOptions()),
+        ):
+            sched = schedule_program(
+                NetworkProgram("svm-spmv", fresh_ops()), 32, options
+            )
+            rows.append([label, sched.cycles, f"{sched.mean_issue_width():.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_dynamic.txt",
+        ascii_table(
+            ["scheduler", "cycles", "mean issue width"],
+            rows,
+            title="Ablation 6 — dynamic (scoreboard) vs static scheduling",
+        ),
+    )
+    by_label = {r[0]: r[1] for r in rows}
+    assert by_label["dynamic, window 32"] < by_label["dynamic, window 2"]
+    assert by_label["static first-fit (paper)"] < by_label["static single-issue"]
+
+
+def test_ablation_adaptive_rho(benchmark):
+    """Section II-A: 'OSQP periodically adjusts the step size ρ while
+    running to ensure a fast convergence.'  Sweep the initial ρ with
+    adaptation on/off: adaptation flattens the sensitivity, at the cost
+    of numeric refactorizations in the direct variant."""
+    from repro.problems import portfolio_problem
+    from repro.solver import solve as host_solve
+
+    problem = portfolio_problem(30)
+
+    def run():
+        rows = []
+        for rho0 in (1e-4, 1e-2, 1e-1, 1e1):
+            iters = {}
+            refactors = {}
+            for adaptive in (False, True):
+                settings = Settings(
+                    rho=rho0,
+                    eps_abs=1e-4,
+                    eps_rel=1e-4,
+                    max_iter=20000,
+                    adaptive_rho=adaptive,
+                )
+                res = host_solve(problem, settings=settings)
+                iters[adaptive] = res.iterations
+                refactors[adaptive] = res.rho_updates
+            rows.append(
+                [
+                    f"{rho0:g}",
+                    iters[False],
+                    iters[True],
+                    refactors[True],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_rho.txt",
+        ascii_table(
+            ["initial rho", "iters (fixed)", "iters (adaptive)", "refactors"],
+            rows,
+            title="Ablation 8 — adaptive rho (portfolio, direct)",
+        ),
+    )
+    fixed = [r[1] for r in rows]
+    adaptive = [r[2] for r in rows]
+    # Adaptation bounds the worst case across initial rho choices.
+    assert max(adaptive) <= max(fixed)
+
+
+def test_ablation_scheduler_priority(benchmark):
+    """List-scheduling priority (critical path) vs program order: with
+    unbounded-lookback first-fit, the initial priority barely matters —
+    an honest negative result matching the etree-order ablation."""
+    from repro.linalg import symbolic_factor
+    from repro.solver import assemble_kkt
+
+    problem = portfolio_problem(40)
+    kkt = assemble_kkt(problem, 1e-6, np.full(problem.m, 0.1))
+    sym = symbolic_factor(kkt.matrix)
+    dim = problem.n + problem.m
+
+    def run():
+        out = {}
+        for prio in ("program", "critical_path"):
+            kb = KernelBuilder(32)
+            ops = kb.factorization(
+                sym,
+                kkt.matrix,
+                y=kb.vector("fy", dim),
+                d=kb.vector("fd", dim),
+                dinv=kb.vector("fdinv", dim),
+            )
+            sched = schedule_program(
+                NetworkProgram("f", ops), 32, ScheduleOptions(priority=prio)
+            )
+            out[prio] = sched.cycles
+        return out
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_priority.txt",
+        ascii_table(
+            ["priority", "factor cycles"],
+            [[k, v] for k, v in cycles.items()],
+            title="Ablation 9 — first-fit instruction priority",
+        ),
+    )
+    assert cycles["critical_path"] <= cycles["program"]
+
+
+def test_ablation_super_pipelining(benchmark):
+    """Future-work ablation: deeper pipelining trades commit latency
+    for clock.  Throughput-bound kernels (SpMV packing) win; dependency-
+    chain-bound kernels (factorization) can lose."""
+    problem = svm_problem(16, n_samples=64)
+
+    def run():
+        rows = []
+        for sp in (False, True):
+            solver = MIBSolver(
+                problem,
+                variant="direct",
+                c=32,
+                settings=SETTINGS,
+                super_pipelined=sp,
+            )
+            rows.append(
+                [
+                    "super-pipelined" if sp else "baseline",
+                    f"{solver.clock_hz / 1e6:.0f} MHz",
+                    solver.kernels.cycles("kkt_solve"),
+                    solver.kernels.cycles("factor"),
+                    f"{solver.iteration_cycles() / solver.clock_hz * 1e6:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_superpipe.txt",
+        ascii_table(
+            ["datapath", "clock", "kkt_solve cyc", "factor cyc", "iter us"],
+            rows,
+            title="Ablation 7 — super-pipelining (SVM, direct, C=32)",
+        ),
+    )
+    base, deep = rows
+    assert int(deep[2]) >= int(base[2])  # more cycles (latency chains)...
+    # ...but the clock gain decides the wall-clock outcome either way;
+    # just require both configurations to be functional.
+    assert float(deep[4].rstrip()) > 0
+
+
+def test_ablation_variant_choice_per_domain(benchmark, suite_specs):
+    """Fig. 3's punchline on the backend: the faster variant differs by
+    domain, so a generic accelerator must support both."""
+    picks = {}
+
+    def run():
+        rows = []
+        for domain in DOMAINS:
+            spec = [s for s in suite_specs if s.domain == domain][1]
+            problem = spec.generate()
+            times = {}
+            for variant in ("direct", "indirect"):
+                solver = MIBSolver(problem, variant=variant, c=32, settings=SETTINGS)
+                times[variant] = solver.solve().runtime_seconds
+            picks[domain] = min(times, key=times.get)
+            rows.append(
+                [
+                    domain,
+                    f"{times['direct'] * 1e6:.1f}",
+                    f"{times['indirect'] * 1e6:.1f}",
+                    picks[domain],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_variant.txt",
+        ascii_table(
+            ["domain", "direct us", "indirect us", "winner"],
+            rows,
+            title="Ablation 5 — best variant per domain on the MIB backend",
+        ),
+    )
+    assert len(picks) == len(DOMAINS)

@@ -1,0 +1,156 @@
+"""Figure 10: end-to-end solver runtime, peak-FLOP utilization and
+energy efficiency across platforms, per application domain.
+
+Top row   — solver runtime over the domain scale ladder for the MIB
+            prototype (C=32) vs CPU / GPU / RSQP (indirect variant) and
+            vs CPU-QDLDL (direct variant; no GPU direct backend exists,
+            as the paper notes).
+Middle    — peak-FLOP utilization per platform.
+Bottom    — problems solved per second per watt.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis import ascii_table, format_si, geomean
+from repro.problems import DOMAINS
+
+from benchmarks.common import emit
+
+
+def _grouped(evaluations):
+    grouped = defaultdict(list)
+    for ev in evaluations:
+        grouped[ev.domain].append(ev)
+    for lst in grouped.values():
+        lst.sort(key=lambda e: e.nnz)
+    return grouped
+
+
+def test_fig10_runtime_indirect(benchmark, evaluations_indirect):
+    grouped = _grouped(evaluations_indirect)
+
+    def render():
+        blocks = []
+        for domain in DOMAINS:
+            rows = []
+            for ev in grouped[domain]:
+                m = ev.measurements
+                rows.append(
+                    [
+                        ev.nnz,
+                        format_si(m["mib"].runtime_s) + "s",
+                        format_si(m["cpu"].runtime_s) + "s",
+                        format_si(m["gpu"].runtime_s) + "s",
+                        format_si(m["rsqp"].runtime_s) + "s",
+                        f"{ev.speedup_over('cpu'):.1f}x",
+                        f"{ev.speedup_over('gpu'):.1f}x",
+                        f"{ev.speedup_over('rsqp'):.1f}x",
+                    ]
+                )
+            blocks.append(
+                ascii_table(
+                    [
+                        "nnz",
+                        "MIB C=32",
+                        "CPU(MKL)",
+                        "GPU",
+                        "RSQP",
+                        "vs CPU",
+                        "vs GPU",
+                        "vs RSQP",
+                    ],
+                    rows,
+                    title=f"Fig. 10 (top) — OSQP-indirect runtime, domain = {domain}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    emit("fig10_runtime_indirect.txt", benchmark.pedantic(render, rounds=1, iterations=1))
+    # Shape: MIB wins end-to-end in the aggregate on every baseline.
+    for baseline in ("cpu", "gpu", "rsqp"):
+        g = geomean(ev.speedup_over(baseline) for ev in evaluations_indirect)
+        assert g > 1.5, (baseline, g)
+
+
+def test_fig10_runtime_direct(benchmark, evaluations_direct):
+    grouped = _grouped(evaluations_direct)
+
+    def render():
+        blocks = []
+        for domain in DOMAINS:
+            rows = [
+                [
+                    ev.nnz,
+                    format_si(ev.measurements["mib"].runtime_s) + "s",
+                    format_si(ev.measurements["cpu"].runtime_s) + "s",
+                    f"{ev.speedup_over('cpu'):.1f}x",
+                ]
+                for ev in grouped[domain]
+            ]
+            blocks.append(
+                ascii_table(
+                    ["nnz", "MIB C=32", "CPU(QDLDL)", "speedup"],
+                    rows,
+                    title=f"Fig. 10 (top) — OSQP-direct runtime, domain = {domain}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    emit("fig10_runtime_direct.txt", benchmark.pedantic(render, rounds=1, iterations=1))
+    g = geomean(ev.speedup_over("cpu") for ev in evaluations_direct)
+    assert g > 1.2, g
+
+
+def test_fig10_utilization(benchmark, evaluations_indirect):
+    def render():
+        rows = []
+        per_platform = defaultdict(list)
+        for ev in evaluations_indirect:
+            for key, m in ev.measurements.items():
+                per_platform[key].append(m.utilization)
+        for key, vals in per_platform.items():
+            rows.append(
+                [key, f"{geomean(vals):.3%}", f"{min(vals):.3%}", f"{max(vals):.3%}"]
+            )
+        return ascii_table(
+            ["platform", "geomean util", "min", "max"],
+            rows,
+            title="Fig. 10 (middle) — fraction of peak FLOPs achieved",
+        )
+
+    emit("fig10_utilization.txt", benchmark.pedantic(render, rounds=1, iterations=1))
+    util = defaultdict(list)
+    for ev in evaluations_indirect:
+        for key, m in ev.measurements.items():
+            util[key].append(m.utilization)
+    # The architectural-efficiency claim: higher utilization than CPU
+    # and GPU despite lower peak FLOPs.
+    assert geomean(util["mib"]) > geomean(util["cpu"])
+    assert geomean(util["mib"]) > geomean(util["gpu"])
+
+
+def test_fig10_energy_efficiency(benchmark, evaluations_indirect):
+    def render():
+        rows = []
+        per_platform = defaultdict(list)
+        for ev in evaluations_indirect:
+            for key, m in ev.measurements.items():
+                per_platform[key].append(m.problems_per_joule_device)
+        for key, vals in per_platform.items():
+            rows.append([key, format_si(geomean(vals)), format_si(max(vals))])
+        return ascii_table(
+            ["platform", "geomean problems/s/W", "best"],
+            rows,
+            title="Fig. 10 (bottom) — energy efficiency (device power)",
+        )
+
+    emit("fig10_energy.txt", benchmark.pedantic(render, rounds=1, iterations=1))
+    for baseline in ("cpu", "gpu", "rsqp"):
+        gains = [
+            ev.efficiency_gain_over(baseline) for ev in evaluations_indirect
+        ]
+        assert geomean(gains) > 1.5, baseline

@@ -1,0 +1,137 @@
+"""Figure 3: total FLOPs of the two solver variants per domain/scale,
+and the breakdown into the four primitive computation patterns.
+
+Regenerates, for every domain:
+* row 2 of the figure — total FLOPs, direct vs indirect, over the
+  scale ladder;
+* rows 3-4 — the per-primitive FLOP shares (MAC / permute /
+  column-elimination / element-wise) for each variant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis import ascii_table, format_si
+from repro.problems import DOMAINS
+
+from benchmarks.common import emit
+
+
+def _by_domain(profiles):
+    grouped = defaultdict(list)
+    for p in profiles:
+        grouped[(p.domain, p.variant)].append(p)
+    for lst in grouped.values():
+        lst.sort(key=lambda p: p.nnz)
+    return grouped
+
+
+def test_fig3_total_flops(benchmark, flops_profiles):
+    grouped = _by_domain(flops_profiles)
+
+    def render():
+        blocks = []
+        for domain in DOMAINS:
+            direct = grouped[(domain, "direct")]
+            indirect = grouped[(domain, "indirect")]
+            rows = [
+                [
+                    d.nnz,
+                    format_si(d.total_flops),
+                    format_si(i.total_flops),
+                    f"{i.total_flops / d.total_flops:.2f}",
+                ]
+                for d, i in zip(direct, indirect)
+            ]
+            blocks.append(
+                ascii_table(
+                    ["nnz(A)+nnz(P)", "direct FLOPs", "indirect FLOPs", "ind/dir"],
+                    rows,
+                    title=f"Fig. 3 (row 2) — total FLOPs, domain = {domain}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("fig3_total_flops.txt", text)
+    # Shape check: FLOPs grow with problem scale in every cell.
+    for (domain, variant), lst in grouped.items():
+        totals = [p.total_flops for p in lst]
+        assert totals[0] < totals[-1], (domain, variant)
+
+
+def test_fig3_primitive_breakdown(benchmark, flops_profiles):
+    grouped = _by_domain(flops_profiles)
+
+    def render():
+        blocks = []
+        for variant in ("direct", "indirect"):
+            rows = []
+            for domain in DOMAINS:
+                biggest = grouped[(domain, variant)][-1]
+                fr = biggest.fractions()
+                rows.append(
+                    [
+                        domain,
+                        biggest.nnz,
+                        f"{fr['mac']:.2%}",
+                        f"{fr['column_elim']:.2%}",
+                        f"{fr['permute']:.2%}",
+                        f"{fr['elementwise']:.2%}",
+                    ]
+                )
+            blocks.append(
+                ascii_table(
+                    ["domain", "nnz", "MAC", "col-elim", "permute", "ew"],
+                    rows,
+                    title=(
+                        f"Fig. 3 (rows 3-4) — primitive FLOP shares, "
+                        f"variant = {variant} (largest scale per domain)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("fig3_breakdown.txt", text)
+
+    # Shape checks from the paper's discussion:
+    for domain in DOMAINS:
+        direct = grouped[(domain, "direct")][-1]
+        indirect = grouped[(domain, "indirect")][-1]
+        # The indirect variant is SpMV-centric: MAC + column elimination
+        # carry most of the work.
+        fr_i = indirect.fractions()
+        assert fr_i["mac"] + fr_i["column_elim"] > 0.3, domain
+        # The direct variant runs the factorization (column elimination)
+        # and both triangular solves.
+        assert direct.column_elim > 0, domain
+        assert direct.permute > 0, domain
+
+
+def test_fig3_variant_choice_depends_on_domain(benchmark, flops_profiles):
+    """The paper: "the variant requiring more FLOPs also depends on the
+    application". Verify the ratio indirect/direct spans a wide range
+    across domains."""
+    grouped = _by_domain(flops_profiles)
+
+    def ratios():
+        out = {}
+        for domain in DOMAINS:
+            d = grouped[(domain, "direct")][-1].total_flops
+            i = grouped[(domain, "indirect")][-1].total_flops
+            out[domain] = i / d
+        return out
+
+    result = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    emit(
+        "fig3_variant_ratio.txt",
+        ascii_table(
+            ["domain", "indirect/direct FLOPs"],
+            [[k, f"{v:.2f}"] for k, v in result.items()],
+            title="Fig. 3 — which variant is cheaper depends on the domain",
+        ),
+    )
+    values = list(result.values())
+    assert max(values) / min(values) > 1.5

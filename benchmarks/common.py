@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness (see conftest.py for the
+session fixtures that feed most benchmarks)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.solver import Settings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Benchmark-harness solver settings: the paper's default tolerances.
+BENCH_SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+
+
+def n_scales() -> int:
+    """Scales per domain: REPRO_FULL=1 -> the paper's 20, else
+    REPRO_SCALES (default 4)."""
+    if os.environ.get("REPRO_FULL"):
+        return 20
+    return int(os.environ.get("REPRO_SCALES", "4"))
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a block and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    path = write_result(name, text)
+    print(f"[saved to {path}]")

@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table benchmark draws on the same underlying experiment:
+reference solves of the benchmark suite plus compiled MIB kernels.
+These are expensive, so they are computed once per session and shared.
+
+Scale control:
+    REPRO_SCALES=<n>   scales per domain (default 4; the paper uses 20)
+    REPRO_FULL=1       shorthand for the full 5 x 20 grid
+
+Each benchmark prints its figure/table to stdout (run with ``-s`` to
+see it live) and writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import evaluate_problem, profile_problem
+from repro.problems import benchmark_suite
+
+from benchmarks.common import BENCH_SETTINGS, n_scales
+
+
+@pytest.fixture(scope="session")
+def suite_specs():
+    return benchmark_suite(n_scales=n_scales())
+
+
+@pytest.fixture(scope="session")
+def flops_profiles(suite_specs):
+    """Fig. 3 data: FLOP profiles of every (problem, variant)."""
+    profiles = []
+    for spec in suite_specs:
+        problem = spec.generate()
+        for variant in ("direct", "indirect"):
+            profiles.append(
+                profile_problem(
+                    problem,
+                    domain=spec.domain,
+                    dimension=spec.dimension,
+                    variant=variant,
+                    settings=BENCH_SETTINGS,
+                )
+            )
+    return profiles
+
+
+@pytest.fixture(scope="session")
+def evaluations_indirect(suite_specs):
+    """Fig. 10 / Table III data, indirect variant (all baselines)."""
+    return [
+        evaluate_problem(
+            spec.generate(),
+            domain=spec.domain,
+            dimension=spec.dimension,
+            variant="indirect",
+            c=32,
+            settings=BENCH_SETTINGS,
+        )
+        for spec in suite_specs
+    ]
+
+
+@pytest.fixture(scope="session")
+def evaluations_direct(suite_specs):
+    """Fig. 10 / Table III data, direct variant (CPU/QDLDL baseline)."""
+    return [
+        evaluate_problem(
+            spec.generate(),
+            domain=spec.domain,
+            dimension=spec.dimension,
+            variant="direct",
+            c=32,
+            settings=BENCH_SETTINGS,
+        )
+        for spec in suite_specs
+    ]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Lasso regularization path on a fixed sparsity pattern.
+
+Machine-learning model selection sweeps the ℓ₁ penalty λ and inspects
+how many coefficients survive — dozens of QPs over one pattern, another
+compile-once/solve-many workload from the paper's application list.
+Warm-starting each solve from the previous λ's solution (the standard
+homotopy trick) cuts iteration counts, and the MIB backend prices each
+solve in exact cycles.
+
+Run:  python examples/lasso_path.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MIBSolver, Settings
+from repro.analysis import ascii_table
+from repro.problems import lasso_problem
+
+N_FEATURES = 16
+N_SAMPLES = 64
+LAMBDA_FRACTIONS = [0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02]
+
+
+def main() -> None:
+    settings = Settings(eps_abs=1e-4, eps_rel=1e-4)
+    rows = []
+    x_warm = y_warm = None
+    total_cycles = 0
+    # Compile the pattern once; every lambda rebinds values in place.
+    solver = MIBSolver(
+        lasso_problem(N_FEATURES, n_samples=N_SAMPLES, seed=0),
+        variant="direct",
+        c=32,
+        settings=settings,
+    )
+    for frac in LAMBDA_FRACTIONS:
+        problem = lasso_problem(
+            N_FEATURES, n_samples=N_SAMPLES, lam_fraction=frac, seed=0
+        )
+        solver.update_values(problem)
+        report = solver.solve(x0=x_warm, y0=y_warm)
+        res = report.result
+        coeffs = res.x[:N_FEATURES]
+        active = int((np.abs(coeffs) > 1e-4).sum())
+        rows.append(
+            [
+                f"{frac:.2f}",
+                res.iterations,
+                report.cycles,
+                f"{report.runtime_seconds * 1e6:.0f}",
+                active,
+                f"{np.abs(coeffs).max():.4f}",
+            ]
+        )
+        x_warm, y_warm = res.x, res.y
+        total_cycles += report.cycles
+
+    print(
+        ascii_table(
+            [
+                "lambda/lambda_max",
+                "iters",
+                "cycles",
+                "runtime us",
+                "active coeffs",
+                "max |coeff|",
+            ],
+            rows,
+            title=(
+                f"lasso path, n={N_FEATURES} features / m={N_SAMPLES} samples "
+                "(one compiled pattern, warm-started)"
+            ),
+        )
+    )
+    actives = [r[4] for r in rows]
+    print(
+        f"\nsparsity path: {actives} — more coefficients activate as λ "
+        "shrinks, as theory predicts"
+    )
+    print(f"total device cycles for the path: {total_cycles}")
+
+
+if __name__ == "__main__":
+    main()

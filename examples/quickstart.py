@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: define a QP, solve it on the host reference and on the
+Multi-Issue Butterfly backend, and validate the KKT solve on the
+cycle-level network simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MIBSolver, QPProblem, Settings, solve
+from repro.linalg import CSCMatrix
+
+
+def build_problem() -> QPProblem:
+    """A small portfolio-flavoured QP:
+
+        minimize    (1/2) xᵀ P x + qᵀ x
+        subject to  1ᵀx = 1,  0 <= x <= 0.8
+    """
+    p = CSCMatrix.from_dense(
+        np.array(
+            [
+                [4.0, 1.0, 0.0, 0.0],
+                [1.0, 3.0, 0.5, 0.0],
+                [0.0, 0.5, 2.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+    )
+    q = np.array([-1.0, -0.5, -0.25, -0.1])
+    a = CSCMatrix.from_dense(
+        np.vstack([np.ones((1, 4)), np.eye(4)])
+    )
+    l = np.concatenate([[1.0], np.zeros(4)])
+    u = np.concatenate([[1.0], np.full(4, 0.8)])
+    return QPProblem(p=p, q=q, a=a, l=l, u=u, name="quickstart")
+
+
+def main() -> None:
+    problem = build_problem()
+    settings = Settings(eps_abs=1e-6, eps_rel=1e-6)
+
+    print("=== host reference (OSQP-direct) ===")
+    result = solve(problem, variant="direct", settings=settings)
+    print(f"status     : {result.status.value}")
+    print(f"iterations : {result.iterations}")
+    print(f"objective  : {result.objective:.6f}")
+    print(f"x          : {np.round(result.x, 4)}")
+
+    print("\n=== MIB backend (compile once, cycle-exact solve) ===")
+    mib = MIBSolver(problem, variant="direct", c=16, settings=settings)
+    report = mib.solve()
+    print(f"compile time      : {mib.compile_seconds * 1e3:.1f} ms (per pattern)")
+    print(f"network width C   : {mib.c} @ {mib.clock_hz / 1e6:.0f} MHz")
+    print(f"total cycles      : {report.cycles}")
+    print(f"on-device runtime : {report.solve_seconds * 1e6:.1f} us")
+    print(f"end-to-end runtime: {report.runtime_seconds * 1e6:.1f} us (incl. PCIe)")
+    print("kernel cycles     :", report.kernel_cycles)
+
+    print("\n=== network-executed validation ===")
+    rhs = np.random.default_rng(0).standard_normal(problem.n + problem.m)
+    x_net = mib.solve_kkt_on_network(rhs)
+    x_ref = mib.reference.kkt_solver.solve(rhs)
+    err = np.abs(x_net - x_ref).max()
+    print(f"KKT solve on the simulated network vs host: max |err| = {err:.2e}")
+    assert err < 1e-9
+
+
+if __name__ == "__main__":
+    main()

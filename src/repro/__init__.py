@@ -1,0 +1,68 @@
+"""Reproduction of "Multi-Issue Butterfly Architecture for Sparse
+Convex Quadratic Programming" (MICRO 2024).
+
+The package is layered exactly as DESIGN.md describes:
+
+* :mod:`repro.linalg` — sparse linear-algebra substrate (CSC, AMD,
+  elimination trees, LDLᵀ, triangular solves);
+* :mod:`repro.solver` — the ADMM QP solver (OSQP reimplementation),
+  direct and indirect variants;
+* :mod:`repro.problems` — the 100-problem, five-domain benchmark suite;
+* :mod:`repro.arch` — the Multi-Issue Butterfly architecture: topology,
+  two-level ISA, register files, HBM model, cycle-level simulator;
+* :mod:`repro.compiler` — sparsity-pattern-specific lowering and the
+  first-fit multi-issue scheduler;
+* :mod:`repro.backends` — the compiled MIB solver, host reference, and
+  baseline platform models;
+* :mod:`repro.analysis` — FLOP profiling, runtime/energy/jitter
+  evaluation, report rendering.
+
+Quickstart::
+
+    from repro import QPProblem, solve, MIBSolver
+    from repro.problems import portfolio_problem
+
+    problem = portfolio_problem(50)
+    result = solve(problem, variant="direct")     # host reference
+    report = MIBSolver(problem, c=32).solve()     # cycle-exact backend
+"""
+
+from .backends import MIBSolveReport, MIBSolver
+from .linalg import CSCMatrix
+from .problems import (
+    benchmark_suite,
+    huber_problem,
+    lasso_problem,
+    mpc_problem,
+    portfolio_problem,
+    svm_problem,
+)
+from .solver import (
+    OSQPSolver,
+    QPProblem,
+    Settings,
+    SolveResult,
+    SolverStatus,
+    solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSCMatrix",
+    "MIBSolveReport",
+    "MIBSolver",
+    "OSQPSolver",
+    "QPProblem",
+    "Settings",
+    "SolveResult",
+    "SolverStatus",
+    "__version__",
+    "benchmark_suite",
+    "huber_problem",
+    "lasso_problem",
+    "mpc_problem",
+    "portfolio_problem",
+    "solve",
+    "svm_problem",
+]

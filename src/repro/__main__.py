@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve      Generate a benchmark problem and solve it (host reference,
+           cycle-priced MIB backend, or fully network-executed).
+compile    Compile a problem's sparsity pattern and report per-kernel
+           schedules; optionally save the executable.
+schedule   Fig. 8-style before/after multi-issue comparison of one
+           kernel.
+suite      Quick sweep over the benchmark grid with modeled speedups.
+info       Architecture summary for a given network width.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import ascii_table, evaluate_problem, format_si, kv_block
+from .arch import Butterfly, estimate_resources
+from .backends import MIBSolver
+from .compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    compare_scheduling,
+    row_major_view,
+    save_schedule,
+)
+from .problems import DOMAINS, benchmark_suite, domain_scales
+from .problems.suite import _GENERATORS
+from .solver import Settings, solve as host_solve
+
+
+def _make_problem(args) -> object:
+    if getattr(args, "qps", None):
+        from .io import read_qps
+
+        return read_qps(args.qps)
+    if args.domain not in _GENERATORS:
+        raise SystemExit(f"unknown domain {args.domain!r}; pick from {DOMAINS}")
+    return _GENERATORS[args.domain](args.dimension, args.seed)
+
+
+def _settings(args) -> Settings:
+    return Settings(eps_abs=args.eps, eps_rel=args.eps)
+
+
+def cmd_solve(args) -> int:
+    problem = _make_problem(args)
+    settings = _settings(args)
+    print(f"problem: {problem.name}  n={problem.n} m={problem.m} nnz={problem.nnz}")
+    if args.backend == "host":
+        result = host_solve(problem, variant=args.variant, settings=settings)
+        rows = [
+            ("status", result.status.value),
+            ("iterations", result.iterations),
+            ("objective", f"{result.objective:.6f}"),
+            ("primal residual", f"{result.primal_residual:.2e}"),
+            ("dual residual", f"{result.dual_residual:.2e}"),
+            ("total FLOPs", format_si(result.trace.total_flops)),
+        ]
+    else:
+        solver = MIBSolver(
+            problem, variant=args.variant, c=args.width, settings=settings
+        )
+        if args.backend == "network":
+            net = solver.solve_on_network()
+            rows = [
+                ("status", net.status.value),
+                ("iterations", net.iterations),
+                ("objective", f"{net.objective:.6f}"),
+                ("executed cycles", net.cycles),
+                ("rho refactorizations", net.rho_updates),
+                ("device time", f"{net.cycles / solver.clock_hz * 1e6:.1f} us"),
+            ]
+        else:
+            report = solver.solve()
+            rows = [
+                ("status", report.result.status.value),
+                ("iterations", report.result.iterations),
+                ("objective", f"{report.result.objective:.6f}"),
+                ("cycles", report.cycles),
+                ("runtime", f"{report.runtime_seconds * 1e6:.1f} us"),
+                ("compile time", f"{solver.compile_seconds * 1e3:.1f} ms"),
+            ]
+    print(kv_block(f"{args.backend} / {args.variant}", rows))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    problem = _make_problem(args)
+    solver = MIBSolver(
+        problem, variant=args.variant, c=args.width, settings=_settings(args)
+    )
+    rows = [
+        [name, sched.n_ops, sched.n_slots, sched.cycles, f"{sched.mean_issue_width():.2f}"]
+        for name, sched in solver.kernels.schedules.items()
+    ]
+    print(
+        ascii_table(
+            ["kernel", "instructions", "slots", "cycles", "issue width"],
+            rows,
+            title=f"compiled {problem.name} for C={args.width} "
+            f"({solver.compile_seconds:.2f}s)",
+        )
+    )
+    if args.output:
+        for name, sched in solver.kernels.schedules.items():
+            path = save_schedule(sched, f"{args.output}.{name}.mibx")
+            print(f"saved {path}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    problem = _make_problem(args)
+    kb = KernelBuilder(args.width)
+    x = kb.vector("x", problem.n)
+    y = kb.vector("y", problem.m)
+    program = NetworkProgram(
+        f"{problem.name}:spmv", kb.spmv(row_major_view(problem.a), x, y, "A")
+    )
+    cmp = compare_scheduling(program, args.width)
+    print(kv_block("multi-issue scheduling (Fig. 8)", cmp.rows()))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    specs = benchmark_suite(n_scales=args.scales)
+    rows = []
+    for spec in specs:
+        problem = spec.generate()
+        ev = evaluate_problem(
+            problem,
+            domain=spec.domain,
+            dimension=spec.dimension,
+            variant=args.variant,
+            c=args.width,
+            settings=_settings(args),
+        )
+        baselines = sorted(set(ev.measurements) - {"mib"})
+        rows.append(
+            [
+                spec.label,
+                problem.nnz,
+                ev.iterations,
+                format_si(ev.measurements["mib"].runtime_s) + "s",
+            ]
+            + [f"{ev.speedup_over(b):.1f}x" for b in baselines]
+        )
+    headers = ["problem", "nnz", "iters", "MIB runtime"] + [
+        f"vs {b}" for b in baselines
+    ]
+    print(ascii_table(headers, rows, title=f"suite sweep ({args.variant}, C={args.width})"))
+    return 0
+
+
+def cmd_info(args) -> int:
+    bf = Butterfly(args.width)
+    est = estimate_resources(args.width)
+    rows = [
+        ("network width C", args.width),
+        ("adder stages", bf.stages),
+        ("total nodes C(log2C+1)", bf.num_nodes),
+        ("pipeline latency", f"{bf.latency} cycles"),
+        ("raw control bits / instr", bf.control_bits),
+        ("clock (model)", f"{est.clock_hz / 1e6:.0f} MHz"),
+        ("LUTs", f"{est.luts:,} ({est.utilization()['LUT']:.1%} of U50)"),
+        ("registers", f"{est.registers:,} ({est.utilization()['Register']:.1%})"),
+        ("fits Alveo U50", est.fits()),
+    ]
+    print(kv_block("MIB architecture summary", rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Multi-Issue Butterfly reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_problem_args(p):
+        p.add_argument("--domain", default="portfolio", help=f"one of {DOMAINS}")
+        p.add_argument("--dimension", type=int, default=20)
+        p.add_argument("--qps", help="load the problem from a QPS file instead")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--variant", choices=("direct", "indirect"), default="direct")
+        p.add_argument("--width", type=int, default=16, help="network width C")
+        p.add_argument("--eps", type=float, default=1e-3)
+
+    p = sub.add_parser("solve", help="solve one benchmark problem")
+    add_problem_args(p)
+    p.add_argument(
+        "--backend", choices=("host", "mib", "network"), default="mib"
+    )
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("compile", help="compile a pattern, report kernels")
+    add_problem_args(p)
+    p.add_argument("--output", help="path prefix for saved executables")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("schedule", help="Fig. 8 before/after comparison")
+    add_problem_args(p)
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("suite", help="sweep the benchmark grid")
+    add_problem_args(p)
+    p.add_argument("--scales", type=int, default=3)
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("info", help="architecture summary")
+    p.add_argument("--width", type=int, default=32)
+    p.set_defaults(fn=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

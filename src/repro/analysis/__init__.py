@@ -1,0 +1,35 @@
+"""Analysis layer: FLOP profiling (Fig. 3), runtime/energy/jitter
+evaluation (Fig. 10/11, Table III) and report rendering."""
+
+from .flops import FlopsProfile, profile_problem, profile_suite
+from .report import ascii_table, format_si, kv_block, series_block
+from .sparsity import render_sparsity
+from .timing import (
+    HOST_IDLE_WATTS,
+    MIB_JITTER_CV,
+    PlatformMeasurement,
+    ProblemEvaluation,
+    evaluate_problem,
+    evaluate_suite,
+    geomean,
+    jitter_experiment,
+)
+
+__all__ = [
+    "FlopsProfile",
+    "HOST_IDLE_WATTS",
+    "MIB_JITTER_CV",
+    "PlatformMeasurement",
+    "ProblemEvaluation",
+    "ascii_table",
+    "evaluate_problem",
+    "evaluate_suite",
+    "format_si",
+    "geomean",
+    "jitter_experiment",
+    "kv_block",
+    "profile_problem",
+    "profile_suite",
+    "render_sparsity",
+    "series_block",
+]

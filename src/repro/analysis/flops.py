@@ -1,0 +1,119 @@
+"""FLOP profiling of the two solver variants (Fig. 3).
+
+The paper's Fig. 3 shows, per application domain and problem scale,
+(a) the total FLOPs of OSQP-direct vs OSQP-indirect and (b) the
+breakdown of those FLOPs into the four primitive computation patterns
+(MAC, vector permutation across register files, column elimination,
+element-wise).  The reproduction obtains exactly this data from the
+operation trace the reference solver records while solving each
+problem to termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..problems import ProblemSpec
+from ..solver import OpTrace, Primitive, QPProblem, Settings, solve
+
+__all__ = ["FlopsProfile", "profile_problem", "profile_suite"]
+
+
+@dataclass(frozen=True)
+class FlopsProfile:
+    """FLOP accounting of one (problem, variant) solve."""
+
+    name: str
+    domain: str
+    dimension: int
+    nnz: int
+    variant: str
+    iterations: int
+    total_flops: float
+    mac: float
+    permute: float
+    column_elim: float
+    elementwise: float
+    by_operation: dict[str, float]
+
+    @classmethod
+    def from_trace(
+        cls,
+        *,
+        name: str,
+        domain: str,
+        dimension: int,
+        nnz: int,
+        variant: str,
+        iterations: int,
+        trace: OpTrace,
+    ) -> "FlopsProfile":
+        return cls(
+            name=name,
+            domain=domain,
+            dimension=dimension,
+            nnz=nnz,
+            variant=variant,
+            iterations=iterations,
+            total_flops=trace.total_flops,
+            mac=trace.by_primitive[Primitive.MAC],
+            permute=trace.by_primitive[Primitive.PERMUTE],
+            column_elim=trace.by_primitive[Primitive.COLUMN_ELIM],
+            elementwise=trace.by_primitive[Primitive.ELEMENTWISE],
+            by_operation=dict(trace.by_operation),
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Primitive shares (the stacked bars of Fig. 3, rows 3-4)."""
+        total = self.total_flops or 1.0
+        return {
+            "mac": self.mac / total,
+            "permute": self.permute / total,
+            "column_elim": self.column_elim / total,
+            "elementwise": self.elementwise / total,
+        }
+
+
+def profile_problem(
+    problem: QPProblem,
+    *,
+    domain: str = "",
+    dimension: int = 0,
+    variant: str = "direct",
+    settings: Settings | None = None,
+) -> FlopsProfile:
+    """Solve one problem and return its FLOP profile."""
+    result = solve(problem, variant=variant, settings=settings)
+    return FlopsProfile.from_trace(
+        name=problem.name,
+        domain=domain or problem.name.split("-")[0],
+        dimension=dimension,
+        nnz=problem.nnz,
+        variant=variant,
+        iterations=result.iterations,
+        trace=result.trace,
+    )
+
+
+def profile_suite(
+    specs: list[ProblemSpec],
+    *,
+    variants: tuple[str, ...] = ("direct", "indirect"),
+    settings: Settings | None = None,
+    seed: int = 0,
+) -> list[FlopsProfile]:
+    """Profile a set of benchmark specs under both variants."""
+    profiles: list[FlopsProfile] = []
+    for spec in specs:
+        problem = spec.generate(seed)
+        for variant in variants:
+            profiles.append(
+                profile_problem(
+                    problem,
+                    domain=spec.domain,
+                    dimension=spec.dimension,
+                    variant=variant,
+                    settings=settings,
+                )
+            )
+    return profiles

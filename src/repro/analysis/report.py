@@ -1,0 +1,75 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "series_block", "kv_block", "format_si"]
+
+
+def format_si(value: float, *, digits: int = 3) -> str:
+    """Engineering-notation formatting (1.23e9 -> '1.23G')."""
+    if value == 0:
+        return "0"
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+    ]
+    mag = abs(value)
+    for scale, suffix in prefixes:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g}{suffix}"
+    return f"{value:.{digits}g}"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+    )
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def series_block(
+    title: str, xs: Sequence[object], series: dict[str, Sequence[float]]
+) -> str:
+    """Render named series over a shared x-axis (a figure's data)."""
+    headers = ["x"] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [format_si(series[k][i]) for k in series])
+    return ascii_table(headers, rows, title=title)
+
+
+def kv_block(title: str, pairs: Iterable[tuple[str, object]]) -> str:
+    """Render key/value rows."""
+    return ascii_table(["metric", "value"], list(pairs), title=title)

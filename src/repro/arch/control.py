@@ -1,0 +1,107 @@
+"""Network control-word encoding (Section III-C).
+
+Each adder node takes a 2-bit mode, so a full network configuration is
+``2·C·log₂C`` bits (plus one bypass bit per multiplier lane).  The
+paper stores the control words of common computation patterns on-chip
+and replays them per high-level network instruction; this module
+produces exactly those words from a :class:`~repro.arch.isa.NetOp`,
+and can decode them back into per-node modes for the gate-level
+reference of :meth:`~repro.arch.topology.Butterfly.simulate_modes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import NetOp, OpKind
+from .topology import Butterfly, NodeMode
+
+__all__ = ["ControlWord", "encode_control", "decode_modes"]
+
+
+@dataclass(frozen=True)
+class ControlWord:
+    """One network instruction's raw configuration bits.
+
+    ``mode_bits`` packs stage-major, lane-minor 2-bit node modes into an
+    int (LSB = stage 0, lane 0); ``multiplier_mask`` has bit ``i`` set
+    when the multiplier of lane ``i`` is active (not bypassed).
+    """
+
+    c: int
+    mode_bits: int
+    multiplier_mask: int
+
+    @property
+    def n_bits(self) -> int:
+        """Control width in bits: the paper's 2C·log₂C plus C bypass bits."""
+        bf = Butterfly(self.c)
+        return bf.control_bits + self.c
+
+    def mode_of(self, stage: int, lane: int) -> int:
+        """The 2-bit mode of one node."""
+        bf = Butterfly(self.c)
+        if not (0 <= stage < bf.stages) or not (0 <= lane < self.c):
+            raise ValueError("node index out of range")
+        shift = 2 * (stage * self.c + lane)
+        return (self.mode_bits >> shift) & 0b11
+
+    def to_bytes(self) -> bytes:
+        """Serialize (mode bits then multiplier mask, little-endian)."""
+        bf = Butterfly(self.c)
+        n_mode_bytes = -(-bf.control_bits // 8)
+        n_mul_bytes = -(-self.c // 8)
+        return self.mode_bits.to_bytes(n_mode_bytes, "little") + (
+            self.multiplier_mask.to_bytes(n_mul_bytes, "little")
+        )
+
+
+def _pack(modes: list[list[int]], c: int) -> int:
+    bits = 0
+    for stage, row in enumerate(modes):
+        for lane, mode in enumerate(row):
+            bits |= mode << (2 * (stage * c + lane))
+    return bits
+
+
+def encode_control(op: NetOp, bf: Butterfly) -> ControlWord:
+    """Compute the control word of a routed network instruction.
+
+    Supported kinds: MAC (reduction tree with pass-sum at collision
+    nodes), COLELIM (broadcast tree), PERMUTE (disjoint point-to-point
+    routes).  EWISE/SCALAR instructions are full-width/side-band and
+    have fixed configurations, so they carry no per-node routing word.
+    """
+    if op.kind is OpKind.MAC:
+        modes = bf.modes_for_reduce(op.src_lanes, op.dst_lanes[0])
+        mul_mask = 0
+        for lane in op.src_lanes:
+            mul_mask |= 1 << lane
+    elif op.kind is OpKind.COLELIM:
+        modes = bf.modes_for_broadcast(op.src_lanes[0], op.dst_lanes)
+        mul_mask = 0
+        for lane in op.dst_lanes:
+            mul_mask |= 1 << lane
+    elif op.kind is OpKind.PERMUTE:
+        modes = [[NodeMode.IDLE] * bf.c for _ in range(bf.stages)]
+        for a, d in zip(op.src_lanes, op.dst_lanes):
+            ctrl = bf.control_word(a, d)
+            for s, lane in bf.path_nodes(a, d):
+                modes[s][lane] = (
+                    NodeMode.PASS_CROSS
+                    if (ctrl >> s) & 1
+                    else NodeMode.PASS_DIRECT
+                )
+        mul_mask = 0  # permutations bypass the multipliers
+    else:
+        raise ValueError(f"{op.kind} instructions carry no routing word")
+    return ControlWord(c=bf.c, mode_bits=_pack(modes, bf.c), multiplier_mask=mul_mask)
+
+
+def decode_modes(word: ControlWord) -> list[list[int]]:
+    """Unpack a control word back into stage-major per-node modes."""
+    bf = Butterfly(word.c)
+    return [
+        [word.mode_of(stage, lane) for lane in range(word.c)]
+        for stage in range(bf.stages)
+    ]

@@ -1,0 +1,77 @@
+"""HBM model (Section III).
+
+The architecture sustains ``C`` words per clock under *contiguous*
+access — the whole point of the compile-time scheduling is that matrix
+non-zeros stream contiguously (CSC/row-major order) while the network
+handles the irregular vector-side access.  This module provides the
+named stream buffers a compiled program binds at run time, plus traffic
+accounting used by the bandwidth columns of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HBMModel", "StreamBuffers"]
+
+_BYTES_PER_WORD = 4  # single-precision words, as in the FPGA prototype
+
+
+@dataclass
+class StreamBuffers:
+    """Named coefficient streams (matrix values, bounds, diagonals).
+
+    A compiled network program references streams by name
+    (:class:`~repro.arch.isa.StreamRef`); the backend rebinds the same
+    program to new numeric instances by swapping these arrays.
+    """
+
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def bind(self, name: str, values: np.ndarray) -> None:
+        self.buffers[name] = np.asarray(values, dtype=np.float64)
+
+    def fetch(self, name: str, indices: np.ndarray) -> np.ndarray:
+        if name not in self.buffers:
+            raise KeyError(f"stream {name!r} not bound")
+        return self.buffers[name][indices]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.buffers
+
+
+@dataclass
+class HBMModel:
+    """Bandwidth bookkeeping for one kernel execution.
+
+    ``channels`` HBM pseudo-channels each deliver one word per clock;
+    the unified scalability parameter C equals the channel count
+    (Section III-A: "the maximum number of data items that can be
+    obtained from the HBM in every clock cycle be C").
+    """
+
+    channels: int
+    clock_hz: float = 300e6
+    words_read: int = 0
+    words_written: int = 0
+
+    def record_read(self, words: int) -> None:
+        self.words_read += int(words)
+
+    def record_write(self, words: int) -> None:
+        self.words_written += int(words)
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        """Peak sustained bandwidth in bytes/s (Table II row)."""
+        return self.channels * _BYTES_PER_WORD * self.clock_hz
+
+    def traffic_bytes(self) -> int:
+        return (self.words_read + self.words_written) * _BYTES_PER_WORD
+
+    def min_cycles_for_traffic(self) -> int:
+        """Bandwidth-bound lower cycle bound for the recorded traffic."""
+        total = self.words_read + self.words_written
+        return -(-total // self.channels)  # ceil division

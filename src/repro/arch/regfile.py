@@ -1,0 +1,151 @@
+"""Register files and vector layout.
+
+``C`` single-read/single-write banks front the network (Fig. 4/5): per
+cycle each bank supplies at most one operand and absorbs at most one
+result — the structural constraint behind the paper's Fig. 7 hazards.
+
+Vectors are laid out round-robin across banks with a per-vector *bank
+rotation*: element ``i`` of a vector with rotation ``r`` lives in bank
+``(i + r) mod C`` at address ``base + i // C``.  The allocator hands
+out distinct rotations so that element-wise operations on two vectors
+read from disjoint banks — the compile-time analogue of the paper's
+data-prefetch conflict avoidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .isa import Location
+
+__all__ = ["VectorView", "VectorAllocator", "RegisterFileArray"]
+
+
+@dataclass(frozen=True)
+class VectorView:
+    """A named vector region in the register files."""
+
+    name: str
+    base: int  # base address within every bank
+    length: int
+    rotation: int
+    c: int
+
+    def location(self, i: int) -> Location:
+        """The (bank, addr) of element ``i``."""
+        if not 0 <= i < self.length:
+            raise IndexError(f"element {i} out of range for {self.name}")
+        return Location("rf", (i + self.rotation) % self.c, self.base + i // self.c)
+
+    def lane(self, i: int) -> int:
+        """Bank (= network lane) of element ``i``."""
+        return (i + self.rotation) % self.c
+
+    def rows(self) -> int:
+        """Bank-address rows the region spans."""
+        return (self.length + self.c - 1) // self.c
+
+    def block(self, row: int) -> list[int]:
+        """Element indices of one full-width row (may be short at the end)."""
+        lo = row * self.c
+        return list(range(lo, min(lo + self.c, self.length)))
+
+
+class VectorAllocator:
+    """Assigns register-file regions (and rotations) to named vectors."""
+
+    def __init__(self, c: int, depth: int = 1 << 20) -> None:
+        if c < 2 or c & (c - 1):
+            raise ValueError("C must be a power of two >= 2")
+        self.c = c
+        self.depth = depth
+        self._next_base = 0
+        self._next_rotation = 0
+        self._vectors: dict[str, VectorView] = {}
+
+    def allocate(self, name: str, length: int, *, rotation: int | None = None) -> VectorView:
+        """Reserve a region for ``name`` (idempotent names are an error)."""
+        if name in self._vectors:
+            raise ValueError(f"vector {name!r} already allocated")
+        if length <= 0:
+            raise ValueError("length must be positive")
+        rows = (length + self.c - 1) // self.c
+        if self._next_base + rows > self.depth:
+            raise MemoryError("register files exhausted")
+        if rotation is None:
+            rotation = self._next_rotation
+            self._next_rotation = (self._next_rotation + 1) % self.c
+        view = VectorView(
+            name=name,
+            base=self._next_base,
+            length=length,
+            rotation=rotation % self.c,
+            c=self.c,
+        )
+        self._next_base += rows
+        self._vectors[name] = view
+        return view
+
+    def get(self, name: str) -> VectorView:
+        return self._vectors[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vectors
+
+    @property
+    def used_rows(self) -> int:
+        return self._next_base
+
+
+class RegisterFileArray:
+    """The backing storage of the C register-file banks.
+
+    The dense array covers the allocator-managed address range; the
+    scheduler's prefetch scratch region lives at very high addresses
+    and is backed sparsely (structurally it still occupies real bank
+    ports — only the storage is a dict).
+    """
+
+    def __init__(self, c: int, depth: int) -> None:
+        self.c = c
+        self.depth = depth
+        self.data = np.zeros((c, depth), dtype=np.float64)
+        self._overflow: dict[tuple[int, int], float] = {}
+
+    def read(self, loc: Location) -> float:
+        if loc.space != "rf":
+            raise ValueError(f"not a register-file location: {loc}")
+        if loc.addr >= self.depth:
+            return self._overflow.get((loc.bank, loc.addr), 0.0)
+        return float(self.data[loc.bank, loc.addr])
+
+    def write(self, loc: Location, value: float, *, accumulate: bool = False) -> None:
+        if loc.space != "rf":
+            raise ValueError(f"not a register-file location: {loc}")
+        if loc.addr >= self.depth:
+            key = (loc.bank, loc.addr)
+            base = self._overflow.get(key, 0.0) if accumulate else 0.0
+            self._overflow[key] = base + value
+        elif accumulate:
+            self.data[loc.bank, loc.addr] += value
+        else:
+            self.data[loc.bank, loc.addr] = value
+
+    def load_vector(self, view: VectorView, values: np.ndarray) -> None:
+        """Bulk host-side load (test/setup path, not the timed path)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (view.length,):
+            raise ValueError("value length mismatch")
+        for i, v in enumerate(values):
+            loc = view.location(i)
+            self.data[loc.bank, loc.addr] = v
+
+    def read_vector(self, view: VectorView) -> np.ndarray:
+        """Bulk host-side readback."""
+        out = np.empty(view.length, dtype=np.float64)
+        for i in range(view.length):
+            loc = view.location(i)
+            out[i] = self.data[loc.bank, loc.addr]
+        return out

@@ -1,0 +1,166 @@
+"""FPGA resource model (Fig. 9, Table II).
+
+Estimates LUT/register/DSP/BRAM usage of a width-``C`` instantiation on
+the Xilinx Alveo U50 the paper prototypes on.  The paper notes the
+butterfly's floating-point adders and multipliers are mapped to
+LUTs/registers (not DSPs) because the topology misaligns with the grid
+DSP layout, capping the achievable width; the model reflects that.
+
+Per-component costs are calibrated so the two prototype points of the
+paper (C=16 ≈ 300 MHz, C=32 ≈ 236 MHz, both fitting the U50) land at
+plausible utilization; this is an analytic stand-in for synthesis, per
+the substitution policy in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AlveoU50",
+    "ResourceEstimate",
+    "estimate_resources",
+    "estimate_resources_baseline",
+    "clock_frequency_hz",
+]
+
+
+@dataclass(frozen=True)
+class AlveoU50:
+    """Capacity of the evaluation board (Section V-A)."""
+
+    luts: int = 872_000
+    registers: int = 1_743_000
+    dsps: int = 5_952
+    hbm_bytes: int = 8 * 2**30
+    max_clock_hz: float = 300e6
+
+
+# Single-precision floating point cores mapped to fabric (no DSPs for
+# the network, per the paper).
+_FP_ADDER_LUTS = 950
+_FP_ADDER_REGS = 1_300
+_FP_MULT_LUTS = 700
+_FP_MULT_REGS = 900
+_NODE_CTRL_LUTS = 60  # mode decode + routing muxes per adder node
+_NODE_CTRL_REGS = 110
+_RF_BANK_LUTS = 450  # address decode + port logic per bank
+_RF_BANK_REGS = 800
+_HBM_CHANNEL_LUTS = 1_800  # AXI adapters per channel
+_HBM_CHANNEL_REGS = 2_600
+_SEQUENCER_LUTS = 28_000  # instruction fetch/decode, scalar unit, host link
+_SEQUENCER_REGS = 41_000
+_SCALAR_DSPS = 8  # scalar divide/multiply unit
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated usage of one prototype instantiation."""
+
+    c: int
+    luts: int
+    registers: int
+    dsps: int
+    clock_hz: float
+
+    def utilization(self, board: AlveoU50 = AlveoU50()) -> dict[str, float]:
+        """Fractional usage per resource class (the Fig. 9 bars)."""
+        return {
+            "LUT": self.luts / board.luts,
+            "Register": self.registers / board.registers,
+            "DSP": self.dsps / board.dsps,
+        }
+
+    def fits(self, board: AlveoU50 = AlveoU50()) -> bool:
+        u = self.utilization(board)
+        return all(v <= 1.0 for v in u.values())
+
+
+def clock_frequency_hz(c: int) -> float:
+    """Achievable clock vs width.
+
+    The C=16 build closes at the device ceiling (300 MHz); doubling the
+    width increases routing pressure and drops the clock (the paper's
+    C=32 point closes at 236 MHz).  Beyond the prototyped widths the
+    model extrapolates the same per-doubling derate.
+    """
+    if c < 2 or c & (c - 1):
+        raise ValueError("C must be a power of two >= 2")
+    base = 300e6
+    doublings = max(0, (c.bit_length() - 1) - 4)  # relative to C=16
+    return base * (236.0 / 300.0) ** doublings
+
+
+def estimate_resources_baseline(c: int) -> ResourceEstimate:
+    """Resource usage of the Fig. 4 *baseline* architecture.
+
+    The baseline keeps three separate components — an input alignment
+    butterfly, a multi-mode MAC tree, and an output alignment butterfly
+    — which the unified computational network of Fig. 5 consolidates
+    into one (Section III-B: "This design allows us to integrate the
+    MAC tree within the butterfly network and consolidate the three
+    architecture components").  Comparing the two quantifies the area
+    the consolidation saves.
+    """
+    if c < 2 or c & (c - 1):
+        raise ValueError("C must be a power of two >= 2")
+    stages = c.bit_length() - 1
+    # Two pure routing butterflies (mux nodes, no FP hardware) ...
+    routing_nodes = 2 * c * stages
+    # ... plus a MAC tree: C multipliers feeding C-1 adders.
+    n_adders = c - 1
+    n_mults = c
+    luts = (
+        routing_nodes * _NODE_CTRL_LUTS
+        + n_adders * (_FP_ADDER_LUTS + _NODE_CTRL_LUTS)
+        + n_mults * (_FP_MULT_LUTS + _NODE_CTRL_LUTS)
+        + c * _RF_BANK_LUTS
+        + c * _HBM_CHANNEL_LUTS
+        + _SEQUENCER_LUTS
+    )
+    regs = (
+        routing_nodes * _NODE_CTRL_REGS
+        + n_adders * (_FP_ADDER_REGS + _NODE_CTRL_REGS)
+        + n_mults * (_FP_MULT_REGS + _NODE_CTRL_REGS)
+        + c * _RF_BANK_REGS
+        + c * _HBM_CHANNEL_REGS
+        + _SEQUENCER_REGS
+    )
+    return ResourceEstimate(
+        c=c,
+        luts=luts,
+        registers=regs,
+        dsps=_SCALAR_DSPS,
+        clock_hz=clock_frequency_hz(c),
+    )
+
+
+def estimate_resources(c: int) -> ResourceEstimate:
+    """Resource usage of a width-``C`` instantiation."""
+    if c < 2 or c & (c - 1):
+        raise ValueError("C must be a power of two >= 2")
+    stages = c.bit_length() - 1
+    n_adders = c * stages
+    n_mults = c
+
+    luts = (
+        n_adders * (_FP_ADDER_LUTS + _NODE_CTRL_LUTS)
+        + n_mults * (_FP_MULT_LUTS + _NODE_CTRL_LUTS)
+        + c * _RF_BANK_LUTS
+        + c * _HBM_CHANNEL_LUTS
+        + _SEQUENCER_LUTS
+    )
+    regs = (
+        n_adders * (_FP_ADDER_REGS + _NODE_CTRL_REGS)
+        + n_mults * (_FP_MULT_REGS + _NODE_CTRL_REGS)
+        + c * _RF_BANK_REGS
+        + c * _HBM_CHANNEL_REGS
+        + _SEQUENCER_REGS
+    )
+    return ResourceEstimate(
+        c=c,
+        luts=luts,
+        registers=regs,
+        dsps=_SCALAR_DSPS,
+        clock_hz=clock_frequency_hz(c),
+    )

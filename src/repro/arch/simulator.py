@@ -1,0 +1,412 @@
+"""Cycle-level functional simulator of the MIB network.
+
+Executes a *scheduled* network program (bundles of multi-issued
+:class:`~repro.arch.isa.NetOp`, one bundle per clock) while enforcing
+exactly the constraints the real pipeline imposes:
+
+* one read and one write port per register-file bank per cycle
+  (binary element-wise operations double-pump and occupy two cycles);
+* disjoint node occupancy between co-issued instructions;
+* pipeline latency — results commit ``log₂C + 3`` cycles after issue,
+  and reading a location with an in-flight write raises
+  :class:`HazardViolation`.
+
+A schedule that executes without a :class:`HazardViolation` is
+hazard-free by construction, so the simulator doubles as the oracle for
+the compiler's scheduling correctness (the data the paper's Fig. 8
+claims rest on).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .hbm import HBMModel, StreamBuffers
+from .isa import EwiseFn, Location, NetOp, OpKind, StreamRef
+from .regfile import RegisterFileArray
+from .topology import Butterfly
+
+__all__ = [
+    "HazardViolation",
+    "NetworkSimulator",
+    "SCALAR_UNITS",
+    "op_occupancy",
+    "op_duration",
+]
+
+# Scalar side-units next to the network (reciprocals and the fused
+# factorization finalize).  Sized so independent elimination-tree
+# subtrees can finalize concurrently.
+SCALAR_UNITS = 4
+
+
+class HazardViolation(RuntimeError):
+    """A structural or data hazard the schedule failed to avoid."""
+
+
+def op_duration(op: NetOp) -> int:
+    """Issue slots the op occupies (binary EWISE double-pumps)."""
+    if op.kind is OpKind.EWISE and op.ewise_fn in (
+        EwiseFn.ADD,
+        EwiseFn.SUB,
+        EwiseFn.MUL,
+        EwiseFn.AXPBY,
+    ):
+        return 2
+    return 1
+
+
+def op_occupancy(op: NetOp, bf: Butterfly) -> int:
+    """Node-occupancy bitmask of one op (the bin-packing vector of
+    Section IV-B, length C(log₂C + 1) plus one scalar-unit bit)."""
+    cached = getattr(op, "_occ", None)
+    if cached is not None:
+        return cached
+    if op.kind is OpKind.MAC:
+        occ = bf.occupancy_reduce(op.src_lanes, op.dst_lanes[0])
+    elif op.kind is OpKind.COLELIM:
+        occ = bf.occupancy_broadcast(op.src_lanes[0], op.dst_lanes)
+    elif op.kind is OpKind.PERMUTE:
+        occ = bf.occupancy_permute(list(zip(op.src_lanes, op.dst_lanes)))
+    elif op.kind is OpKind.EWISE:
+        occ = bf.full_mask()
+    elif op.kind is OpKind.SCALAR:
+        # Scalar side-units are a counted resource (SCALAR_UNITS per
+        # cycle), not a routed node — no network occupancy.
+        occ = 0
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown op kind {op.kind}")
+    op._occ = occ
+    return occ
+
+
+@dataclass
+class _PendingWrite:
+    commit_cycle: int
+    loc: Location
+    value: float
+    accumulate: bool
+    seq: int = 0
+
+
+@dataclass
+class SimulationStats:
+    """Counters produced by one kernel execution."""
+
+    cycles: int = 0
+    instructions: int = 0
+    bundles: int = 0
+    latency: int = 0
+    issue_width_histogram: dict[int, int] = field(default_factory=dict)
+    node_cycles_busy: int = 0
+
+    @property
+    def mean_issue_width(self) -> float:
+        return self.instructions / self.bundles if self.bundles else 0.0
+
+
+class NetworkSimulator:
+    """Functional + cycle-accurate execution of scheduled programs."""
+
+    def __init__(
+        self, c: int, *, depth: int = 1 << 16, extra_latency: int = 0
+    ) -> None:
+        self.bf = Butterfly(c)
+        self.c = c
+        self.extra_latency = int(extra_latency)
+        self.rf = RegisterFileArray(c, depth)
+        self.lbuf: dict[int, float] = {}
+        self.scalar: dict[int, float] = {}
+        self.hbm_out: dict[int, float] = {}
+        self.hbm = HBMModel(channels=c)
+
+    # ------------------------------------------------------------------
+    # storage helpers
+    # ------------------------------------------------------------------
+    def read_loc(self, loc: Location) -> float:
+        if loc.space == "rf":
+            return self.rf.read(loc)
+        if loc.space == "lbuf":
+            return self.lbuf.get(loc.addr, 0.0)
+        if loc.space == "scalar":
+            return self.scalar.get(loc.addr, 0.0)
+        if loc.space == "hbm":
+            return self.hbm_out.get(loc.addr, 0.0)
+        raise ValueError(f"unknown space {loc.space}")
+
+    def write_loc(self, loc: Location, value: float, accumulate: bool) -> None:
+        if loc.space == "rf":
+            self.rf.write(loc, value, accumulate=accumulate)
+        elif loc.space == "lbuf":
+            base = self.lbuf.get(loc.addr, 0.0) if accumulate else 0.0
+            self.lbuf[loc.addr] = base + value
+        elif loc.space == "scalar":
+            base = self.scalar.get(loc.addr, 0.0) if accumulate else 0.0
+            self.scalar[loc.addr] = base + value
+        elif loc.space == "hbm":
+            base = self.hbm_out.get(loc.addr, 0.0) if accumulate else 0.0
+            self.hbm_out[loc.addr] = base + value
+            self.hbm.record_write(1)
+        else:
+            raise ValueError(f"unknown space {loc.space}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        slots: list[list[NetOp]],
+        streams: StreamBuffers | None = None,
+        *,
+        collect_stats: bool = True,
+    ) -> SimulationStats:
+        """Execute a schedule: ``slots[t]`` is the bundle issued at
+        cycle ``t``.  Raises :class:`HazardViolation` on any structural
+        or data hazard."""
+        streams = streams or StreamBuffers()
+        latency = self.bf.latency + self.extra_latency
+        pending: list[_PendingWrite] = []
+        # Program-order sequence of every in-flight write, per location:
+        # a read only races (RAW) against writes that precede it in
+        # program order; overlapping a *later* write (WAR) is legal —
+        # the read sees the committed old value.
+        in_flight: dict[Location, list[int]] = defaultdict(list)
+        stats = SimulationStats()
+        next_seq = 0
+
+        # Ports held by multi-cycle (double-pumped) ops:
+        # maps cycle -> (read_banks, write_banks, occupancy)
+        held: dict[int, tuple[set[int], set[int], int]] = defaultdict(
+            lambda: (set(), set(), 0)
+        )
+
+        for t, bundle in enumerate(slots):
+            # Commit matured writes.
+            still: list[_PendingWrite] = []
+            for w in pending:
+                if w.commit_cycle <= t:
+                    self.write_loc(w.loc, w.value, w.accumulate)
+                    in_flight[w.loc].remove(w.seq)
+                else:
+                    still.append(w)
+            pending = still
+
+            if not bundle:
+                continue
+            read_banks, write_banks, occ_used = held.pop(t, (set(), set(), 0))
+            read_banks, write_banks = set(read_banks), set(write_banks)
+            scalar_used = 0
+
+            for op in bundle:
+                dur = op_duration(op)
+                occ = op_occupancy(op, self.bf)
+                if occ & occ_used:
+                    raise HazardViolation(
+                        f"node conflict at cycle {t}: {op.tag or op.kind}"
+                    )
+                occ_used |= occ
+                if op.kind is OpKind.SCALAR:
+                    scalar_used += 1
+                    if scalar_used > SCALAR_UNITS:
+                        raise HazardViolation(
+                            f"scalar units oversubscribed at cycle {t}"
+                        )
+                # Port checks for this cycle and any held future cycles.
+                op_read_banks = {loc.bank for loc in op.rf_reads()}
+                op_write_banks = {loc.bank for loc in op.rf_writes()}
+                if len(op_read_banks) != len(op.rf_reads()) and dur == 1:
+                    raise HazardViolation(
+                        f"op reads one bank twice at cycle {t}: {op.tag}"
+                    )
+                if op_read_banks & read_banks:
+                    raise HazardViolation(
+                        f"read-port conflict at cycle {t}: {op.tag or op.kind}"
+                    )
+                if op_write_banks & write_banks:
+                    raise HazardViolation(
+                        f"write-port conflict at cycle {t}: {op.tag or op.kind}"
+                    )
+                read_banks |= op_read_banks
+                write_banks |= op_write_banks
+                if dur > 1:
+                    for extra in range(1, dur):
+                        hr, hw, ho = held[t + extra]
+                        held[t + extra] = (
+                            hr | op_read_banks,
+                            hw | op_write_banks,
+                            ho | occ,
+                        )
+                # Program-order stamp (assigned by the scheduler; falls
+                # back to encounter order for hand-built schedules).
+                seq = getattr(op, "_seq", None)
+                if seq is None:
+                    seq = next_seq
+                next_seq = max(next_seq, seq + 1)
+                # Data hazards: reading a word while an *earlier* write
+                # to it is still in flight is a true RAW violation.
+                for loc in op.all_read_locations():
+                    if any(s < seq for s in in_flight[loc]):
+                        raise HazardViolation(
+                            f"RAW hazard at cycle {t} on {loc}: {op.tag or op.kind}"
+                        )
+                # Execute semantics; queue result writes.
+                for loc, value, accumulate in self._execute(op, streams):
+                    pending.append(
+                        _PendingWrite(
+                            t + dur - 1 + latency, loc, value, accumulate, seq
+                        )
+                    )
+                    in_flight[loc].append(seq)
+                if collect_stats:
+                    stats.instructions += 1
+                    stats.node_cycles_busy += bin(occ).count("1")
+            if collect_stats:
+                stats.bundles += 1
+                width = len(bundle)
+                stats.issue_width_histogram[width] = (
+                    stats.issue_width_histogram.get(width, 0) + 1
+                )
+        # Drain the pipeline.
+        for w in sorted(pending, key=lambda w: (w.commit_cycle, w.seq)):
+            self.write_loc(w.loc, w.value, w.accumulate)
+        stats.cycles = len(slots) + latency
+        stats.latency = latency
+        return stats
+
+    # ------------------------------------------------------------------
+    def _coeff_values(self, op: NetOp, streams: StreamBuffers) -> np.ndarray | None:
+        """Resolve streamed coefficients (and account HBM traffic)."""
+        if op.coeffs is None:
+            if op.coeff_reads:
+                vals = np.array(
+                    [self.read_loc(loc) for loc in op.coeff_reads], dtype=np.float64
+                )
+                return vals * op.coeff_scale if op.coeff_scale != 1.0 else vals
+            return None
+        if isinstance(op.coeffs, StreamRef):
+            vals = np.asarray(
+                streams.fetch(op.coeffs.name, op.coeffs.indices), dtype=np.float64
+            )
+            self.hbm.record_read(len(vals))
+        else:
+            vals = np.asarray(op.coeffs, dtype=np.float64)
+            self.hbm.record_read(len(vals))
+        return vals * op.coeff_scale if op.coeff_scale != 1.0 else vals
+
+    def _execute(
+        self, op: NetOp, streams: StreamBuffers
+    ) -> list[tuple[Location, float, bool]]:
+        """Compute the op's results (to be committed after the latency)."""
+        coeffs = self._coeff_values(op, streams)
+        out: list[tuple[Location, float, bool]] = []
+        if op.kind is OpKind.MAC:
+            inputs = np.array([self.read_loc(l) for l in op.reads])
+            weights = coeffs if coeffs is not None else np.ones(len(op.reads))
+            if len(weights) != len(op.reads):
+                raise ValueError(f"MAC coefficient count mismatch: {op.tag}")
+            value = float(np.dot(weights, inputs))
+            loc, acc = op.writes[0]
+            out.append((loc, value, acc))
+        elif op.kind is OpKind.COLELIM:
+            src = self.read_loc(op.reads[0])
+            weights = coeffs if coeffs is not None else np.ones(len(op.writes))
+            if len(weights) != len(op.writes):
+                raise ValueError(f"COLELIM coefficient count mismatch: {op.tag}")
+            for (loc, acc), w in zip(op.writes, weights):
+                out.append((loc, w * src, acc))
+        elif op.kind is OpKind.PERMUTE:
+            if op.reads:
+                values = [self.read_loc(l) for l in op.reads]
+                if coeffs is not None:
+                    values = [v * c for v, c in zip(values, coeffs)]
+            else:  # pure HBM load
+                if coeffs is None:
+                    raise ValueError(f"load without coefficients: {op.tag}")
+                values = list(coeffs)
+            if len(values) != len(op.writes):
+                raise ValueError(f"PERMUTE width mismatch: {op.tag}")
+            for (loc, acc), v in zip(op.writes, values):
+                out.append((loc, float(v), acc))
+        elif op.kind is OpKind.EWISE:
+            out.extend(self._execute_ewise(op, coeffs))
+        elif op.kind is OpKind.SCALAR:
+            out.extend(self._execute_scalar(op))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown op kind {op.kind}")
+        return out
+
+    def _execute_ewise(
+        self, op: NetOp, coeffs: np.ndarray | None
+    ) -> list[tuple[Location, float, bool]]:
+        fn = op.ewise_fn
+        width = len(op.writes)
+        if fn is EwiseFn.SET:
+            if coeffs is None or len(coeffs) != width:
+                raise ValueError(f"SET width mismatch: {op.tag}")
+            return [
+                (loc, float(v), acc) for (loc, acc), v in zip(op.writes, coeffs)
+            ]
+        a = np.array([self.read_loc(l) for l in op.reads[:width]])
+        if fn is EwiseFn.RECIP:
+            vals = 1.0 / a
+        elif fn is EwiseFn.COPY:
+            vals = a
+        elif fn is EwiseFn.SCALE:
+            vals = op.scalars[0] * a
+        elif fn is EwiseFn.STREAM_MUL:
+            if coeffs is None or len(coeffs) != width:
+                raise ValueError(f"STREAM_MUL stream mismatch: {op.tag}")
+            vals = a * coeffs
+        elif fn is EwiseFn.STREAM_AXPY:
+            if coeffs is None or len(coeffs) != width:
+                raise ValueError(f"STREAM_AXPY stream mismatch: {op.tag}")
+            vals = a + op.scalars[0] * coeffs
+        elif fn is EwiseFn.CLIP:
+            if coeffs is None or len(coeffs) != 2 * width:
+                raise ValueError(f"CLIP bounds stream mismatch: {op.tag}")
+            vals = np.minimum(np.maximum(a, coeffs[:width]), coeffs[width:])
+        elif fn in (EwiseFn.ADD, EwiseFn.SUB, EwiseFn.MUL, EwiseFn.AXPBY):
+            if len(op.reads) != 2 * width:
+                raise ValueError(f"binary EWISE needs 2x{width} reads: {op.tag}")
+            b = np.array([self.read_loc(l) for l in op.reads[width:]])
+            if fn is EwiseFn.ADD:
+                vals = a + b
+            elif fn is EwiseFn.SUB:
+                vals = a - b
+            elif fn is EwiseFn.MUL:
+                vals = a * b
+            else:  # AXPBY
+                vals = op.scalars[0] * a + op.scalars[1] * b
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown ewise fn {fn}")
+        return [
+            (loc, float(v), acc) for (loc, acc), v in zip(op.writes, vals)
+        ]
+
+    def _execute_scalar(self, op: NetOp) -> list[tuple[Location, float, bool]]:
+        fn = op.ewise_fn
+        loc, acc = op.writes[0]
+        if fn is EwiseFn.RECIP:
+            return [(loc, 1.0 / self.read_loc(op.reads[0]), acc)]
+        if fn is EwiseFn.MUL:
+            a = self.read_loc(op.reads[0])
+            b = self.read_loc(op.reads[1])
+            return [(loc, a * b, acc)]
+        if fn is EwiseFn.SUB:  # fused negative multiply-accumulate
+            a = self.read_loc(op.reads[0])
+            b = self.read_loc(op.reads[1])
+            return [(loc, -a * b, True)]
+        if fn is EwiseFn.COPY:
+            return [(loc, self.read_loc(op.reads[0]), acc)]
+        if fn is EwiseFn.FACTOR_FIN:
+            # reads: y_j (rf) and dinv_j (rf); writes: l_kj to lbuf (set)
+            # and the pivot update −y_j²·dinv_j into d_k (accumulate).
+            y = self.read_loc(op.reads[0])
+            dinv = self.read_loc(op.reads[1])
+            l_loc, _ = op.writes[0]
+            d_loc, _ = op.writes[1]
+            return [(l_loc, y * dinv, False), (d_loc, -y * y * dinv, True)]
+        raise ValueError(f"unsupported scalar fn {fn}")

@@ -1,0 +1,25 @@
+"""Execution backends: the MIB compiled solver, the host reference,
+and analytical models of the paper's baseline platforms."""
+
+from .cpu import ReferenceRun, run_reference
+from .mib import MIBNetworkSolveReport, MIBSolveReport, MIBSolver
+from .models import (
+    PLATFORMS,
+    Platform,
+    cpu_platform_for,
+    model_runtime,
+    sample_jittered_runtimes,
+)
+
+__all__ = [
+    "MIBNetworkSolveReport",
+    "MIBSolveReport",
+    "MIBSolver",
+    "PLATFORMS",
+    "Platform",
+    "ReferenceRun",
+    "cpu_platform_for",
+    "model_runtime",
+    "run_reference",
+    "sample_jittered_runtimes",
+]

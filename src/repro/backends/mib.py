@@ -1,0 +1,704 @@
+"""The MIB backend: compile a QP's sparsity pattern, solve with exact
+cycle accounting, and (for validation) execute the core kernels on the
+network simulator.
+
+A :class:`MIBSolver` is the reproduction's counterpart of the paper's
+prototype system:
+
+* **compile once per sparsity pattern** — lowering + multi-issue
+  scheduling of every kernel the chosen algorithm variant needs
+  (Section III-D; the compile time is amortized over the many instances
+  that share the pattern);
+* **solve** — runs the ADMM algorithm (bit-identical to the reference
+  :class:`~repro.solver.OSQPSolver`, which is the same algorithm the
+  hardware executes) and accounts the *exact* cycles of every kernel
+  invocation from its static schedule, yielding a deterministic
+  runtime (the property Fig. 11 measures);
+* **network-executed validation** — the KKT solve and the reduced-
+  matrix product can be run end-to-end through the cycle-level
+  simulator and compared against the host computation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch import NetworkSimulator, StreamBuffers
+from ..arch.resources import clock_frequency_hz
+from ..compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    Schedule,
+    ScheduleOptions,
+    row_major_view,
+    schedule_program,
+)
+from ..solver import (
+    DirectKKTSolver,
+    IndirectKKTSolver,
+    OSQPSolver,
+    QPProblem,
+    Settings,
+    SolveResult,
+    SolverStatus,
+)
+
+__all__ = [
+    "MIBSolver",
+    "MIBSolveReport",
+    "MIBNetworkSolveReport",
+    "PCIE_BANDWIDTH",
+    "PCIE_LATENCY",
+]
+
+PCIE_BANDWIDTH = 8e9  # bytes/s host link (Gen3 x8 effective)
+PCIE_LATENCY = 10e-6  # per transfer
+
+
+@dataclass
+class MIBSolveReport:
+    """Outcome of a solve on the MIB backend."""
+
+    result: SolveResult
+    cycles: int
+    runtime_seconds: float
+    clock_hz: float
+    kernel_cycles: dict[str, int]
+    kernel_invocations: dict[str, int]
+    transfer_seconds: float
+
+    @property
+    def solve_seconds(self) -> float:
+        """Pure on-device time (excludes PCIe)."""
+        return self.cycles / self.clock_hz
+
+
+@dataclass
+class MIBNetworkSolveReport:
+    """Outcome of a fully network-executed solve
+    (:meth:`MIBSolver.solve_on_network`)."""
+
+    status: SolverStatus
+    x: np.ndarray
+    z: np.ndarray
+    y: np.ndarray
+    iterations: int
+    cycles: int
+    primal_residual: float
+    dual_residual: float
+    rho_updates: int
+    objective: float
+
+    @property
+    def solved(self) -> bool:
+        return self.status is SolverStatus.SOLVED
+
+
+@dataclass
+class _CompiledKernels:
+    schedules: dict[str, Schedule] = field(default_factory=dict)
+
+    def cycles(self, name: str) -> int:
+        return self.schedules[name].cycles
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.schedules
+
+
+class MIBSolver:
+    """Pattern-specific compiled QP solver on the MIB architecture.
+
+    Parameters
+    ----------
+    problem:
+        The QP (its *pattern* drives compilation; values stream in).
+    variant:
+        ``"direct"`` or ``"indirect"``.
+    c:
+        Network width (16 and 32 are the paper's prototypes).
+    settings:
+        ADMM settings shared with the algorithmic reference.
+    multi_issue / prefetch:
+        Scheduler features (exposed for the ablation benchmarks).
+    """
+
+    # Super-pipelining model (paper future work): one extra register
+    # stage per datapath stage roughly doubles the commit latency and
+    # raises the achievable clock by ~40%.
+    SUPER_PIPELINE_CLOCK_GAIN = 1.4
+
+    def __init__(
+        self,
+        problem: QPProblem,
+        *,
+        variant: str = "direct",
+        c: int = 32,
+        settings: Settings | None = None,
+        multi_issue: bool = True,
+        prefetch: bool = True,
+        ordering: str = "amd",
+        lower_method: str = "column",
+        super_pipelined: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.variant = variant
+        self.c = c
+        self.super_pipelined = super_pipelined
+        self.clock_hz = clock_frequency_hz(c)
+        extra_latency = 0
+        if super_pipelined:
+            from ..arch import Butterfly
+
+            extra_latency = Butterfly(c).latency  # doubled pipeline depth
+            self.clock_hz *= self.SUPER_PIPELINE_CLOCK_GAIN
+        self.options = ScheduleOptions(
+            multi_issue=multi_issue,
+            prefetch=prefetch,
+            extra_latency=extra_latency,
+        )
+        self.reference = OSQPSolver(
+            problem,
+            variant=variant,
+            settings=settings,
+            ordering=ordering,
+            lower_method=lower_method,
+        )
+        self.builder = KernelBuilder(c, depth=1 << 24)
+        self.kernels = _CompiledKernels()
+        t0 = time.perf_counter()
+        if variant == "direct":
+            self._compile_direct()
+        else:
+            self._compile_indirect()
+        self._compile_vector_kernels()
+        if variant == "direct":
+            self._compile_network_iteration()
+        self.compile_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _schedule(self, name: str, ops) -> Schedule:
+        sched = schedule_program(
+            NetworkProgram(name, list(ops)), self.c, self.options
+        )
+        self.kernels.schedules[name] = sched
+        return sched
+
+    def _compile_direct(self) -> None:
+        kkt = self.reference.kkt_solver
+        assert isinstance(kkt, DirectKKTSolver)
+        sym = kkt.symbolic
+        dim = kkt.dim
+        kb = self.builder
+        self._kkt_dim = dim
+        self._perm = kkt.perm
+        bx = kb.vector("kkt_b", dim)  # incoming right-hand side
+        px = kb.vector("kkt_x", dim)  # permuted solve buffer
+        fy = kb.vector("factor_y", dim)
+        fd = kb.vector("factor_d", dim)
+        fdinv = kb.vector("factor_dinv", dim)
+
+        # Numeric refactorization (runs at setup and on every ρ update).
+        self._schedule(
+            "factor",
+            kb.factorization(
+                sym, kkt._permuted_upper, y=fy, d=fd, dinv=fdinv, k_stream="K"
+            ),
+        )
+        # The KKT triangular solve pipeline of Listing 1:
+        # permutate -> L_solve -> D_solve -> Lt_solve -> inverse_permutate.
+        lower = (
+            kb.lsolve_columns
+            if self.reference.kkt_solver.lower_method == "column"
+            else kb.lsolve_rows
+        )
+        perm = self._perm.perm
+        solve_ops = (
+            kb.gather(px, list(range(dim)), bx, perm.tolist(), tag="permutate")
+            + lower(sym, px, "L")
+            + kb.dsolve(px, "Dinv")
+            + kb.ltsolve(sym, px, "L")
+            + kb.gather(bx, perm.tolist(), px, list(range(dim)), tag="inv_permutate")
+        )
+        self._schedule("kkt_solve", solve_ops)
+
+    def _compile_indirect(self) -> None:
+        kkt = self.reference.kkt_solver
+        assert isinstance(kkt, IndirectKKTSolver)
+        sp = self.reference.scaling.scaled
+        kb = self.builder
+        n, m = sp.n, sp.m
+        self._a_view = row_major_view(sp.a)
+        self._p_view = row_major_view(sp.p_full)
+        v = kb.vector("cg_v", n)
+        sv = kb.vector("cg_sv", n)
+        pv = kb.vector("cg_pv", n)
+        atv = kb.vector("cg_atv", n)
+        av = kb.vector("cg_av", m)
+        # One application of S = P + σI + Aᵀ·diag(ρ)·A (Algorithm 2's
+        # work horse): MAC for A and P, column elimination for Aᵀ.
+        ops = (
+            kb.spmv(self._a_view, v, av, "A", tag="spmv_A")
+            + kb.stream_mul(av, av, "rho")
+            + kb.spmv_transpose(self._a_view, av, atv, "A", tag="spmv_At")
+            + kb.spmv(self._p_view, v, pv, "P", tag="spmv_P")
+            + kb.ew_add(sv, pv, atv)
+            + kb.axpby(sv, sv, v, 1.0, self.reference.settings.sigma)
+        )
+        self._schedule("apply_s", ops)
+        # CG vector updates per iteration (λ, x, r, d, μ, p lines).
+        r = kb.vector("cg_r", n)
+        d = kb.vector("cg_d", n)
+        p = kb.vector("cg_p", n)
+        cg_vec = (
+            kb.axpby(v, v, p, 1.0, 1.0)  # x += λp (λ folded host-side)
+            + kb.axpby(r, r, sv, 1.0, 1.0)  # r += λSp
+            + kb.stream_mul(d, r, "Minv")  # d = M⁻¹r
+            + kb.axpby(p, d, p, -1.0, 1.0)  # p = −d + μp
+        )
+        self._schedule("cg_vector", cg_vec)
+
+    def _compile_vector_kernels(self) -> None:
+        """The per-ADMM-iteration vector work (Algorithm 1 lines 4-7)."""
+        kb = self.builder
+        sp = self.reference.scaling.scaled
+        n, m = sp.n, sp.m
+        alpha = self.reference.settings.alpha
+        x = kb.vector("adm_x", n)
+        xt = kb.vector("adm_xt", n)
+        z = kb.vector("adm_z", m)
+        zt = kb.vector("adm_zt", m)
+        y = kb.vector("adm_y", m)
+        w = kb.vector("adm_w", m)
+        tmp_m = kb.vector("adm_tmp_m", m)
+        rhs_top = kb.vector("adm_rhs_top", n)
+        ops = (
+            # rhs build: σx − q ; z − y/ρ
+            kb.ew_scale(rhs_top, x, self.reference.settings.sigma)
+            + kb.stream_axpy(rhs_top, rhs_top, "q", -1.0)
+            + kb.stream_mul(tmp_m, y, "rho_inv")
+            + kb.ew_sub(tmp_m, z, tmp_m)
+            # relaxation and projection
+            + kb.axpby(x, xt, x, alpha, 1.0 - alpha)
+            + kb.axpby(w, zt, z, alpha, 1.0 - alpha)
+            + kb.stream_mul(tmp_m, y, "rho_inv")
+            + kb.ew_add(tmp_m, w, tmp_m)
+            + kb.clip(z, tmp_m, "bounds", length=m)
+            # dual update: y += ρ(w − z)
+            + kb.ew_sub(tmp_m, w, z)
+            + kb.stream_mul(tmp_m, tmp_m, "rho")
+            + kb.ew_add(y, y, tmp_m)
+        )
+        self._schedule("admm_vector", ops)
+
+        # Residual computation (every check_interval iterations):
+        # A·x, P·x, Aᵀ·y plus norms.
+        if self.variant == "direct":
+            self._a_view = row_major_view(sp.a)
+            self._p_view = row_major_view(sp.p_full)
+        ax = kb.vector("res_ax", m)
+        px_v = kb.vector("res_px", n)
+        aty = kb.vector("res_aty", n)
+        res_ops = (
+            kb.spmv(self._a_view, x, ax, "A", tag="res_A")
+            + kb.spmv(self._p_view, x, px_v, "P", tag="res_P")
+            + kb.spmv_transpose(self._a_view, y, aty, "A", tag="res_At")
+        )
+        self._schedule("residuals", res_ops)
+
+    def _compile_network_iteration(self) -> None:
+        """Phase-split per-iteration kernels for the fully network-
+        executed solve (:meth:`solve_on_network`).
+
+        ``admm_vector`` prices the iteration's vector work for the
+        cycle model; these kernels order the same work around the KKT
+        solve exactly as Algorithm 1 requires: ``iter_pre`` builds the
+        right-hand side into the solve buffer, ``iter_post`` applies
+        relaxation, projection and the dual update from the solution.
+        """
+        kb = self.builder
+        sp = self.reference.scaling.scaled
+        n, m = sp.n, sp.m
+        alpha = self.reference.settings.alpha
+        alloc = kb.alloc
+        x, xt = alloc.get("adm_x"), alloc.get("adm_xt")
+        z, zt = alloc.get("adm_z"), alloc.get("adm_zt")
+        y, w = alloc.get("adm_y"), alloc.get("adm_w")
+        tmp_m = alloc.get("adm_tmp_m")
+        rhs_top = alloc.get("adm_rhs_top")
+        tmp2 = kb.vector("adm_tmp2_m", m)
+        bx = alloc.get("kkt_b")
+
+        pre = (
+            kb.ew_scale(rhs_top, x, self.reference.settings.sigma)
+            + kb.stream_axpy(rhs_top, rhs_top, "q", -1.0)
+            + kb.stream_mul(tmp_m, y, "rho_inv")
+            + kb.ew_sub(tmp_m, z, tmp_m)
+            + kb.gather(bx, list(range(n)), rhs_top, list(range(n)))
+            + kb.gather(bx, list(range(n, n + m)), tmp_m, list(range(m)))
+        )
+        self._schedule("iter_pre", pre)
+
+        post = (
+            kb.gather(xt, list(range(n)), bx, list(range(n)))
+            + kb.gather(tmp_m, list(range(m)), bx, list(range(n, n + m)))
+            + kb.ew_sub(tmp2, tmp_m, y)  # ν − y
+            + kb.stream_mul(tmp2, tmp2, "rho_inv")
+            + kb.ew_add(zt, z, tmp2)  # z̃ = z + (ν − y)/ρ
+            + kb.axpby(x, xt, x, alpha, 1.0 - alpha)
+            + kb.axpby(w, zt, z, alpha, 1.0 - alpha)
+            + kb.stream_mul(tmp2, y, "rho_inv")
+            + kb.ew_add(tmp2, w, tmp2)
+            + kb.clip(z, tmp2, "bounds", length=m)  # projection Π
+            + kb.ew_sub(tmp2, w, z)
+            + kb.stream_mul(tmp2, tmp2, "rho")
+            + kb.ew_add(y, y, tmp2)  # dual update
+        )
+        self._schedule("iter_post", post)
+
+    # ------------------------------------------------------------------
+    def update_values(self, problem: QPProblem) -> None:
+        """Bind a new numeric instance of the same sparsity pattern.
+
+        No recompilation: the compiled schedules reference stream
+        positions, so only the algorithmic state (scaled data, KKT
+        values, factorization numbers) refreshes — the paper's
+        amortization mechanism, priced at one ``factor`` kernel run in
+        the direct variant.
+        """
+        self.reference.update_values(problem)
+        self.problem = problem
+
+    # ------------------------------------------------------------------
+    # cycle accounting
+    # ------------------------------------------------------------------
+    def data_load_cycles(self) -> int:
+        """Initial streaming of problem data into HBM-side buffers."""
+        sp = self.reference.scaling.scaled
+        words = sp.a.nnz + sp.p_full.nnz + 2 * sp.m + 2 * sp.n
+        return -(-words // self.c)
+
+    def iteration_cycles(self) -> int:
+        """Cycles of one ADMM iteration (excluding residual checks)."""
+        cycles = self.kernels.cycles("admm_vector")
+        if self.variant == "direct":
+            cycles += self.kernels.cycles("kkt_solve")
+        return cycles
+
+    def solve(
+        self, *, x0: np.ndarray | None = None, y0: np.ndarray | None = None
+    ) -> MIBSolveReport:
+        """Solve the bound problem instance with exact cycle accounting.
+
+        The algorithm trace (iterations, ρ updates, CG iterations,
+        residual checks) comes from the algorithmic reference — the
+        hardware runs the identical algorithm — and each event is
+        priced at its kernel's scheduled cycle count.  ``x0``/``y0``
+        warm-start the iteration (closed-loop MPC re-solves).
+        """
+        result = self.reference.solve(x0=x0, y0=y0)
+        st = self.reference.settings
+        iters = result.iterations
+        checks = iters // st.check_interval + 1
+        invocations: dict[str, int] = {"admm_vector": iters, "residuals": checks}
+        cycles = self.data_load_cycles()
+        cycles += iters * self.kernels.cycles("admm_vector")
+        cycles += checks * self.kernels.cycles("residuals")
+        if self.variant == "direct":
+            invocations["kkt_solve"] = iters
+            invocations["factor"] = 1 + result.rho_updates
+            cycles += iters * self.kernels.cycles("kkt_solve")
+            cycles += (1 + result.rho_updates) * self.kernels.cycles("factor")
+        else:
+            kkt = self.reference.kkt_solver
+            assert isinstance(kkt, IndirectKKTSolver)
+            cg_iters = kkt.diagnostics.total_iterations
+            cg_calls = kkt.diagnostics.calls
+            invocations["apply_s"] = cg_iters + cg_calls
+            invocations["cg_vector"] = cg_iters
+            cycles += (cg_iters + cg_calls) * self.kernels.cycles("apply_s")
+            cycles += cg_iters * self.kernels.cycles("cg_vector")
+        transfer_bytes = 4 * (
+            self.problem.nnz + 2 * self.problem.n + 4 * self.problem.m
+        )
+        transfer = 2 * PCIE_LATENCY + transfer_bytes / PCIE_BANDWIDTH
+        runtime = cycles / self.clock_hz + transfer
+        return MIBSolveReport(
+            result=result,
+            cycles=cycles,
+            runtime_seconds=runtime,
+            clock_hz=self.clock_hz,
+            kernel_cycles={
+                k: s.cycles for k, s in self.kernels.schedules.items()
+            },
+            kernel_invocations=invocations,
+            transfer_seconds=transfer,
+        )
+
+    # ------------------------------------------------------------------
+    # network-executed validation paths
+    # ------------------------------------------------------------------
+    def solve_kkt_on_network(self, rhs: np.ndarray) -> np.ndarray:
+        """Execute the full KKT solve pipeline on the simulator
+        (direct variant) and return the solution."""
+        if self.variant != "direct":
+            raise ValueError("KKT network solve is a direct-variant path")
+        kkt = self.reference.kkt_solver
+        assert isinstance(kkt, DirectKKTSolver)
+        dim = self._kkt_dim
+        if rhs.shape != (dim,):
+            raise ValueError("rhs dimension mismatch")
+        sim = NetworkSimulator(self.c, depth=1 << 24)
+        streams = StreamBuffers()
+        streams.bind("K", kkt._permuted_upper.data)
+        sim.rf.load_vector(self.builder.alloc.get("kkt_b"), rhs)
+        # Numeric factorization on the network, then bind its outputs.
+        sim.run(self.kernels.schedules["factor"].slots, streams)
+        sym = kkt.symbolic
+        streams.bind(
+            "L", np.array([sim.lbuf.get(p, 0.0) for p in range(sym.l_nnz)])
+        )
+        streams.bind(
+            "Dinv", sim.rf.read_vector(self.builder.alloc.get("factor_dinv"))
+        )
+        sim.run(self.kernels.schedules["kkt_solve"].slots, streams)
+        return sim.rf.read_vector(self.builder.alloc.get("kkt_b"))
+
+    def solve_on_network(
+        self, *, max_iter: int | None = None
+    ) -> "MIBNetworkSolveReport":
+        """Run the *entire* ADMM solve through the cycle-level simulator
+        (direct variant).
+
+        Every operation of Algorithm 1 executes as scheduled network
+        instructions: the numeric factorization, the per-iteration
+        right-hand-side build, the permuted triangular solves, the
+        relaxation/projection/dual updates, the residual matrix
+        products, and the on-network refactorization when ρ adapts.
+        The host only performs the Table-I ``norm_inf`` reductions for
+        termination and the ρ control-flow decision — mirroring the
+        prototype, whose host involvement is limited to start/finish
+        transfers.
+
+        Intended for validation at small problem sizes (the Python
+        simulator executes every node of every cycle); :meth:`solve`
+        is the fast cycle-priced path.
+        """
+        if self.variant != "direct":
+            raise ValueError("solve_on_network supports the direct variant")
+        from ..solver.admm import residuals_from_products
+
+        st = self.reference.settings
+        sc = self.reference.scaling
+        sp = sc.scaled
+        ks = self.reference.kkt_solver
+        assert isinstance(ks, DirectKKTSolver)
+        n, m = sp.n, sp.m
+        max_iter = max_iter or st.max_iter
+
+        sim = NetworkSimulator(self.c, depth=1 << 24)
+        streams = StreamBuffers()
+        streams.bind("q", sp.q)
+        streams.bind("A", sp.a.data)
+        streams.bind("P", sp.p_full.data)
+        streams.bind("bounds", np.concatenate([sp.l, sp.u]))
+        rho = self.reference.rho
+        rho_vec = self.reference.rho_vec.copy()
+        sym = ks.symbolic
+        alloc = self.builder.alloc
+        total_cycles = 0
+        rho_updates = 0
+
+        def bind_rho() -> None:
+            streams.bind("rho", rho_vec)
+            streams.bind("rho_inv", 1.0 / rho_vec)
+
+        def refactor() -> int:
+            streams.bind("K", ks._permuted_upper.data)
+            stats = sim.run(self.kernels.schedules["factor"].slots, streams)
+            streams.bind(
+                "L",
+                np.array([sim.lbuf.get(p, 0.0) for p in range(sym.l_nnz)]),
+            )
+            streams.bind(
+                "Dinv", sim.rf.read_vector(alloc.get("factor_dinv"))
+            )
+            return stats.cycles
+
+        bind_rho()
+        total_cycles += self.data_load_cycles()
+        total_cycles += refactor()
+
+        status = SolverStatus.MAX_ITERATIONS
+        prim_res = dual_res = float("inf")
+        iteration = 0
+        for iteration in range(1, max_iter + 1):
+            for kernel in ("iter_pre", "kkt_solve", "iter_post"):
+                stats = sim.run(self.kernels.schedules[kernel].slots, streams)
+                total_cycles += stats.cycles
+            if iteration % st.check_interval and iteration != max_iter:
+                continue
+            stats = sim.run(self.kernels.schedules["residuals"].slots, streams)
+            total_cycles += stats.cycles
+            ax = sim.rf.read_vector(alloc.get("res_ax"))
+            px = sim.rf.read_vector(alloc.get("res_px"))
+            aty = sim.rf.read_vector(alloc.get("res_aty"))
+            z = sim.rf.read_vector(alloc.get("adm_z"))
+            prim_res, dual_res, eps_prim, eps_dual = residuals_from_products(
+                sc, st, ax=ax, px=px, aty=aty, z=z
+            )
+            if prim_res <= eps_prim and dual_res <= eps_dual:
+                status = SolverStatus.SOLVED
+                break
+            if (
+                st.adaptive_rho
+                and iteration % st.adaptive_rho_interval == 0
+                and iteration < max_iter
+            ):
+                ratio = (prim_res / max(eps_prim, 1e-12)) / max(
+                    dual_res / max(eps_dual, 1e-12), 1e-12
+                )
+                new_rho = float(
+                    np.clip(rho * np.sqrt(ratio), st.rho_min, st.rho_max)
+                )
+                if (
+                    new_rho > rho * st.adaptive_rho_tolerance
+                    or new_rho < rho / st.adaptive_rho_tolerance
+                ):
+                    rho = new_rho
+                    self.reference.rho = new_rho
+                    rho_vec = self.reference._build_rho_vec(new_rho)
+                    ks.update_rho(rho_vec)
+                    bind_rho()
+                    total_cycles += refactor()
+                    rho_updates += 1
+
+        x = sim.rf.read_vector(alloc.get("adm_x"))
+        z = sim.rf.read_vector(alloc.get("adm_z"))
+        y = sim.rf.read_vector(alloc.get("adm_y"))
+        return MIBNetworkSolveReport(
+            status=status,
+            x=sc.unscale_x(x),
+            z=sc.unscale_z(z),
+            y=sc.unscale_y(y),
+            iterations=iteration,
+            cycles=total_cycles,
+            primal_residual=prim_res,
+            dual_residual=dual_res,
+            rho_updates=rho_updates,
+            objective=self.problem.objective(sc.unscale_x(x)),
+        )
+
+    def solve_reduced_on_network(
+        self,
+        b: np.ndarray,
+        *,
+        tol: float = 1e-8,
+        max_iter: int = 500,
+    ) -> tuple[np.ndarray, int]:
+        """PCG on ``S x = b`` with every S-product executed on the
+        simulator (indirect-variant validation).
+
+        The CG control flow (the scalar λ/μ updates of Algorithm 2)
+        runs host-side as the prototype's sequencer would; the
+        matrix-vector work — the entirety of the FLOPs — streams
+        through the compiled ``apply_s`` network program on a single
+        persistent simulator instance.
+        """
+        if self.variant != "indirect":
+            raise ValueError("reduced-system network solve is indirect-only")
+        kkt = self.reference.kkt_solver
+        assert isinstance(kkt, IndirectKKTSolver)
+        sp = self.reference.scaling.scaled
+        n = sp.n
+        sim = NetworkSimulator(self.c, depth=1 << 24)
+        streams = StreamBuffers()
+        streams.bind("A", sp.a.data)
+        streams.bind("P", sp.p_full.data)
+        streams.bind("rho", self.reference.rho_vec)
+        v_view = self.builder.alloc.get("cg_v")
+        sv_view = self.builder.alloc.get("cg_sv")
+        apply_s_slots = self.kernels.schedules["apply_s"].slots
+
+        def apply_s(v: np.ndarray) -> np.ndarray:
+            sim.rf.load_vector(v_view, v)
+            sim.run(apply_s_slots, streams)
+            return sim.rf.read_vector(sv_view)
+
+        m_inv = kkt._m_inv
+        x = np.zeros(n)
+        r = apply_s(x) - b
+        b_norm = float(np.linalg.norm(b))
+        if b_norm == 0.0:
+            return x, 0
+        d = m_inv * r
+        p = -d
+        rd = float(r @ d)
+        iterations = 0
+        while float(np.linalg.norm(r)) >= tol * b_norm and iterations < max_iter:
+            sp_vec = apply_s(p)
+            lam = rd / float(p @ sp_vec)
+            x += lam * p
+            r += lam * sp_vec
+            d = m_inv * r
+            rd_new = float(r @ d)
+            p = -d + (rd_new / rd) * p
+            rd = rd_new
+            iterations += 1
+        return x, iterations
+
+    def run_admm_vector_on_network(
+        self,
+        x: np.ndarray,
+        xt: np.ndarray,
+        z: np.ndarray,
+        zt: np.ndarray,
+        y: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Execute the per-iteration vector kernel on the simulator.
+
+        Returns the updated iterates plus the KKT right-hand-side top
+        block the kernel produced, for comparison against the host
+        formulas of Algorithm 1 (lines 4-7).
+        """
+        sp = self.reference.scaling.scaled
+        sim = NetworkSimulator(self.c, depth=1 << 24)
+        streams = StreamBuffers()
+        streams.bind("q", sp.q)
+        streams.bind("rho", self.reference.rho_vec)
+        streams.bind("rho_inv", 1.0 / self.reference.rho_vec)
+        streams.bind("bounds", np.concatenate([sp.l, sp.u]))
+        alloc = self.builder.alloc
+        for name, values in (
+            ("adm_x", x),
+            ("adm_xt", xt),
+            ("adm_z", z),
+            ("adm_zt", zt),
+            ("adm_y", y),
+        ):
+            sim.rf.load_vector(alloc.get(name), values)
+        sim.run(self.kernels.schedules["admm_vector"].slots, streams)
+        return {
+            "x": sim.rf.read_vector(alloc.get("adm_x")),
+            "z": sim.rf.read_vector(alloc.get("adm_z")),
+            "y": sim.rf.read_vector(alloc.get("adm_y")),
+            "rhs_top": sim.rf.read_vector(alloc.get("adm_rhs_top")),
+        }
+
+    def apply_s_on_network(self, v: np.ndarray) -> np.ndarray:
+        """Execute one S·v product on the simulator (indirect variant)."""
+        if self.variant != "indirect":
+            raise ValueError("S-product network path is indirect-only")
+        sp = self.reference.scaling.scaled
+        sim = NetworkSimulator(self.c, depth=1 << 24)
+        streams = StreamBuffers()
+        streams.bind("A", sp.a.data)
+        streams.bind("P", sp.p_full.data)
+        streams.bind("rho", self.reference.rho_vec)
+        sim.rf.load_vector(self.builder.alloc.get("cg_v"), v)
+        sim.run(self.kernels.schedules["apply_s"].slots, streams)
+        return sim.rf.read_vector(self.builder.alloc.get("cg_sv"))

@@ -1,0 +1,225 @@
+"""Analytical baseline platform models (CPU / GPU / RSQP).
+
+The paper measures an i7-10700KF (MKL and QDLDL backends), an RTX 3070
+(cuSparse backend) and the RSQP CPU+FPGA solver.  None of that hardware
+exists in this reproduction environment, so — per the substitution
+policy in DESIGN.md — each baseline is an analytical cost model fed by
+the *measured algorithm trace* of the reference solver (FLOPs per
+primitive, iteration counts, CG iterations).  The constants below are
+calibrated against Table II's platform specs and the published
+behaviour of sparse kernels on those platforms, so the *shape* of the
+comparisons (who wins, by roughly what factor) is preserved; absolute
+times are not claims.
+
+Model form, per solve:
+
+    runtime = Σ_ops flops / (peak · sparse_efficiency)
+            + iterations · per_iteration_overhead
+            + transfers / link_bandwidth  (heterogeneous solvers only)
+
+Jitter is modeled as a multiplicative lognormal factor whose standard
+deviation matches the class of platform (OS scheduling + cache noise on
+the CPU, kernel-launch and PCIe variability on the GPU, near-zero on
+the cycle-deterministic FPGA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solver import Primitive, SolveResult
+
+__all__ = [
+    "Platform",
+    "PLATFORMS",
+    "cpu_platform_for",
+    "model_runtime",
+    "sample_jittered_runtimes",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A baseline execution platform (one column of Table II)."""
+
+    name: str
+    peak_flops: float
+    bandwidth_bytes: float
+    clock_hz: float
+    tdp_watts: float
+    idle_watts: float
+    load_watts: float
+    # Effective fraction of peak sustained on irregular sparse kernels.
+    sparse_efficiency: dict[Primitive, float]
+    # Fixed overhead charged per ADMM iteration (control flow, kernel
+    # launches, synchronization).
+    iteration_overhead_s: float
+    # Per-solve fixed overhead (setup, dispatch).
+    solve_overhead_s: float
+    # Relative runtime jitter (σ/μ).
+    jitter_cv: float
+    # Heterogeneous link crossed every iteration (bytes/s), if any.
+    per_iter_link_bytes_per_s: float | None = None
+    link_latency_s: float = 0.0
+
+
+def _uniform(eff: float) -> dict[Primitive, float]:
+    return {p: eff for p in Primitive}
+
+
+# Calibration notes (constants fitted so the geometric-mean speedups
+# over a 25-problem calibration grid land at the paper's Table III
+# values; the fitted numbers are physically plausible for each class):
+# * CPU-MKL (indirect): sparse CG on >99%-sparse matrices with short
+#   irregular rows sustains ~0.1 GFLOP/s — latency-bound gathers plus
+#   per-call library overhead, far below the 500 GFLOP/s dense peak.
+# * CPU-QDLDL (direct): a lean cache-friendly native factorization;
+#   substantially higher sustained fraction than MKL's general sparse
+#   kernels on these patterns (which is why the paper's direct-variant
+#   speedup is only 2.7x vs 30.5x indirect).
+# * GPU: cuSparse SpMV on small irregular matrices is launch-latency
+#   bound — tens of microseconds of fixed cost per ADMM iteration, and
+#   scalar device->host syncs for control flow (the cuOSQP
+#   observation quoted in Section V-A).
+# * RSQP: FPGA PCG datapath, but the KKT solution vector crosses PCIe
+#   both ways every ADMM iteration (Section V-A) — the cost the
+#   paper's full-FPGA design removes.
+PLATFORMS: dict[str, Platform] = {
+    "cpu_mkl": Platform(
+        name="CPU (i7-10700KF, MKL)",
+        peak_flops=500e9,
+        bandwidth_bytes=45.8e9,
+        clock_hz=3.8e9,
+        tdp_watts=125.0,
+        idle_watts=22.0,
+        load_watts=49.0,
+        sparse_efficiency={
+            Primitive.MAC: 2.7e-4,
+            Primitive.COLUMN_ELIM: 2.1e-4,
+            Primitive.PERMUTE: 7e-4,
+            Primitive.ELEMENTWISE: 3.5e-3,
+        },
+        iteration_overhead_s=7e-6,
+        solve_overhead_s=60e-6,
+        jitter_cv=0.08,
+    ),
+    "cpu_qdldl": Platform(
+        name="CPU (i7-10700KF, QDLDL)",
+        peak_flops=500e9,
+        bandwidth_bytes=45.8e9,
+        clock_hz=3.8e9,
+        tdp_watts=125.0,
+        idle_watts=22.0,
+        load_watts=49.0,
+        sparse_efficiency={
+            Primitive.MAC: 1.9e-3,
+            Primitive.COLUMN_ELIM: 1.6e-3,
+            Primitive.PERMUTE: 4e-3,
+            Primitive.ELEMENTWISE: 2e-2,
+        },
+        iteration_overhead_s=2e-6,
+        solve_overhead_s=50e-6,
+        jitter_cv=0.08,
+    ),
+    "gpu": Platform(
+        name="GPU (RTX 3070, cuSparse)",
+        peak_flops=20e12,
+        bandwidth_bytes=448e9,
+        clock_hz=1.75e9,
+        tdp_watts=220.0,
+        idle_watts=30.0,
+        load_watts=65.0,
+        sparse_efficiency={
+            Primitive.MAC: 7e-4,
+            Primitive.COLUMN_ELIM: 6e-4,
+            Primitive.PERMUTE: 2.2e-3,
+            Primitive.ELEMENTWISE: 1.1e-2,
+        },
+        iteration_overhead_s=33e-6,
+        solve_overhead_s=200e-6,
+        jitter_cv=0.16,
+    ),
+    "rsqp": Platform(
+        name="RSQP (CPU+FPGA heterogeneous)",
+        peak_flops=15.1e9,
+        bandwidth_bytes=115.2e9,
+        clock_hz=236e6,
+        tdp_watts=75.0,
+        idle_watts=12.0,
+        load_watts=18.0,
+        sparse_efficiency={
+            Primitive.MAC: 0.10,
+            Primitive.COLUMN_ELIM: 0.08,
+            Primitive.PERMUTE: 0.2,
+            Primitive.ELEMENTWISE: 0.2,
+        },
+        iteration_overhead_s=0.0,
+        solve_overhead_s=100e-6,
+        jitter_cv=0.06,
+        per_iter_link_bytes_per_s=8e9,
+        link_latency_s=38e-6,
+    ),
+}
+
+
+def cpu_platform_for(variant: str) -> Platform:
+    """The paper pairs each variant with its own CPU library: QDLDL for
+    OSQP-direct, MKL for OSQP-indirect."""
+    return PLATFORMS["cpu_qdldl" if variant == "direct" else "cpu_mkl"]
+
+
+def model_runtime(
+    platform: Platform,
+    result: SolveResult,
+    *,
+    vector_words_per_iter: int = 0,
+) -> float:
+    """Modeled end-to-end runtime of one solve on a baseline platform.
+
+    Parameters
+    ----------
+    platform:
+        The platform model.
+    result:
+        Reference solve result carrying the operation trace and
+        iteration count.
+    vector_words_per_iter:
+        Words crossing the heterogeneous link each iteration (RSQP's
+        solution vector); ignored for single-device platforms.
+    """
+    compute = 0.0
+    for primitive, flops in result.trace.by_primitive.items():
+        eff = platform.sparse_efficiency[primitive]
+        compute += flops / (platform.peak_flops * eff)
+    runtime = (
+        compute
+        + result.iterations * platform.iteration_overhead_s
+        + platform.solve_overhead_s
+    )
+    if platform.per_iter_link_bytes_per_s:
+        per_iter = (
+            platform.link_latency_s
+            + 4.0 * vector_words_per_iter / platform.per_iter_link_bytes_per_s
+        )
+        runtime += result.iterations * per_iter
+    return runtime
+
+
+def sample_jittered_runtimes(
+    mean_runtime: float,
+    jitter_cv: float,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample repeated-solve runtimes with multiplicative jitter.
+
+    Lognormal with σ/μ = ``jitter_cv`` — the repeated-measurement
+    experiment behind Fig. 11.
+    """
+    if jitter_cv <= 0:
+        return np.full(n_samples, mean_runtime)
+    sigma = np.sqrt(np.log(1.0 + jitter_cv**2))
+    mu = -0.5 * sigma**2  # unit mean
+    return mean_runtime * rng.lognormal(mean=mu, sigma=sigma, size=n_samples)

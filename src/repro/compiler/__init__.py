@@ -1,0 +1,43 @@
+"""The MIB compiler: sparsity-pattern-specific lowering of solver
+operations to network instructions, and multi-issue scheduling."""
+
+from .kernels import KernelBuilder, NetworkProgram
+from .matrixview import RowMajorView, l_row_positions, row_major_view
+from .metrics import (
+    SchedulingComparison,
+    compare_scheduling,
+    dependency_edge_count,
+    render_occupancy,
+)
+from .scheduler import (
+    Schedule,
+    ScheduleOptions,
+    schedule_program,
+    validate_schedule,
+)
+from .serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "KernelBuilder",
+    "NetworkProgram",
+    "RowMajorView",
+    "Schedule",
+    "ScheduleOptions",
+    "SchedulingComparison",
+    "compare_scheduling",
+    "dependency_edge_count",
+    "l_row_positions",
+    "render_occupancy",
+    "row_major_view",
+    "schedule_program",
+    "validate_schedule",
+]

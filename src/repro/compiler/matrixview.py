@@ -1,0 +1,90 @@
+"""Row-major access views of CSC matrices.
+
+The MIB streams matrix non-zeros contiguously from HBM.  MAC lowering
+consumes a matrix row-by-row (dot products with the vector), and column
+elimination consumes the same order when scattering ``Aᵀ`` products —
+so the compiler precomputes, once per sparsity pattern, the row-major
+traversal of the CSC storage together with the *positions* of each
+entry inside the original ``data`` array.  Positions (not values) go
+into the compiled program; values are streamed at run time, which keeps
+one compiled program valid for every numeric instance of the pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg import CSCMatrix, SymbolicFactor
+
+__all__ = ["RowMajorView", "row_major_view", "l_row_positions"]
+
+
+@dataclass(frozen=True)
+class RowMajorView:
+    """Row-major traversal of a CSC matrix pattern.
+
+    ``row_ptr`` has length ``nrows + 1``; row ``i`` of the matrix is
+    described by ``cols[row_ptr[i]:row_ptr[i+1]]`` (ascending column
+    indices) and ``positions[...]`` (indices into the CSC ``data``
+    array of the same entries).
+    """
+
+    nrows: int
+    ncols: int
+    row_ptr: np.ndarray
+    cols: np.ndarray
+    positions: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.cols.size)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(column_indices, data_positions)`` of row ``i``."""
+        lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.cols[lo:hi], self.positions[lo:hi]
+
+
+def row_major_view(matrix: CSCMatrix) -> RowMajorView:
+    """Build the row-major view of a CSC matrix pattern."""
+    nrows, ncols = matrix.shape
+    counts = np.zeros(nrows, dtype=np.int64)
+    np.add.at(counts, matrix.indices, 1)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    cols = np.empty(matrix.nnz, dtype=np.int64)
+    positions = np.empty(matrix.nnz, dtype=np.int64)
+    cursor = row_ptr[:-1].copy()
+    for j in range(ncols):
+        lo, hi = matrix.indptr[j], matrix.indptr[j + 1]
+        for p in range(lo, hi):
+            i = matrix.indices[p]
+            slot = cursor[i]
+            cols[slot] = j
+            positions[slot] = p
+            cursor[i] += 1
+    return RowMajorView(
+        nrows=nrows, ncols=ncols, row_ptr=row_ptr, cols=cols, positions=positions
+    )
+
+
+def l_row_positions(sym: SymbolicFactor) -> np.ndarray:
+    """Positions into ``l_data`` of each row-major entry of ``L``.
+
+    Entry ``k`` of the returned array corresponds to entry ``k`` of
+    ``sym.row_indices``: the storage position of ``L[row, col]`` inside
+    the column-major ``l_data`` array.  Needed by the row-based
+    triangular-solve lowering and the factorization lowering (which
+    must name the slot each ``l_kj`` lands in).
+    """
+    positions = np.empty(sym.row_indices.size, dtype=np.int64)
+    cursor = sym.l_indptr[:-1].copy()
+    for k in range(sym.n):
+        lo, hi = sym.row_indptr[k], sym.row_indptr[k + 1]
+        for p in range(lo, hi):
+            j = sym.row_indices[p]
+            positions[p] = cursor[j]
+            cursor[j] += 1
+    return positions

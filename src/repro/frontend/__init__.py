@@ -1,0 +1,32 @@
+"""The custom-C solver frontend (Section III-D, Listing 1): lexer,
+parser, compiler to Table I instructions, and a reference interpreter."""
+
+from .compile import (
+    CompileError,
+    CompiledProgram,
+    HostOp,
+    Loop,
+    compile_program,
+    compile_source,
+)
+from .interp import ExecutionError, ProgramRuntime
+from .lexer import LexerError, Token, tokenize
+from .parser import ParseError, parse
+from .printer import to_source
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "ExecutionError",
+    "HostOp",
+    "LexerError",
+    "Loop",
+    "ParseError",
+    "ProgramRuntime",
+    "Token",
+    "compile_program",
+    "compile_source",
+    "parse",
+    "to_source",
+    "tokenize",
+]

@@ -1,0 +1,264 @@
+"""Compilation of custom-C ASTs to top-level instructions.
+
+The output mirrors the paper's split: Table I instructions operate on
+whole vectors (and are what the MIB executes), while scalar arithmetic
+and loop control stay on the sequencer as host operations.  The
+compiled top-level program references network schedules *by name* —
+binding a schedule to a particular sparsity pattern happens later,
+which is why "the top-level program is shared across different problem
+domains and doesn't need to be recompiled" (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.isa import TopInstruction, TopOpcode
+from .parser import Assignment, Call, Declaration, Program, Repeat, Term, parse
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "HostOp",
+    "Loop",
+    "compile_program",
+    "compile_source",
+]
+
+
+class CompileError(ValueError):
+    """Raised on semantically invalid source."""
+
+
+@dataclass(frozen=True)
+class HostOp:
+    """A sequencer-side scalar operation: ``target = Σ sign·Π factors``.
+
+    ``terms`` is a tuple of ``(sign, factors)``; factors are scalar
+    identifiers or numeric literals.
+    """
+
+    target: str
+    terms: tuple[tuple[float, tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A repeat block."""
+
+    count: int
+    body: tuple
+
+
+@dataclass
+class CompiledProgram:
+    """Symbol tables plus the instruction stream."""
+
+    schedules: set[str] = field(default_factory=set)
+    vectors: set[str] = field(default_factory=set)
+    scalars: set[str] = field(default_factory=set)
+    instructions: list = field(default_factory=list)
+
+    def count_instructions(self) -> int:
+        """Total instruction count with loops expanded."""
+
+        def count(body) -> int:
+            total = 0
+            for ins in body:
+                if isinstance(ins, Loop):
+                    total += ins.count * count(ins.body)
+                else:
+                    total += 1
+            return total
+
+        return count(self.instructions)
+
+
+_CALL_OPCODES = {
+    "load_vec": (TopOpcode.LOAD_VEC, 1),
+    "write_vec": (TopOpcode.WRITE_VEC, 1),
+    "net_compute": (TopOpcode.NET_COMPUTE, 1),
+    "ew_reci": (TopOpcode.EW_RECI, 2),
+    "ew_prod": (TopOpcode.EW_PROD, 3),
+    "select_min": (TopOpcode.SELECT_MIN, 3),
+    "select_max": (TopOpcode.SELECT_MAX, 3),
+    "cond_set": (TopOpcode.COND_SET, 2),
+}
+
+
+class _Compiler:
+    def __init__(self) -> None:
+        self.out = CompiledProgram()
+
+    # -- symbols ---------------------------------------------------------
+    def declare(self, decl: Declaration) -> None:
+        table = {
+            "net_schedule": self.out.schedules,
+            "vectorf": self.out.vectors,
+            "float": self.out.scalars,
+        }[decl.kind]
+        for name in decl.names:
+            if self._declared(name):
+                raise CompileError(
+                    f"line {decl.line}: {name!r} already declared"
+                )
+            table.add(name)
+
+    def _declared(self, name: str) -> bool:
+        return (
+            name in self.out.schedules
+            or name in self.out.vectors
+            or name in self.out.scalars
+        )
+
+    def _is_number(self, text: str) -> bool:
+        try:
+            float(text)
+            return True
+        except ValueError:
+            return False
+
+    # -- statements ------------------------------------------------------
+    def compile_body(self, statements) -> list:
+        out = []
+        for stmt in statements:
+            if isinstance(stmt, Declaration):
+                self.declare(stmt)
+            elif isinstance(stmt, Assignment):
+                out.append(self.compile_assignment(stmt))
+            elif isinstance(stmt, Call):
+                out.append(self.compile_call(stmt))
+            elif isinstance(stmt, Repeat):
+                out.append(Loop(stmt.count, tuple(self.compile_body(stmt.body))))
+            else:  # pragma: no cover - parser produces nothing else
+                raise CompileError(f"unknown statement {stmt!r}")
+        return out
+
+    def compile_call(self, call: Call) -> TopInstruction:
+        if call.name not in _CALL_OPCODES:
+            raise CompileError(
+                f"line {call.line}: unknown intrinsic {call.name!r}"
+            )
+        opcode, arity = _CALL_OPCODES[call.name]
+        if len(call.args) != arity:
+            raise CompileError(
+                f"line {call.line}: {call.name} expects {arity} argument(s)"
+            )
+        expected_first = (
+            self.out.schedules
+            if opcode is TopOpcode.NET_COMPUTE
+            else self.out.vectors
+        )
+        if call.args[0] not in expected_first:
+            raise CompileError(
+                f"line {call.line}: {call.args[0]!r} has the wrong type for "
+                f"{call.name}"
+            )
+        for arg in call.args[1:]:
+            if opcode is TopOpcode.COND_SET:
+                if arg not in self.out.scalars and not self._is_number(arg):
+                    raise CompileError(
+                        f"line {call.line}: cond_set value must be scalar"
+                    )
+            elif arg not in self.out.vectors:
+                raise CompileError(
+                    f"line {call.line}: {arg!r} is not a vector"
+                )
+        return TopInstruction(opcode=opcode, operands=call.args)
+
+    def compile_assignment(self, stmt: Assignment):
+        if stmt.call is not None:
+            # Reductions: scalar = norm_inf(v).
+            if stmt.call.name != "norm_inf":
+                raise CompileError(
+                    f"line {stmt.line}: only norm_inf may appear as an "
+                    "assignment call"
+                )
+            if stmt.target not in self.out.scalars:
+                raise CompileError(
+                    f"line {stmt.line}: norm_inf target must be a scalar"
+                )
+            if len(stmt.call.args) != 1 or stmt.call.args[0] not in self.out.vectors:
+                raise CompileError(
+                    f"line {stmt.line}: norm_inf takes one vector"
+                )
+            return TopInstruction(
+                opcode=TopOpcode.NORM_INF,
+                operands=(stmt.target, stmt.call.args[0]),
+            )
+        assert stmt.terms is not None
+        if stmt.target in self.out.vectors:
+            return self._vector_assignment(stmt)
+        if stmt.target in self.out.scalars:
+            return self._scalar_assignment(stmt)
+        raise CompileError(
+            f"line {stmt.line}: assignment to undeclared {stmt.target!r}"
+        )
+
+    def _split_term(self, term: Term, line: int) -> tuple[tuple[str, ...], str | None]:
+        """Separate a term's scalar coefficient factors from its vector."""
+        scalars: list[str] = []
+        vector: str | None = None
+        for factor in term.factors:
+            if factor in self.out.vectors:
+                if vector is not None:
+                    raise CompileError(
+                        f"line {line}: product of two vectors — use ew_prod"
+                    )
+                vector = factor
+            elif factor in self.out.scalars or self._is_number(factor):
+                scalars.append(factor)
+            else:
+                raise CompileError(f"line {line}: undeclared {factor!r}")
+        return tuple(scalars), vector
+
+    def _vector_assignment(self, stmt: Assignment) -> TopInstruction:
+        vec_terms: list[tuple[float, tuple[str, ...], str]] = []
+        for term in stmt.terms:
+            scalars, vector = self._split_term(term, stmt.line)
+            if vector is None:
+                raise CompileError(
+                    f"line {stmt.line}: scalar term in vector assignment — "
+                    "use cond_set for constants"
+                )
+            vec_terms.append((term.sign, scalars, vector))
+        if len(vec_terms) == 1:
+            sign, scalars, vector = vec_terms[0]
+            # axpby with a zero second coefficient covers copy/scale.
+            return TopInstruction(
+                opcode=TopOpcode.AXPBY,
+                operands=(stmt.target, sign, scalars, vector, 0.0, (), vector),
+            )
+        if len(vec_terms) == 2:
+            (s0, c0, v0), (s1, c1, v1) = vec_terms
+            return TopInstruction(
+                opcode=TopOpcode.AXPBY,
+                operands=(stmt.target, s0, c0, v0, s1, c1, v1),
+            )
+        raise CompileError(
+            f"line {stmt.line}: more than two vector terms in one "
+            "assignment — split the expression"
+        )
+
+    def _scalar_assignment(self, stmt: Assignment) -> HostOp:
+        terms = []
+        for term in stmt.terms:
+            scalars, vector = self._split_term(term, stmt.line)
+            if vector is not None:
+                raise CompileError(
+                    f"line {stmt.line}: vector in scalar assignment"
+                )
+            terms.append((term.sign, scalars))
+        return HostOp(target=stmt.target, terms=tuple(terms))
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile a parsed AST."""
+    compiler = _Compiler()
+    compiler.out.instructions = compiler.compile_body(program.statements)
+    return compiler.out
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse + compile custom-C source text."""
+    return compile_program(parse(source))

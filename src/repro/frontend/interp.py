@@ -1,0 +1,150 @@
+"""Reference interpreter for compiled top-level programs.
+
+Executes the Table I instruction stream against numpy state: vectors
+and scalars live in a registry, ``load_vec``/``write_vec`` move data
+between the HBM-buffer dict and the register-file-resident vectors, and
+``net_compute`` dispatches to *bound network schedules* — callables the
+embedder supplies per sparsity pattern (the compiled top-level program
+itself never changes across domains).
+
+Doubles as the semantic oracle for the MIB's execution of the same
+program and as the engine behind the Listing 1 end-to-end test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..arch.isa import TopInstruction, TopOpcode
+from .compile import CompiledProgram, HostOp, Loop
+
+__all__ = ["ProgramRuntime", "ExecutionError"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program references unbound state."""
+
+
+@dataclass
+class ProgramRuntime:
+    """Mutable execution state for one compiled program."""
+
+    program: CompiledProgram
+    vectors: dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    hbm: dict[str, np.ndarray] = field(default_factory=dict)
+    schedules: dict[str, Callable[["ProgramRuntime"], None]] = field(
+        default_factory=dict
+    )
+    executed: int = 0
+
+    # -- binding ---------------------------------------------------------
+    def bind_schedule(
+        self, name: str, fn: Callable[["ProgramRuntime"], None]
+    ) -> None:
+        if name not in self.program.schedules:
+            raise ExecutionError(f"{name!r} is not a declared net_schedule")
+        self.schedules[name] = fn
+
+    def bind_hbm(self, name: str, values: np.ndarray) -> None:
+        self.hbm[name] = np.asarray(values, dtype=np.float64).copy()
+
+    def set_scalar(self, name: str, value: float) -> None:
+        if name not in self.program.scalars:
+            raise ExecutionError(f"{name!r} is not a declared scalar")
+        self.scalars[name] = float(value)
+
+    # -- evaluation helpers -----------------------------------------------
+    def _vector(self, name: str) -> np.ndarray:
+        if name not in self.vectors:
+            raise ExecutionError(f"vector {name!r} not loaded")
+        return self.vectors[name]
+
+    def _scalar_value(self, token: str) -> float:
+        if token in self.program.scalars:
+            if token not in self.scalars:
+                raise ExecutionError(f"scalar {token!r} unset")
+            return self.scalars[token]
+        return float(token)
+
+    def _coeff(self, sign: float, factors: tuple[str, ...]) -> float:
+        value = sign
+        for f in factors:
+            value *= self._scalar_value(f)
+        return value
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> None:
+        """Execute the whole program."""
+        self._run_body(self.program.instructions)
+
+    def _run_body(self, body) -> None:
+        for ins in body:
+            if isinstance(ins, Loop):
+                for _ in range(ins.count):
+                    self._run_body(ins.body)
+            elif isinstance(ins, HostOp):
+                self._run_host(ins)
+            elif isinstance(ins, TopInstruction):
+                self._run_top(ins)
+            else:  # pragma: no cover - compiler produces nothing else
+                raise ExecutionError(f"unknown instruction {ins!r}")
+
+    def _run_host(self, op: HostOp) -> None:
+        self.scalars[op.target] = sum(
+            self._coeff(sign, factors) for sign, factors in op.terms
+        )
+        self.executed += 1
+
+    def _run_top(self, ins: TopInstruction) -> None:
+        self.executed += 1
+        opcode = ins.opcode
+        ops = ins.operands
+        if opcode is TopOpcode.LOAD_VEC:
+            name = ops[0]
+            if name not in self.hbm:
+                raise ExecutionError(f"HBM buffer {name!r} not bound")
+            self.vectors[name] = self.hbm[name].copy()
+        elif opcode is TopOpcode.WRITE_VEC:
+            self.hbm[ops[0]] = self._vector(ops[0]).copy()
+        elif opcode is TopOpcode.NET_COMPUTE:
+            name = ops[0]
+            if name not in self.schedules:
+                raise ExecutionError(f"net_schedule {name!r} not bound")
+            self.schedules[name](self)
+        elif opcode is TopOpcode.AXPBY:
+            target, s0, c0, v0, s1, c1, v1 = ops
+            a = self._coeff(float(s0), c0)
+            b = self._coeff(float(s1), c1)
+            self.vectors[target] = a * self._vector(v0) + b * self._vector(v1)
+        elif opcode is TopOpcode.EW_RECI:
+            self.vectors[ops[0]] = 1.0 / self._vector(ops[1])
+        elif opcode is TopOpcode.EW_PROD:
+            self.vectors[ops[0]] = self._vector(ops[1]) * self._vector(ops[2])
+        elif opcode is TopOpcode.SELECT_MIN:
+            self.vectors[ops[0]] = np.minimum(
+                self._vector(ops[1]), self._vector(ops[2])
+            )
+        elif opcode is TopOpcode.SELECT_MAX:
+            self.vectors[ops[0]] = np.maximum(
+                self._vector(ops[1]), self._vector(ops[2])
+            )
+        elif opcode is TopOpcode.COND_SET:
+            target = ops[0]
+            value = self._scalar_value(ops[1])
+            if target in self.vectors:
+                self.vectors[target] = np.full_like(self.vectors[target], value)
+            else:
+                raise ExecutionError(
+                    f"cond_set target {target!r} has no known length — "
+                    "load it first"
+                )
+        elif opcode is TopOpcode.NORM_INF:
+            target, source = ops
+            v = self._vector(source)
+            self.scalars[target] = float(np.abs(v).max()) if v.size else 0.0
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unhandled opcode {opcode}")

@@ -1,0 +1,119 @@
+"""Tokenizer for the custom-C solver source format (Listing 1).
+
+The paper migrates existing solver C code by expressing the algorithm
+in "a custom C format" that compiles to top-level instructions.  The
+language is tiny: declarations (``net_schedule``, ``vectorf``,
+``float``), assignments whose right-hand sides are linear combinations
+of scalars and vectors, intrinsic calls (``load_vec``, ``net_compute``,
+``write_vec`` and the element-wise Table I operations), ``repeat``
+blocks, and C comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "LexerError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "void",
+    "main",
+    "net_schedule",
+    "vectorf",
+    "float",
+    "repeat",
+}
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ";": "SEMI",
+    ",": "COMMA",
+    "=": "ASSIGN",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+}
+
+
+class LexerError(ValueError):
+    """Raised on malformed source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (for diagnostics)."""
+
+    kind: str  # IDENT | NUMBER | keyword name | punctuation name
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list (comments stripped)."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # comments
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexerError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line)
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if seen_dot:
+                        break
+                    seen_dot = True
+                j += 1
+            # exponent part
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    while k < n and source[k].isdigit():
+                        k += 1
+                    j = k
+            yield Token("NUMBER", source[i:j], line)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = text if text in KEYWORDS else "IDENT"
+            yield Token(kind, text, line)
+            i = j
+            continue
+        raise LexerError(f"line {line}: unexpected character {ch!r}")

@@ -1,0 +1,235 @@
+"""Recursive-descent parser for the custom-C solver format.
+
+Grammar (the subset Listing 1 exercises, plus ``repeat`` loops):
+
+    program     := "void" "main" "(" ")" block
+    block       := "{" statement* "}"
+    statement   := declaration | assignment | call ";" | repeat
+    declaration := ("net_schedule" | "vectorf" | "float") ident ("," ident)* ";"
+    assignment  := ident "=" expr ";"
+    repeat      := "repeat" "(" NUMBER ")" block
+    expr        := term (("+" | "-") term)*           (linear combination)
+                 | call                                (e.g. norm_inf(v))
+    term        := ["-"] factor ("*" factor)*
+    factor      := ident | NUMBER
+    call        := ident "(" [args] ")"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import Token, tokenize
+
+__all__ = [
+    "ParseError",
+    "Program",
+    "Declaration",
+    "Assignment",
+    "Call",
+    "Repeat",
+    "Term",
+    "parse",
+]
+
+
+class ParseError(ValueError):
+    """Raised on grammatically invalid source."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """One additive term of a linear combination: ``sign·coeffs·vars``.
+
+    ``scalars`` are identifier names or numeric literals multiplying at
+    most one vector identifier (checked during compilation, when
+    declarations are known).
+    """
+
+    sign: float
+    factors: tuple[str, ...]  # identifiers and number literals, in order
+
+
+@dataclass(frozen=True)
+class Declaration:
+    kind: str  # net_schedule | vectorf | float
+    names: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class Assignment:
+    target: str
+    terms: tuple[Term, ...] | None  # linear combination ...
+    call: "Call | None"  # ... or a single call (norm_inf etc.)
+    line: int
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class Repeat:
+    count: int
+    body: tuple
+    line: int
+
+
+@dataclass
+class Program:
+    statements: list = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token | None:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(
+                f"line {tok.line}: expected {kind}, found {tok.text!r}"
+            )
+        return tok
+
+    # -- grammar -------------------------------------------------------
+    def parse_program(self) -> Program:
+        self.expect("void")
+        self.expect("main")
+        self.expect("LPAREN")
+        self.expect("RPAREN")
+        body = self.parse_block()
+        if self.peek() is not None:
+            tok = self.peek()
+            raise ParseError(f"line {tok.line}: trailing input {tok.text!r}")
+        return Program(statements=list(body))
+
+    def parse_block(self) -> tuple:
+        self.expect("LBRACE")
+        statements = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unterminated block")
+            if tok.kind == "RBRACE":
+                self.next()
+                return tuple(statements)
+            statements.append(self.parse_statement())
+
+    def parse_statement(self):
+        tok = self.peek()
+        assert tok is not None
+        if tok.kind in ("net_schedule", "vectorf", "float"):
+            return self.parse_declaration()
+        if tok.kind == "repeat":
+            return self.parse_repeat()
+        if tok.kind == "IDENT":
+            after = self.peek(1)
+            if after is not None and after.kind == "ASSIGN":
+                return self.parse_assignment()
+            if after is not None and after.kind == "LPAREN":
+                call = self.parse_call()
+                self.expect("SEMI")
+                return call
+        raise ParseError(f"line {tok.line}: unexpected {tok.text!r}")
+
+    def parse_declaration(self) -> Declaration:
+        kind_tok = self.next()
+        names = [self.expect("IDENT").text]
+        while self.peek() is not None and self.peek().kind == "COMMA":
+            self.next()
+            names.append(self.expect("IDENT").text)
+        self.expect("SEMI")
+        return Declaration(
+            kind=kind_tok.kind, names=tuple(names), line=kind_tok.line
+        )
+
+    def parse_repeat(self) -> Repeat:
+        tok = self.expect("repeat")
+        self.expect("LPAREN")
+        count = self.expect("NUMBER")
+        self.expect("RPAREN")
+        body = self.parse_block()
+        n = int(float(count.text))
+        if n < 0:
+            raise ParseError(f"line {tok.line}: negative repeat count")
+        return Repeat(count=n, body=body, line=tok.line)
+
+    def parse_assignment(self) -> Assignment:
+        target = self.expect("IDENT")
+        self.expect("ASSIGN")
+        # A single call on the RHS (reductions like norm_inf).
+        tok = self.peek()
+        if (
+            tok is not None
+            and tok.kind == "IDENT"
+            and self.peek(1) is not None
+            and self.peek(1).kind == "LPAREN"
+        ):
+            call = self.parse_call()
+            self.expect("SEMI")
+            return Assignment(
+                target=target.text, terms=None, call=call, line=target.line
+            )
+        terms = [self.parse_term(first=True)]
+        while self.peek() is not None and self.peek().kind in ("PLUS", "MINUS"):
+            op = self.next()
+            term = self.parse_term(first=False)
+            if op.kind == "MINUS":
+                term = Term(sign=-term.sign, factors=term.factors)
+            terms.append(term)
+        self.expect("SEMI")
+        return Assignment(
+            target=target.text, terms=tuple(terms), call=None, line=target.line
+        )
+
+    def parse_term(self, *, first: bool) -> Term:
+        sign = 1.0
+        while self.peek() is not None and self.peek().kind == "MINUS":
+            self.next()
+            sign = -sign
+        factors = [self.parse_factor()]
+        while self.peek() is not None and self.peek().kind == "STAR":
+            self.next()
+            factors.append(self.parse_factor())
+        return Term(sign=sign, factors=tuple(factors))
+
+    def parse_factor(self) -> str:
+        tok = self.next()
+        if tok.kind in ("IDENT", "NUMBER"):
+            return tok.text
+        raise ParseError(f"line {tok.line}: expected operand, found {tok.text!r}")
+
+    def parse_call(self) -> Call:
+        name = self.expect("IDENT")
+        self.expect("LPAREN")
+        args: list[str] = []
+        if self.peek() is not None and self.peek().kind != "RPAREN":
+            args.append(self.expect("IDENT").text)
+            while self.peek() is not None and self.peek().kind == "COMMA":
+                self.next()
+                args.append(self.expect("IDENT").text)
+        self.expect("RPAREN")
+        return Call(name=name.text, args=tuple(args), line=name.line)
+
+
+def parse(source: str) -> Program:
+    """Parse custom-C source into an AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,55 @@
+"""Pretty-printer for custom-C ASTs (the inverse of the parser).
+
+Used by tooling that rewrites solver programs (and by the round-trip
+tests that pin the parser/printer pair).
+"""
+
+from __future__ import annotations
+
+from .parser import Assignment, Call, Declaration, Program, Repeat, Term
+
+__all__ = ["to_source"]
+
+_INDENT = "    "
+
+
+def _term_to_source(term: Term, *, first: bool) -> str:
+    body = " * ".join(term.factors)
+    if first:
+        return body if term.sign >= 0 else f"-{body}"
+    return f"+ {body}" if term.sign >= 0 else f"- {body}"
+
+
+def _statement_to_source(stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Declaration):
+        return [f"{pad}{stmt.kind} {', '.join(stmt.names)};"]
+    if isinstance(stmt, Call):
+        return [f"{pad}{stmt.name}({', '.join(stmt.args)});"]
+    if isinstance(stmt, Assignment):
+        if stmt.call is not None:
+            rhs = f"{stmt.call.name}({', '.join(stmt.call.args)})"
+        else:
+            assert stmt.terms is not None
+            parts = [
+                _term_to_source(t, first=(i == 0))
+                for i, t in enumerate(stmt.terms)
+            ]
+            rhs = " ".join(parts)
+        return [f"{pad}{stmt.target} = {rhs};"]
+    if isinstance(stmt, Repeat):
+        lines = [f"{pad}repeat ({stmt.count}) {{"]
+        for inner in stmt.body:
+            lines.extend(_statement_to_source(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def to_source(program: Program) -> str:
+    """Render an AST back to custom-C source."""
+    lines = ["void main() {"]
+    for stmt in program.statements:
+        lines.extend(_statement_to_source(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

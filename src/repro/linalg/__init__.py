@@ -1,0 +1,55 @@
+"""Sparse linear-algebra substrate.
+
+Self-contained sparse kernels the QP solver and the MIB compiler build
+on: CSC storage, permutations, elimination trees, AMD ordering, symbolic
+and numeric LDLᵀ factorization, and triangular solves.
+"""
+
+from .amd import amd_order, natural_order
+from .csc import CSCMatrix, block_diag, eye, hstack, vstack
+from .etree import (
+    column_counts,
+    elimination_tree,
+    level_sets,
+    postorder,
+    topological_order,
+    tree_height,
+)
+from .ldl import FactorizationError, LDLFactor, ldl_factor, ldl_refactor
+from .permutation import Permutation
+from .symbolic import SymbolicFactor, symbolic_factor
+from .triangular import (
+    solve_lower_csc,
+    solve_lower_unit_columns,
+    solve_lower_unit_rows,
+    solve_upper_csc,
+    solve_upper_unit_transpose,
+)
+
+__all__ = [
+    "CSCMatrix",
+    "FactorizationError",
+    "LDLFactor",
+    "Permutation",
+    "SymbolicFactor",
+    "amd_order",
+    "block_diag",
+    "column_counts",
+    "elimination_tree",
+    "eye",
+    "hstack",
+    "ldl_factor",
+    "ldl_refactor",
+    "level_sets",
+    "natural_order",
+    "postorder",
+    "solve_lower_csc",
+    "solve_lower_unit_columns",
+    "solve_lower_unit_rows",
+    "solve_upper_csc",
+    "solve_upper_unit_transpose",
+    "symbolic_factor",
+    "topological_order",
+    "tree_height",
+    "vstack",
+]

@@ -1,0 +1,130 @@
+"""Fill-reducing ordering by (approximate) minimum degree.
+
+The paper's direct variant permutes the KKT matrix with AMD
+(reference [2], Amestoy/Davis/Duff) before the LDLᵀ factorization so
+that ``L`` stays sparse.  This module implements a quotient-graph
+minimum-degree ordering with element absorption and the Amestoy
+approximate-degree bound — the essential ingredients of AMD — in pure
+Python.  It targets the problem sizes of the benchmark suite (up to a
+few tens of thousands of non-zeros), where its O(n·deg²) worst case is
+not a concern.
+
+The returned :class:`~repro.linalg.permutation.Permutation` maps the
+matrix into elimination order: position ``k`` of the permuted matrix is
+the ``k``-th variable eliminated.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .csc import CSCMatrix
+from .permutation import Permutation
+
+__all__ = ["amd_order", "natural_order"]
+
+
+def natural_order(n: int) -> Permutation:
+    """The identity ordering (useful as an ablation baseline)."""
+    return Permutation.identity(n)
+
+
+def amd_order(a_upper: CSCMatrix, *, dense_threshold: float = 0.8) -> Permutation:
+    """Approximate-minimum-degree ordering of a symmetric matrix.
+
+    Parameters
+    ----------
+    a_upper:
+        Upper triangle (diagonal included or not — it is ignored) of the
+        symmetric matrix.
+    dense_threshold:
+        Rows whose degree exceeds ``dense_threshold * n`` are deferred to
+        the end of the ordering up front, the standard AMD treatment of
+        dense rows.
+
+    Notes
+    -----
+    Quotient-graph formulation: eliminated variables become *elements*;
+    the adjacency of a live variable is ``A_i ∪ (∪_{e ∈ E_i} L_e)`` where
+    ``L_e`` is the variable set of element ``e``.  After eliminating a
+    pivot ``p`` we create element ``p`` with ``L_p`` = its live
+    neighbourhood, absorb any element fully contained in ``L_p``, and
+    update degrees of affected variables with the approximate bound
+    ``d(i) = |A_i \\ L_p| + |L_p \\ {i}| + Σ_e |L_e \\ L_p|``.
+    """
+    n = a_upper.ncols
+    if a_upper.nrows != n:
+        raise ValueError("matrix must be square")
+    if n == 0:
+        return Permutation.identity(0)
+
+    # Symmetric adjacency (no self loops) as Python sets.
+    adj: list[set[int]] = [set() for _ in range(n)]
+    rows, cols, _ = a_upper.to_coo()
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if i != j:
+            adj[i].add(j)
+            adj[j].add(i)
+
+    elements: dict[int, set[int]] = {}  # element id -> live variable set
+    var_elems: list[set[int]] = [set() for _ in range(n)]  # variable -> elements
+    eliminated = np.zeros(n, dtype=bool)
+    degree = np.array([len(a) for a in adj], dtype=np.int64)
+
+    # Defer dense rows to the tail of the ordering.
+    dense_cut = max(16.0, dense_threshold * n)
+    dense_vars = sorted(i for i in range(n) if degree[i] >= dense_cut)
+    dense_set = set(dense_vars)
+
+    heap: list[tuple[int, int]] = [
+        (int(degree[i]), i) for i in range(n) if i not in dense_set
+    ]
+    heapq.heapify(heap)
+
+    order: list[int] = []
+
+    def live_neighbourhood(p: int) -> set[int]:
+        nb = {v for v in adj[p] if not eliminated[v]}
+        for e in var_elems[p]:
+            nb |= elements[e]
+        nb.discard(p)
+        return nb
+
+    while len(order) < n - len(dense_vars):
+        d, p = heapq.heappop(heap)
+        if eliminated[p] or d != degree[p]:
+            continue  # stale heap entry
+        # Eliminate pivot p: form element p.
+        lp = live_neighbourhood(p)
+        eliminated[p] = True
+        order.append(p)
+        # Absorb the pivot's elements (their variable sets are ⊆ lp ∪ {p}).
+        absorbed = set(var_elems[p])
+        for e in absorbed:
+            for v in elements[e]:
+                var_elems[v].discard(e)
+            del elements[e]
+        if lp:
+            elements[p] = lp
+        # Update affected variables.
+        for v in lp:
+            if v in dense_set:
+                continue
+            adj[v].discard(p)
+            var_elems[v].add(p)
+            # Approximate degree: external adjacency plus element overlap bound.
+            ext = sum(1 for w in adj[v] if not eliminated[w] and w not in lp)
+            d_new = ext + len(lp) - 1
+            for e in var_elems[v]:
+                if e != p:
+                    d_new += len(elements[e] - lp)
+            d_new = min(d_new, n - len(order) - 1)
+            degree[v] = d_new
+            heapq.heappush(heap, (int(d_new), v))
+
+    order.extend(dense_vars)
+    if len(order) != n:
+        raise AssertionError("ordering did not cover all variables")
+    return Permutation(np.asarray(order, dtype=np.int64))

@@ -1,0 +1,102 @@
+"""Permutations and symmetric permutation of sparse matrices.
+
+Fill-reducing orderings (:mod:`repro.linalg.amd`) produce a
+:class:`Permutation` which is applied to the KKT matrix before
+factorization; the same object later drives the ``permutate`` /
+``inverse_permutate`` network schedules of the compiled solver program
+(Listing 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .csc import CSCMatrix
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A permutation of ``n`` items.
+
+    The convention is ``new[i] = old[perm[i]]`` for vectors: ``perm[i]``
+    names the old position that lands at new position ``i``.
+    """
+
+    __slots__ = ("perm",)
+
+    def __init__(self, perm: Sequence[int]) -> None:
+        self.perm = np.asarray(perm, dtype=np.int64)
+        n = self.perm.size
+        if n and (np.sort(self.perm) != np.arange(n)).any():
+            raise ValueError("not a permutation of 0..n-1")
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(np.arange(n, dtype=np.int64))
+
+    @property
+    def n(self) -> int:
+        return int(self.perm.size)
+
+    def is_identity(self) -> bool:
+        return bool((self.perm == np.arange(self.n)).all())
+
+    def inverse(self) -> "Permutation":
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(self.n)
+        return Permutation(inv)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Permute a vector: ``out[i] = x[perm[i]]``."""
+        x = np.asarray(x)
+        if x.shape != (self.n,):
+            raise ValueError(f"vector length {x.shape} != {self.n}")
+        return x[self.perm]
+
+    def apply_inverse(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`apply`: ``out[perm[i]] = x[i]``."""
+        x = np.asarray(x)
+        if x.shape != (self.n,):
+            raise ValueError(f"vector length {x.shape} != {self.n}")
+        out = np.empty_like(x)
+        out[self.perm] = x
+        return out
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """The permutation equivalent to applying ``other`` then ``self``."""
+        if self.n != other.n:
+            raise ValueError("size mismatch")
+        return Permutation(other.perm[self.perm])
+
+    def permute_symmetric(self, a: CSCMatrix) -> CSCMatrix:
+        """Symmetric permutation ``PᵀAP`` of a square matrix.
+
+        Entry ``(i, j)`` of the input appears at ``(inv[i], inv[j])`` of
+        the output, so row/column ``perm[k]`` of the input becomes
+        row/column ``k`` of the output — consistent with :meth:`apply`
+        on vectors.
+        """
+        if a.nrows != a.ncols or a.nrows != self.n:
+            raise ValueError("matrix must be square and match permutation size")
+        inv = self.inverse().perm
+        rows, cols, vals = a.to_coo()
+        return CSCMatrix.from_coo(
+            a.shape, inv[rows], inv[cols], vals, sum_duplicates=False
+        )
+
+    def permute_rows(self, a: CSCMatrix) -> CSCMatrix:
+        """Row permutation ``PᵀA``: input row ``perm[i]`` becomes output row ``i``."""
+        if a.nrows != self.n:
+            raise ValueError("row count mismatch")
+        inv = self.inverse().perm
+        rows, cols, vals = a.to_coo()
+        return CSCMatrix.from_coo(a.shape, inv[rows], cols, vals, sum_duplicates=False)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permutation) and np.array_equal(self.perm, other.perm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Permutation(n={self.n})"

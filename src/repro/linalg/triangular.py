@@ -1,0 +1,154 @@
+"""Sparse triangular solves.
+
+Section II-C of the paper describes two substitution strategies for the
+unit lower-triangular systems that dominate the direct variant:
+
+* **row-based** (eq. (7)): ``x_i = b_i − Σ_j l_ij · x_j`` — a sequence of
+  sparse dot products, i.e. *multiply-accumulate* (MAC) work;
+* **column-based** (eqs. (8)–(12)): once ``x_j`` is known, eliminate it
+  from every later equation — *column elimination* work.
+
+Both are implemented here against the symbolic LDLᵀ pattern (the layout
+the factorization produces) as well as against a generic CSC matrix.
+The backward solve with ``Lᵀ`` consumes columns of ``L`` directly, since
+a column of ``L`` is a row of ``Lᵀ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csc import CSCMatrix
+from .symbolic import SymbolicFactor
+
+__all__ = [
+    "solve_lower_unit_columns",
+    "solve_lower_unit_rows",
+    "solve_upper_unit_transpose",
+    "solve_lower_csc",
+    "solve_upper_csc",
+]
+
+
+def solve_lower_unit_columns(
+    sym: SymbolicFactor, l_data: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Column-based forward substitution ``L x = b`` (unit diagonal).
+
+    After ``x[j]`` is final, its contribution is eliminated from all
+    later entries using column ``j`` of ``L`` — the column-elimination
+    primitive of the architecture.
+    """
+    x = np.array(b, dtype=np.float64, copy=True)
+    for j in range(sym.n):
+        xj = x[j]
+        if xj != 0.0:
+            lo, hi = sym.l_indptr[j], sym.l_indptr[j + 1]
+            x[sym.l_indices[lo:hi]] -= l_data[lo:hi] * xj
+    return x
+
+def solve_lower_unit_rows(
+    sym: SymbolicFactor, l_data: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Row-based forward substitution ``L x = b`` (unit diagonal).
+
+    Each step is a sparse dot product of row ``i`` of ``L`` with the
+    already-computed prefix of ``x`` — the MAC primitive.  Requires the
+    row-oriented view of the pattern, which the symbolic factor carries.
+
+    Row-major value access is reconstructed through per-column cursors:
+    rows are visited in ascending order, and within a column the stored
+    entries are also ascending, so one pass suffices.
+    """
+    n = sym.n
+    x = np.array(b, dtype=np.float64, copy=True)
+    cursor = sym.l_indptr[:-1].copy()  # next unread entry per column
+    for i in range(n):
+        acc = 0.0
+        for j in sym.row_pattern(i).tolist():
+            # The cursor of column j points at the entry for row i,
+            # because rows are consumed in ascending order.
+            p = cursor[j]
+            acc += l_data[p] * x[j]
+            cursor[j] = p + 1
+        x[i] -= acc
+    return x
+
+
+def solve_upper_unit_transpose(
+    sym: SymbolicFactor, l_data: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Backward substitution ``Lᵀ x = b`` (unit diagonal).
+
+    Processes rows of ``Lᵀ`` from the bottom up; row ``j`` of ``Lᵀ`` is
+    column ``j`` of ``L``, so the CSC layout is consumed directly as a
+    sequence of sparse dot products (MAC work).
+    """
+    x = np.array(b, dtype=np.float64, copy=True)
+    for j in range(sym.n - 1, -1, -1):
+        lo, hi = sym.l_indptr[j], sym.l_indptr[j + 1]
+        idx = sym.l_indices[lo:hi]
+        x[j] -= float(np.dot(l_data[lo:hi], x[idx]))
+    return x
+
+
+def solve_lower_csc(
+    l: CSCMatrix, b: np.ndarray, *, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Forward substitution with a general lower-triangular CSC matrix.
+
+    Column-based; the diagonal entry of each column must be its first
+    stored entry unless ``unit_diagonal`` is set.
+    """
+    n = l.ncols
+    if l.nrows != n:
+        raise ValueError("matrix must be square")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError("right-hand side length mismatch")
+    x = b.copy()
+    for j in range(n):
+        rows, vals = l.col(j)
+        k = 0
+        if not unit_diagonal:
+            if rows.size == 0 or rows[0] != j:
+                raise ValueError(f"missing diagonal in column {j}")
+            x[j] /= vals[0]
+            k = 1
+        elif rows.size and rows[0] == j:
+            k = 1  # tolerate an explicitly stored unit diagonal
+        xj = x[j]
+        if xj != 0.0 and k < rows.size:
+            x[rows[k:]] -= vals[k:] * xj
+    return x
+
+
+def solve_upper_csc(
+    u: CSCMatrix, b: np.ndarray, *, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Backward substitution with a general upper-triangular CSC matrix.
+
+    Column-based, processing columns from last to first; the diagonal of
+    each column must be its last stored entry unless ``unit_diagonal``.
+    """
+    n = u.ncols
+    if u.nrows != n:
+        raise ValueError("matrix must be square")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError("right-hand side length mismatch")
+    x = b.copy()
+    for j in range(n - 1, -1, -1):
+        rows, vals = u.col(j)
+        k = rows.size
+        if not unit_diagonal:
+            if rows.size == 0 or rows[-1] != j:
+                raise ValueError(f"missing diagonal in column {j}")
+            x[j] /= vals[-1]
+            k = rows.size - 1
+        elif rows.size and rows[-1] == j:
+            k = rows.size - 1
+        xj = x[j]
+        if xj != 0.0 and k > 0:
+            x[rows[:k]] -= vals[:k] * xj
+    return x

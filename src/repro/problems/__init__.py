@@ -1,0 +1,23 @@
+"""Benchmark problem generators for the five application domains of the
+paper's evaluation (portfolio, lasso, Huber fitting, MPC, SVM)."""
+
+from .huber import huber_problem
+from .lasso import lasso_problem
+from .mpc import mpc_problem, random_linear_system
+from .portfolio import portfolio_problem
+from .suite import DOMAINS, N_SCALES, ProblemSpec, benchmark_suite, domain_scales
+from .svm import svm_problem
+
+__all__ = [
+    "DOMAINS",
+    "N_SCALES",
+    "ProblemSpec",
+    "benchmark_suite",
+    "domain_scales",
+    "huber_problem",
+    "lasso_problem",
+    "mpc_problem",
+    "portfolio_problem",
+    "random_linear_system",
+    "svm_problem",
+]

@@ -1,0 +1,126 @@
+"""Lasso regression problems (OSQP benchmark suite formulation).
+
+The lasso  ``minimize ‖Ad·x − b‖² + λ‖x‖₁``  becomes a QP by splitting
+the residual ``y = Ad·x − b`` and bounding ``|x| ≤ t``:
+
+    minimize    yᵀy + λ·1ᵀt
+    subject to  Ad·x − y = b
+                −t ≤ x ≤ t
+
+over the decision vector ``(x, y, t) ∈ R^{n + m + n}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from ..solver import OSQP_INFTY, QPProblem
+
+from .seeding import stable_seed
+
+__all__ = ["lasso_problem"]
+
+
+def _data_matrix(
+    m: int, n: int, density: float, pattern_rng: np.random.Generator,
+    value_rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets of the regression data matrix (row coverage enforced)."""
+    rows: list[int] = []
+    cols: list[int] = []
+    for i in range(m):
+        active = np.nonzero(pattern_rng.random(n) < density)[0]
+        if active.size == 0:
+            active = np.array([int(pattern_rng.integers(n))])
+        rows.extend([i] * active.size)
+        cols.extend(active.tolist())
+    rows_a = np.asarray(rows, dtype=np.int64)
+    cols_a = np.asarray(cols, dtype=np.int64)
+    vals = value_rng.standard_normal(rows_a.size)
+    return rows_a, cols_a, vals
+
+
+def lasso_problem(
+    n_features: int,
+    *,
+    n_samples: int | None = None,
+    density: float = 0.15,
+    lam_fraction: float = 0.2,
+    seed: int = 0,
+) -> QPProblem:
+    """Generate one lasso QP.
+
+    Parameters
+    ----------
+    n_features:
+        Number of regression coefficients ``n``.
+    n_samples:
+        Number of data rows ``m`` (default ``10 * n`` capped relative to
+        feature count as in the OSQP benchmarks' tall design).
+    density:
+        Density of the data matrix.
+    lam_fraction:
+        λ as a fraction of ``λ_max = ‖2·Adᵀb‖_∞`` (the value above which
+        the solution is identically zero).
+    seed:
+        Numeric instance seed; the pattern depends only on dimensions.
+    """
+    n = n_features
+    m = n_samples if n_samples is not None else 10 * n
+    pattern_rng = np.random.default_rng(stable_seed("lasso", n, m))
+    value_rng = np.random.default_rng(seed)
+
+    ar, ac, av = _data_matrix(m, n, density, pattern_rng, value_rng)
+    ad = CSCMatrix.from_coo((m, n), ar, ac, av)
+    # Ground-truth sparse coefficients and noisy observations.
+    x_true = np.where(
+        value_rng.random(n) < 0.5, 0.0, value_rng.standard_normal(n) / np.sqrt(n)
+    )
+    b = ad.matvec(x_true) + value_rng.standard_normal(m)
+    lam_max = float(np.abs(2.0 * ad.rmatvec(b)).max())
+    lam = lam_fraction * lam_max
+
+    nv = n + m + n  # (x, y, t)
+    # P = blkdiag(0, 2 I_m, 0); q = [0; 0; λ·1].
+    p = CSCMatrix.from_coo(
+        (nv, nv),
+        n + np.arange(m),
+        n + np.arange(m),
+        2.0 * np.ones(m),
+    )
+    q = np.concatenate([np.zeros(n), np.zeros(m), lam * np.ones(n)])
+
+    # Constraints: [Ad, −I, 0]·v = b ; x − t ≤ 0 ; −x − t ≤ 0.
+    rows_l = [ar]
+    cols_l = [ac]
+    vals_l = [av]
+    rows_l.append(np.arange(m, dtype=np.int64))
+    cols_l.append(n + np.arange(m, dtype=np.int64))
+    vals_l.append(-np.ones(m))
+    # x − t ≤ 0 rows.
+    rows_l.append(m + np.arange(n, dtype=np.int64))
+    cols_l.append(np.arange(n, dtype=np.int64))
+    vals_l.append(np.ones(n))
+    rows_l.append(m + np.arange(n, dtype=np.int64))
+    cols_l.append(n + m + np.arange(n, dtype=np.int64))
+    vals_l.append(-np.ones(n))
+    # −x − t ≤ 0 rows.
+    rows_l.append(m + n + np.arange(n, dtype=np.int64))
+    cols_l.append(np.arange(n, dtype=np.int64))
+    vals_l.append(-np.ones(n))
+    rows_l.append(m + n + np.arange(n, dtype=np.int64))
+    cols_l.append(n + m + np.arange(n, dtype=np.int64))
+    vals_l.append(-np.ones(n))
+
+    mc = m + 2 * n
+    a = CSCMatrix.from_coo(
+        (mc, nv),
+        np.concatenate(rows_l),
+        np.concatenate(cols_l),
+        np.concatenate(vals_l),
+        sum_duplicates=False,
+    )
+    l = np.concatenate([b, np.full(2 * n, -OSQP_INFTY)])
+    u = np.concatenate([b, np.zeros(2 * n)])
+    return QPProblem(p=p, q=q, a=a, l=l, u=u, name=f"lasso-n{n}-m{m}-s{seed}")

@@ -1,0 +1,138 @@
+"""Model predictive control problems (OSQP benchmark suite formulation).
+
+Finite-horizon LQR with state and input constraints for a randomly
+generated (but stable-ish) discrete linear system, matching the control
+benchmark of [38]:
+
+    minimize    Σ_{k=0}^{N−1} (x_k − x_r)ᵀQ(x_k − x_r) + u_kᵀR u_k
+                + (x_N − x_r)ᵀ Q_N (x_N − x_r)
+    subject to  x_{k+1} = Ad x_k + Bd u_k,   x_0 = x_init,
+                x_min ≤ x_k ≤ x_max,   u_min ≤ u_k ≤ u_max.
+
+The decision vector stacks ``(x_0, …, x_N, u_0, …, u_{N−1})``, giving
+the banded block structure visible in the MPC column of Fig. 3.  The
+paper's headline use case — deterministic solve time per control sample
+— uses exactly this family (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from ..solver import QPProblem
+
+from .seeding import stable_seed
+
+__all__ = ["mpc_problem", "random_linear_system"]
+
+
+def random_linear_system(
+    nx: int, nu: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random discrete-time (Ad, Bd) pair with spectral radius ≈ 1.
+
+    Control benchmarks use marginally stable dynamics so the controller
+    has real work to do.
+    """
+    ad = rng.standard_normal((nx, nx)) / np.sqrt(nx)
+    radius = max(np.abs(np.linalg.eigvals(ad)))
+    ad = ad / (radius * 1.02)  # just inside the unit circle
+    bd = rng.standard_normal((nx, nu)) / np.sqrt(nx)
+    return ad, bd
+
+
+def mpc_problem(
+    nx: int,
+    *,
+    nu: int | None = None,
+    horizon: int = 10,
+    seed: int = 0,
+) -> QPProblem:
+    """Generate one MPC QP.
+
+    Parameters
+    ----------
+    nx:
+        State dimension.
+    nu:
+        Input dimension (default ``max(1, nx // 2)``).
+    horizon:
+        Prediction horizon ``N``.
+    seed:
+        Numeric instance seed: initial state and references change per
+        instance while the dynamics — and therefore the sparsity
+        pattern — are fixed by the dimensions (closed-loop MPC resolves
+        the same structure every sample).
+    """
+    nu = nu if nu is not None else max(1, nx // 2)
+    n_horizon = horizon
+    pattern_rng = np.random.default_rng(stable_seed("mpc", nx, nu, horizon))
+    value_rng = np.random.default_rng(seed)
+
+    ad, bd = random_linear_system(nx, nu, pattern_rng)
+    q_diag = pattern_rng.random(nx) * 10.0 + 1.0
+    qn_diag = q_diag * 10.0
+    r_diag = pattern_rng.random(nu) * 0.1 + 0.1
+
+    x_init = value_rng.standard_normal(nx)
+    x_ref = value_rng.standard_normal(nx) * 0.1
+
+    nv = (n_horizon + 1) * nx + n_horizon * nu
+    # P = blkdiag(Q, ..., Q, Q_N, R, ..., R).
+    p_diag = np.concatenate(
+        [np.tile(q_diag, n_horizon), qn_diag, np.tile(r_diag, n_horizon)]
+    )
+    p = CSCMatrix.from_coo((nv, nv), np.arange(nv), np.arange(nv), p_diag)
+    q = np.concatenate(
+        [
+            np.tile(-q_diag * x_ref, n_horizon),
+            -qn_diag * x_ref,
+            np.zeros(n_horizon * nu),
+        ]
+    )
+
+    rows_l: list[np.ndarray] = []
+    cols_l: list[np.ndarray] = []
+    vals_l: list[np.ndarray] = []
+
+    def add_block(r0: int, c0: int, block: np.ndarray) -> None:
+        rr, cc = np.nonzero(block)
+        rows_l.append(rr + r0)
+        cols_l.append(cc + c0)
+        vals_l.append(block[rr, cc])
+
+    # Dynamics: −x_{k+1} + Ad x_k + Bd u_k = 0, plus x_0 = x_init.
+    add_block(0, 0, -np.eye(nx))  # x_0 = x_init row block
+    for k in range(n_horizon):
+        r0 = (k + 1) * nx
+        add_block(r0, k * nx, ad)
+        add_block(r0, (k + 1) * nx, -np.eye(nx))
+        add_block(r0, (n_horizon + 1) * nx + k * nu, bd)
+    m_eq = (n_horizon + 1) * nx
+    # Box constraints on all states and inputs.
+    add_block(m_eq, 0, np.eye(nv))
+    m = m_eq + nv
+
+    a = CSCMatrix.from_coo(
+        (m, nv),
+        np.concatenate(rows_l),
+        np.concatenate(cols_l),
+        np.concatenate(vals_l),
+        sum_duplicates=False,
+    )
+
+    x_bound = 5.0 + 5.0 * pattern_rng.random(nx)
+    u_bound = 0.5 + 0.5 * pattern_rng.random(nu)
+    box_lo = np.concatenate(
+        [np.tile(-x_bound, n_horizon + 1), np.tile(-u_bound, n_horizon)]
+    )
+    box_hi = np.concatenate(
+        [np.tile(x_bound, n_horizon + 1), np.tile(u_bound, n_horizon)]
+    )
+    eq_rhs = np.concatenate([-x_init, np.zeros(n_horizon * nx)])
+    l = np.concatenate([eq_rhs, box_lo])
+    u = np.concatenate([eq_rhs, box_hi])
+    return QPProblem(
+        p=p, q=q, a=a, l=l, u=u, name=f"mpc-nx{nx}-nu{nu}-N{horizon}-s{seed}"
+    )

@@ -1,0 +1,127 @@
+"""Portfolio optimization problems (Section II-B of the paper).
+
+The base form of eq. (4):
+
+    minimize    xᵀ D x + yᵀ y − γ⁻¹ μᵀ x
+    subject to  1ᵀ x = 1,   y = Fᵀ x,   x ≥ 0
+
+with ``x`` the asset weights, ``D`` diagonal asset-specific risk, ``F``
+the n×k factor-loading matrix and ``y`` the factor exposures.  In
+standard form the decision vector is ``(x, y) ∈ R^{n+k}`` and the
+constraint matrix has the *half-arrow* structure of Fig. 2: a block of
+dense-ish rows on top (normalization + factor model) and a diagonal
+below (the box on x).
+
+The sparsity pattern is a function of the scale only; different
+``seed`` values produce different numeric instances over the *same*
+pattern — the property the paper's compile-once/solve-millions
+portfolio backtesting story relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from ..solver import OSQP_INFTY, QPProblem
+
+from .seeding import stable_seed
+
+__all__ = ["portfolio_problem"]
+
+
+def _factor_pattern(
+    n_assets: int, k_factors: int, density: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of non-zeros of F (each asset loads ≥1 factor)."""
+    rows: list[int] = []
+    cols: list[int] = []
+    for i in range(n_assets):
+        loaded = np.nonzero(rng.random(k_factors) < density)[0]
+        if loaded.size == 0:
+            loaded = np.array([int(rng.integers(k_factors))])
+        rows.extend([i] * loaded.size)
+        cols.extend(loaded.tolist())
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+
+
+def portfolio_problem(
+    n_assets: int,
+    *,
+    k_factors: int | None = None,
+    gamma: float = 1.0,
+    density: float = 0.5,
+    seed: int = 0,
+) -> QPProblem:
+    """Generate one portfolio-optimization QP.
+
+    Parameters
+    ----------
+    n_assets:
+        Number of assets ``n``; the QP has ``n + k`` variables and
+        ``1 + k + n`` constraints.
+    k_factors:
+        Number of factors ``k`` (default ``max(2, n // 10)``).
+    gamma:
+        Risk-aversion parameter; backtesting sweeps this with the
+        pattern unchanged.
+    density:
+        Density of the factor-loading matrix ``F``.
+    seed:
+        Controls the numeric values.  The sparsity pattern depends only
+        on the dimensions/density (drawn from a pattern RNG seeded by
+        them), so instances of equal scale share a pattern.
+    """
+    if n_assets < 2:
+        raise ValueError("need at least 2 assets")
+    k = k_factors if k_factors is not None else max(2, n_assets // 10)
+    pattern_rng = np.random.default_rng(stable_seed("portfolio", n_assets, k))
+    value_rng = np.random.default_rng(seed)
+
+    f_rows, f_cols = _factor_pattern(n_assets, k, density, pattern_rng)
+    f_vals = value_rng.standard_normal(f_rows.size)
+    f = CSCMatrix.from_coo((n_assets, k), f_rows, f_cols, f_vals)
+
+    d_diag = value_rng.random(n_assets) * np.sqrt(k)
+    mu = value_rng.standard_normal(n_assets)
+
+    nv = n_assets + k
+    # P = blkdiag(2 D, 2 I_k); q = [−μ/γ ; 0].
+    p = CSCMatrix.from_coo(
+        (nv, nv),
+        np.arange(nv),
+        np.arange(nv),
+        np.concatenate([2.0 * d_diag, 2.0 * np.ones(k)]),
+    )
+    q = np.concatenate([-mu / gamma, np.zeros(k)])
+
+    # A = [[1ᵀ, 0], [Fᵀ, −I], [I, 0]] — the half-arrow of Fig. 2.
+    rows_l = [np.zeros(n_assets, dtype=np.int64)]
+    cols_l = [np.arange(n_assets, dtype=np.int64)]
+    vals_l = [np.ones(n_assets)]
+    # Fᵀ block: F entry (i, j) -> A entry (1 + j, i).
+    rows_l.append(1 + f_cols)
+    cols_l.append(f_rows)
+    vals_l.append(f_vals)
+    # −I on the y variables.
+    rows_l.append(1 + np.arange(k, dtype=np.int64))
+    cols_l.append(n_assets + np.arange(k, dtype=np.int64))
+    vals_l.append(-np.ones(k))
+    # x ≥ 0 box.
+    rows_l.append(1 + k + np.arange(n_assets, dtype=np.int64))
+    cols_l.append(np.arange(n_assets, dtype=np.int64))
+    vals_l.append(np.ones(n_assets))
+
+    m = 1 + k + n_assets
+    a = CSCMatrix.from_coo(
+        (m, nv),
+        np.concatenate(rows_l),
+        np.concatenate(cols_l),
+        np.concatenate(vals_l),
+        sum_duplicates=False,
+    )
+    l = np.concatenate([[1.0], np.zeros(k), np.zeros(n_assets)])
+    u = np.concatenate([[1.0], np.zeros(k), np.full(n_assets, OSQP_INFTY)])
+    return QPProblem(
+        p=p, q=q, a=a, l=l, u=u, name=f"portfolio-n{n_assets}-k{k}-s{seed}"
+    )

@@ -1,0 +1,18 @@
+"""Deterministic seeding helpers.
+
+Python's built-in ``hash`` of strings is randomized per process
+(``PYTHONHASHSEED``), so it must never seed a pattern RNG: the suite's
+whole premise is that a domain/scale cell has *one* sparsity pattern,
+reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_seed"]
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent 32-bit seed from a tuple of values."""
+    return zlib.crc32(repr(parts).encode("utf-8"))

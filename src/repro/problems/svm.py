@@ -1,0 +1,87 @@
+"""Support vector machine problems (OSQP benchmark suite formulation).
+
+Soft-margin linear SVM with hinge loss:
+
+    minimize    λ xᵀx + 1ᵀt
+    subject to  t ≥ diag(b) Ad x + 1,   t ≥ 0
+
+over ``(x, t) ∈ R^{n + m}`` where row ``i`` of ``Ad`` is a training
+sample and ``b_i ∈ {−1, +1}`` its label.  Fig. 8 of the paper uses this
+domain's ``A`` matrix as the scheduling showcase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from ..solver import OSQP_INFTY, QPProblem
+from .lasso import _data_matrix
+
+from .seeding import stable_seed
+
+__all__ = ["svm_problem"]
+
+
+def svm_problem(
+    n_features: int,
+    *,
+    n_samples: int | None = None,
+    density: float = 0.15,
+    lam: float = 0.5,
+    seed: int = 0,
+) -> QPProblem:
+    """Generate one SVM QP.
+
+    Parameters
+    ----------
+    n_features:
+        Feature dimension ``n``.
+    n_samples:
+        Number of training samples ``m`` (default ``10 * n``), half per
+        class with shifted feature distributions.
+    density:
+        Density of the sample matrix.
+    lam:
+        Regularization weight λ.
+    seed:
+        Numeric instance seed; pattern fixed by the dimensions.
+    """
+    n = n_features
+    m = n_samples if n_samples is not None else 10 * n
+    pattern_rng = np.random.default_rng(stable_seed("svm", n, m))
+    value_rng = np.random.default_rng(seed)
+
+    ar, ac, av = _data_matrix(m, n, density, pattern_rng, value_rng)
+    # Two shifted classes: labels from the row index, feature shift on values.
+    labels = np.where(np.arange(m) < m // 2, 1.0, -1.0)
+    av = av + labels[ar] * 0.5
+    ad_scaled = av * labels[ar]  # diag(b)·Ad folded into the values
+
+    nv = n + m  # (x, t)
+    p = CSCMatrix.from_coo(
+        (nv, nv), np.arange(n), np.arange(n), 2.0 * lam * np.ones(n)
+    )
+    q = np.concatenate([np.zeros(n), np.ones(m)])
+
+    # Constraints: diag(b) Ad x − t ≤ −1  and  t ≥ 0.
+    rows_l = [ar]
+    cols_l = [ac]
+    vals_l = [ad_scaled]
+    rows_l.append(np.arange(m, dtype=np.int64))
+    cols_l.append(n + np.arange(m, dtype=np.int64))
+    vals_l.append(-np.ones(m))
+    rows_l.append(m + np.arange(m, dtype=np.int64))
+    cols_l.append(n + np.arange(m, dtype=np.int64))
+    vals_l.append(np.ones(m))
+
+    a = CSCMatrix.from_coo(
+        (2 * m, nv),
+        np.concatenate(rows_l),
+        np.concatenate(cols_l),
+        np.concatenate(vals_l),
+        sum_duplicates=False,
+    )
+    l = np.concatenate([np.full(m, -OSQP_INFTY), np.zeros(m)])
+    u = np.concatenate([-np.ones(m), np.full(m, OSQP_INFTY)])
+    return QPProblem(p=p, q=q, a=a, l=l, u=u, name=f"svm-n{n}-m{m}-s{seed}")

@@ -1,0 +1,404 @@
+"""The ADMM loop of Algorithm 1 (the OSQP algorithm).
+
+Implements both solver variants of Section II:
+
+* **OSQP-direct** — the KKT system (2) is solved with a sparse LDLᵀ
+  factorization (:mod:`repro.solver.direct`);
+* **OSQP-indirect** — the reduced positive definite system is solved
+  with preconditioned conjugate gradient (:mod:`repro.solver.indirect`).
+
+The loop includes modified-Ruiz scaling, per-constraint ρ, adaptive ρ
+updates (triggering numeric refactorization in the direct variant),
+α-relaxation, primal/dual residual termination and primal/dual
+infeasibility certificates — the feature set of the reference OSQP
+solver the paper benchmarks against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .direct import DirectKKTSolver
+from .indirect import IndirectKKTSolver
+from .problem import OSQP_INFTY, QPProblem
+from .results import OpTrace, Primitive, Settings, SolveResult, SolverStatus
+from .scaling import Scaling, identity_scaling, ruiz_scale
+
+__all__ = ["OSQPSolver", "residuals_from_products", "solve"]
+
+_RHO_LOOSE = 1e-6  # rho used on constraints with both bounds infinite
+
+
+def _norm_inf(v: np.ndarray) -> float:
+    return float(np.abs(v).max()) if v.size else 0.0
+
+
+def residuals_from_products(
+    scaling: Scaling,
+    settings: Settings,
+    *,
+    ax: np.ndarray,
+    px: np.ndarray,
+    aty: np.ndarray,
+    z: np.ndarray,
+) -> tuple[float, float, float, float]:
+    """Unscaled residuals/tolerances from precomputed matrix products.
+
+    Shared by the host loop and the MIB backend's network-executed
+    solve, where ``A·x``, ``P·x`` and ``Aᵀ·y`` come off the simulator.
+    Returns ``(prim_res, dual_res, eps_prim, eps_dual)``.
+    """
+    sp = scaling.scaled
+    e_inv, d_inv, c = scaling.e_inv, scaling.d_inv, scaling.c
+    prim_res = _norm_inf(e_inv * (ax - z))
+    dual_res = _norm_inf(d_inv * (px + sp.q + aty)) / c
+    eps_prim = settings.eps_abs + settings.eps_rel * max(
+        _norm_inf(e_inv * ax), _norm_inf(e_inv * z)
+    )
+    eps_dual = settings.eps_abs + settings.eps_rel / c * max(
+        _norm_inf(d_inv * px),
+        _norm_inf(d_inv * aty),
+        _norm_inf(d_inv * sp.q),
+    )
+    return prim_res, dual_res, eps_prim, eps_dual
+
+
+class OSQPSolver:
+    """A reusable solver object bound to one problem structure.
+
+    Parameters
+    ----------
+    problem:
+        The QP to solve (original, unscaled).
+    variant:
+        ``"direct"`` or ``"indirect"`` (Section II-C / II-D).
+    settings:
+        Algorithm parameters; defaults mirror OSQP.
+    scale:
+        Apply modified Ruiz equilibration (OSQP default on).
+    """
+
+    def __init__(
+        self,
+        problem: QPProblem,
+        *,
+        variant: str = "direct",
+        settings: Settings | None = None,
+        scale: bool = True,
+        ordering: str = "amd",
+        lower_method: str = "column",
+    ) -> None:
+        if variant not in ("direct", "indirect"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.problem = problem
+        self.variant = variant
+        self.settings = settings or Settings()
+        st = self.settings
+        self.scaling: Scaling = (
+            ruiz_scale(problem, iterations=st.scaling_iters)
+            if scale
+            else identity_scaling(problem)
+        )
+        sp = self.scaling.scaled
+        self.rho = st.rho
+        self.rho_vec = self._build_rho_vec(self.rho)
+        if variant == "direct":
+            self.kkt_solver: DirectKKTSolver | IndirectKKTSolver = DirectKKTSolver(
+                sp, st.sigma, self.rho_vec, ordering=ordering, lower_method=lower_method
+            )
+        else:
+            self.kkt_solver = IndirectKKTSolver(
+                sp, st.sigma, self.rho_vec, max_iter=st.cg_max_iter
+            )
+
+    # ------------------------------------------------------------------
+    def _build_rho_vec(self, rho: float) -> np.ndarray:
+        """Per-constraint ρ: boosted on equalities, tiny on loose rows."""
+        sp = self.scaling.scaled
+        rho_vec = np.full(sp.m, rho, dtype=np.float64)
+        rho_vec[sp.eq_constraint_mask()] = rho * self.settings.rho_eq_scale
+        rho_vec[sp.loose_constraint_mask()] = _RHO_LOOSE
+        return np.clip(rho_vec, self.settings.rho_min, self.settings.rho_max)
+
+    # ------------------------------------------------------------------
+    def update_values(self, problem: QPProblem) -> None:
+        """Bind a new numeric instance of the *same* sparsity pattern.
+
+        The parametric-problem workflow of Section V-B: scaling is
+        reapplied with the existing equilibration matrices (as OSQP's
+        ``update`` API does), the KKT backend refreshes its values
+        (numeric refactorization only, for the direct variant), and all
+        setup artifacts — ordering, symbolic factorization, compiled
+        network schedules in the MIB backend — remain valid.
+        """
+        if not problem.a.pattern_equal(self.problem.a) or not (
+            problem.p_upper.pattern_equal(self.problem.p_upper)
+        ):
+            raise ValueError("update_values requires an identical pattern")
+        self.problem = problem
+        sc = self.scaling
+        scaled = QPProblem(
+            p=problem.p_full.scale_rows_cols(sc.d, sc.d).scale(sc.c),
+            q=sc.c * sc.d * problem.q,
+            a=problem.a.scale_rows_cols(sc.e, sc.d),
+            l=sc.e * problem.l,
+            u=sc.e * problem.u,
+            name=problem.name,
+        )
+        sc.scaled = scaled
+        self.kkt_solver.update_values(scaled)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        *,
+        x0: np.ndarray | None = None,
+        y0: np.ndarray | None = None,
+        trace: OpTrace | None = None,
+    ) -> SolveResult:
+        """Run ADMM to termination.
+
+        ``x0``/``y0`` warm-start the iteration (in original problem
+        space).  A fresh :class:`OpTrace` is created when none is given.
+        """
+        st = self.settings
+        sc = self.scaling
+        sp = sc.scaled
+        n, m = sp.n, sp.m
+        trace = trace if trace is not None else OpTrace()
+
+        # Scaled iterates.
+        x = np.zeros(n) if x0 is None else np.asarray(x0) / sc.d
+        y = np.zeros(m) if y0 is None else np.asarray(y0) * sc.c / sc.e
+        z = sp.a.matvec(x) if x0 is not None else np.zeros(m)
+        xt = x.copy()
+
+        if self.variant == "direct":
+            assert isinstance(self.kkt_solver, DirectKKTSolver)
+            self.kkt_solver.initial_factor_trace(trace)
+
+        rho_updates = 0
+        status = SolverStatus.MAX_ITERATIONS
+        prim_res = dual_res = float("inf")
+        prim_cert: np.ndarray | None = None
+        dual_cert: np.ndarray | None = None
+        iteration = 0
+
+        for iteration in range(1, st.max_iter + 1):
+            x_prev, y_prev, z_prev = x, y, z
+
+            # --- Step 1: solve the KKT system (Algorithm 1, line 3).
+            if self.variant == "direct":
+                rhs = np.concatenate([st.sigma * x - sp.q, z - y / self.rho_vec])
+                trace.add("rhs_build", Primitive.ELEMENTWISE, 2.0 * n + 2.0 * m)
+                sol = self.kkt_solver.solve(rhs, trace)
+                xt = sol[:n]
+                nu = sol[n:]
+                zt = z + (nu - y) / self.rho_vec
+                trace.add("ztilde_update", Primitive.ELEMENTWISE, 3.0 * m)
+            else:
+                assert isinstance(self.kkt_solver, IndirectKKTSolver)
+                b = (
+                    st.sigma * x
+                    - sp.q
+                    + sp.a.rmatvec(self.rho_vec * z - y)
+                )
+                trace.add("spmv_At", Primitive.COLUMN_ELIM, 2.0 * sp.a.nnz)
+                trace.add("rhs_build", Primitive.ELEMENTWISE, 2.0 * n + 2.0 * m)
+                cg_tol = self._cg_tolerance(iteration)
+                xt, _ = self.kkt_solver.solve_reduced(b, xt, tol=cg_tol, trace=trace)
+                zt = sp.a.matvec(xt)
+                trace.add("spmv_A", Primitive.MAC, 2.0 * sp.a.nnz)
+
+            # --- Steps 2-4: relaxation, projection, dual update.
+            x = st.alpha * xt + (1.0 - st.alpha) * x_prev
+            w = st.alpha * zt + (1.0 - st.alpha) * z_prev
+            z = np.clip(w + y_prev / self.rho_vec, sp.l, sp.u)
+            y = y_prev + self.rho_vec * (w - z)
+            trace.add("iterate_updates", Primitive.ELEMENTWISE, 4.0 * n + 10.0 * m)
+
+            if iteration % st.check_interval != 0 and iteration != st.max_iter:
+                continue
+
+            # --- Termination checks on unscaled residuals.
+            prim_res, dual_res, eps_prim, eps_dual = self._residuals(x, y, z, trace)
+            if prim_res <= eps_prim and dual_res <= eps_dual:
+                status = SolverStatus.SOLVED
+                break
+
+            dy = y - y_prev
+            dx = x - x_prev
+            if self._primal_infeasible(dy):
+                status = SolverStatus.PRIMAL_INFEASIBLE
+                prim_cert = sc.e * dy / sc.c
+                break
+            if self._dual_infeasible(dx):
+                status = SolverStatus.DUAL_INFEASIBLE
+                dual_cert = sc.d * dx
+                break
+
+            # --- Adaptive rho (Section II-A: OSQP periodically adjusts ρ).
+            if (
+                st.adaptive_rho
+                and iteration % st.adaptive_rho_interval == 0
+                and iteration < st.max_iter
+            ):
+                if self._maybe_update_rho(prim_res, dual_res, eps_prim, eps_dual, trace):
+                    rho_updates += 1
+
+        x_orig = sc.unscale_x(x)
+        y_orig = sc.unscale_y(y)
+        z_orig = sc.unscale_z(z)
+        polished = False
+        if status is SolverStatus.SOLVED and st.polish:
+            from .polish import polish as run_polish
+
+            attempt = run_polish(self.problem, sc, st, x_orig, y_orig, z_orig)
+            if attempt is not None and attempt.success:
+                old_prim, old_dual = self._unscaled_residuals(x_orig, y_orig, z_orig)
+                if (
+                    attempt.primal_residual <= old_prim + 1e-12
+                    and attempt.dual_residual <= old_dual + 1e-12
+                ):
+                    x_orig, y_orig, z_orig = attempt.x, attempt.y, attempt.z
+                    polished = True
+        return SolveResult(
+            status=status,
+            x=x_orig,
+            y=y_orig,
+            z=z_orig,
+            iterations=iteration,
+            objective=self.problem.objective(x_orig),
+            primal_residual=prim_res,
+            dual_residual=dual_res,
+            rho_updates=rho_updates,
+            trace=trace,
+            primal_infeasibility_certificate=prim_cert,
+            dual_infeasibility_certificate=dual_cert,
+            polished=polished,
+        )
+
+    def _unscaled_residuals(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> tuple[float, float]:
+        """Original-space feasibility/stationarity norms (polish gate)."""
+        prob = self.problem
+        ax = prob.a.matvec(x)
+        prim = float(
+            np.maximum(ax - prob.u, 0.0).max(initial=0.0)
+            + np.maximum(prob.l - ax, 0.0).max(initial=0.0)
+        )
+        dual = float(
+            np.abs(
+                prob.p_full.matvec(x) + prob.q + prob.a.rmatvec(y)
+            ).max()
+        )
+        return prim, dual
+
+    # ------------------------------------------------------------------
+    def _cg_tolerance(self, iteration: int) -> float:
+        """Loose-to-tight PCG tolerance schedule (standard for inexact ADMM)."""
+        return max(1e-10, min(1e-2, 10.0 ** (-2 - iteration / 50.0)))
+
+    def _residuals(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray, trace: OpTrace
+    ) -> tuple[float, float, float, float]:
+        """Unscaled primal/dual residuals and their tolerances."""
+        sc = self.scaling
+        sp = sc.scaled
+        ax = sp.a.matvec(x)
+        px = sp.p_full.matvec(x)
+        aty = sp.a.rmatvec(y)
+        trace.add("spmv_A", Primitive.MAC, 2.0 * sp.a.nnz)
+        trace.add("spmv_P", Primitive.MAC, 2.0 * sp.p_full.nnz)
+        trace.add("spmv_At", Primitive.COLUMN_ELIM, 2.0 * sp.a.nnz)
+        trace.add(
+            "residual_vector_ops",
+            Primitive.ELEMENTWISE,
+            6.0 * sp.n + 6.0 * sp.m,
+        )
+        return residuals_from_products(
+            sc, self.settings, ax=ax, px=px, aty=aty, z=z
+        )
+
+    def _primal_infeasible(self, dy: np.ndarray) -> bool:
+        """OSQP primal infeasibility certificate test on δy."""
+        sc = self.scaling
+        sp = sc.scaled
+        eps = self.settings.eps_prim_inf
+        dy_unscaled = sc.e * dy
+        norm = _norm_inf(dy_unscaled)
+        if norm <= eps:
+            return False
+        at_dy = sc.d_inv * sp.a.rmatvec(dy)
+        if _norm_inf(at_dy) > eps * norm:
+            return False
+        l, u = sp.l, sp.u
+        pos, neg = np.maximum(dy, 0.0), np.minimum(dy, 0.0)
+        # Infinite bounds with active dy direction rule out a certificate.
+        if np.any((u >= OSQP_INFTY) & (pos > eps * norm)):
+            return False
+        if np.any((l <= -OSQP_INFTY) & (neg < -eps * norm)):
+            return False
+        finite_u = np.where(u < OSQP_INFTY, u, 0.0)
+        finite_l = np.where(l > -OSQP_INFTY, l, 0.0)
+        support = float(finite_u @ pos + finite_l @ neg)
+        return support <= -eps * norm
+
+    def _dual_infeasible(self, dx: np.ndarray) -> bool:
+        """OSQP dual infeasibility certificate test on δx."""
+        sc = self.scaling
+        sp = sc.scaled
+        eps = self.settings.eps_dual_inf
+        norm = _norm_inf(sc.d * dx)
+        if norm <= eps:
+            return False
+        if float(sp.q @ dx) > -eps * norm * sc.c:
+            return False
+        p_dx = sc.d_inv * sp.p_full.matvec(dx)
+        if _norm_inf(p_dx) > eps * norm * sc.c:
+            return False
+        a_dx = sc.e_inv * sp.a.matvec(dx)
+        l, u = sp.l, sp.u
+        ok_upper = (u >= OSQP_INFTY) | (a_dx <= eps * norm)
+        ok_lower = (l <= -OSQP_INFTY) | (a_dx >= -eps * norm)
+        return bool(np.all(ok_upper & ok_lower))
+
+    def _maybe_update_rho(
+        self,
+        prim_res: float,
+        dual_res: float,
+        eps_prim: float,
+        eps_dual: float,
+        trace: OpTrace,
+    ) -> bool:
+        """Residual-balancing ρ adaptation; refactors on change."""
+        st = self.settings
+        denom_p = max(eps_prim, 1e-12)
+        denom_d = max(eps_dual, 1e-12)
+        ratio = (prim_res / denom_p) / max(dual_res / denom_d, 1e-12)
+        new_rho = float(np.clip(self.rho * np.sqrt(ratio), st.rho_min, st.rho_max))
+        if (
+            new_rho > self.rho * st.adaptive_rho_tolerance
+            or new_rho < self.rho / st.adaptive_rho_tolerance
+        ):
+            self.rho = new_rho
+            self.rho_vec = self._build_rho_vec(new_rho)
+            self.kkt_solver.update_rho(self.rho_vec, trace)
+            return True
+        return False
+
+
+def solve(
+    problem: QPProblem,
+    *,
+    variant: str = "direct",
+    settings: Settings | None = None,
+    scale: bool = True,
+    **solver_kwargs,
+) -> SolveResult:
+    """One-shot convenience wrapper around :class:`OSQPSolver`."""
+    solver = OSQPSolver(
+        problem, variant=variant, settings=settings, scale=scale, **solver_kwargs
+    )
+    return solver.solve()

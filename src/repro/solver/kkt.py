@@ -1,0 +1,166 @@
+"""KKT matrix assembly for the direct variant.
+
+Builds the upper triangle of the quasi-definite KKT matrix of eq. (3):
+
+    K = [[P + σI,  Aᵀ],
+         [A,      −diag(1/ρ)]]
+
+and supports in-place updates of the ``−1/ρ`` diagonal block when the
+ADMM step size is adapted, so the symbolic factorization can be reused
+(the paper: "whenever ρ is updated ... K needs to be numerically
+refactored again (but not symbolically refactored)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from .problem import QPProblem
+
+__all__ = ["KKTMatrix", "assemble_kkt"]
+
+
+@dataclass
+class KKTMatrix:
+    """Upper-triangular KKT matrix with update hooks.
+
+    Attributes
+    ----------
+    matrix:
+        Upper triangle of ``K`` in CSC form, dimension ``n + m``.
+    n, m:
+        Variable/constraint counts.
+    rho_positions:
+        For each constraint ``i``, the index into ``matrix.data`` of the
+        diagonal entry ``K[n+i, n+i] = −1/ρ_i``.
+    sigma_positions:
+        For each variable ``j``, the data index of ``K[j, j]`` (holding
+        ``P_jj + σ``), needed if σ were ever updated.
+    """
+
+    matrix: CSCMatrix
+    n: int
+    m: int
+    rho_positions: np.ndarray
+    sigma_positions: np.ndarray
+    # Data-update maps: K.data index of every entry of P's upper
+    # triangle (in that matrix's storage order) and of A.
+    p_positions: np.ndarray | None = None
+    a_positions: np.ndarray | None = None
+    sigma: float = 0.0
+
+    def update_rho(self, rho_vec: np.ndarray) -> None:
+        """Overwrite the ``−1/ρ`` diagonal block in place."""
+        if rho_vec.shape != (self.m,):
+            raise ValueError("rho vector length mismatch")
+        self.matrix.data[self.rho_positions] = -1.0 / rho_vec
+
+    def update_values(self, p_upper: CSCMatrix, a: CSCMatrix) -> None:
+        """Overwrite the P/Aᵀ blocks with new numeric values.
+
+        The matrices must have exactly the pattern the KKT was
+        assembled from (the parametric-problem update path: same
+        structure, new values, no symbolic work).
+        """
+        if self.p_positions is None or self.a_positions is None:
+            raise ValueError("KKT was assembled without update maps")
+        if p_upper.nnz != self.p_positions.size or a.nnz != self.a_positions.size:
+            raise ValueError("pattern mismatch in value update")
+        # P's diagonal entries carry the +sigma regularization.
+        data = self.matrix.data
+        data[self.p_positions] = p_upper.data
+        rows, cols, _ = p_upper.to_coo()
+        diag_mask = rows == cols
+        data[self.p_positions[diag_mask]] += self.sigma
+        # Diagonal slots P itself left unstored keep exactly sigma: the
+        # assembler created them explicitly, and update_rho never
+        # touches them, so they are already correct.
+        data[self.a_positions] = a.data
+
+
+def assemble_kkt(
+    problem: QPProblem, sigma: float, rho_vec: np.ndarray
+) -> KKTMatrix:
+    """Assemble the upper triangle of the KKT matrix.
+
+    Every diagonal entry of both blocks is stored explicitly (even when
+    ``P_jj == 0``) so the pattern survives ρ/σ updates unchanged.
+    """
+    n, m = problem.n, problem.m
+    if rho_vec.shape != (m,):
+        raise ValueError("rho vector length mismatch")
+    rows_l: list[np.ndarray] = []
+    cols_l: list[np.ndarray] = []
+    vals_l: list[np.ndarray] = []
+
+    # P upper triangle, with σ added on the diagonal; missing diagonal
+    # entries are created.
+    pu = problem.p_upper
+    pr, pc, pv = pu.to_coo()
+    off = pr != pc
+    rows_l.append(pr[off])
+    cols_l.append(pc[off])
+    vals_l.append(pv[off])
+    diag = pu.diagonal()
+    rows_l.append(np.arange(n))
+    cols_l.append(np.arange(n))
+    vals_l.append(diag + sigma)
+
+    # Aᵀ block: entry A[i, j] lands at K[j, n + i] (upper triangle).
+    ar, ac, av = problem.a.to_coo()
+    rows_l.append(ac)
+    cols_l.append(ar + n)
+    vals_l.append(av)
+
+    # −1/ρ diagonal block.
+    rows_l.append(np.arange(n, n + m))
+    cols_l.append(np.arange(n, n + m))
+    vals_l.append(-1.0 / rho_vec)
+
+    matrix = CSCMatrix.from_coo(
+        (n + m, n + m),
+        np.concatenate(rows_l),
+        np.concatenate(cols_l),
+        np.concatenate(vals_l),
+        sum_duplicates=False,
+    )
+
+    # Locate the diagonal data slots for in-place updates.
+    rho_positions = np.empty(m, dtype=np.int64)
+    sigma_positions = np.empty(n, dtype=np.int64)
+    entry_index: dict[tuple[int, int], int] = {}
+    for j in range(n + m):
+        lo, hi = matrix.indptr[j], matrix.indptr[j + 1]
+        rows = matrix.indices[lo:hi]
+        for p in range(lo, hi):
+            entry_index[(int(matrix.indices[p]), j)] = p
+        # The diagonal is the last entry of an upper-triangular column.
+        if hi == lo or rows[-1] != j:
+            raise AssertionError(f"missing diagonal in KKT column {j}")
+        if j < n:
+            sigma_positions[j] = hi - 1
+        else:
+            rho_positions[j - n] = hi - 1
+
+    # Value-update maps (parametric problems: new values, same pattern).
+    p_positions = np.array(
+        [entry_index[(int(r), int(c))] for r, c in zip(pr, pc)], dtype=np.int64
+    )
+    a_positions = np.array(
+        [entry_index[(int(c), n + int(r))] for r, c in zip(ar, ac)],
+        dtype=np.int64,
+    )
+
+    return KKTMatrix(
+        matrix=matrix,
+        n=n,
+        m=m,
+        rho_positions=rho_positions,
+        sigma_positions=sigma_positions,
+        p_positions=p_positions,
+        a_positions=a_positions,
+        sigma=float(sigma),
+    )

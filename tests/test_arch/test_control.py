@@ -1,0 +1,135 @@
+"""Tests for the control-word encoding (Section III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    Butterfly,
+    ControlWord,
+    Location,
+    NetOp,
+    NodeMode,
+    OpKind,
+    decode_modes,
+    encode_control,
+)
+
+
+def rf(bank, addr=0):
+    return Location("rf", bank, addr)
+
+
+def mac_op(srcs, dst):
+    return NetOp(
+        kind=OpKind.MAC,
+        reads=[rf(s) for s in srcs],
+        writes=[(rf(dst, 1), False)],
+        coeffs=np.ones(len(srcs)),
+        src_lanes=list(srcs),
+        dst_lanes=[dst],
+    )
+
+
+class TestEncoding:
+    def test_bit_width_matches_paper(self):
+        """2C·log₂C mode bits (+ C multiplier bypass bits)."""
+        bf = Butterfly(8)
+        word = encode_control(mac_op([0, 1], 3), bf)
+        assert word.n_bits == 2 * 8 * 3 + 8
+
+    def test_mac_marks_source_multipliers(self):
+        bf = Butterfly(8)
+        word = encode_control(mac_op([0, 5], 2), bf)
+        assert word.multiplier_mask == (1 << 0) | (1 << 5)
+
+    def test_colelim_marks_destination_multipliers(self):
+        bf = Butterfly(8)
+        op = NetOp(
+            kind=OpKind.COLELIM,
+            reads=[rf(1)],
+            writes=[(rf(0, 1), True), (rf(6, 1), True)],
+            coeffs=np.ones(2),
+            src_lanes=[1],
+            dst_lanes=[0, 6],
+        )
+        word = encode_control(op, bf)
+        assert word.multiplier_mask == (1 << 0) | (1 << 6)
+
+    def test_permute_bypasses_multipliers(self):
+        bf = Butterfly(8)
+        op = NetOp(
+            kind=OpKind.PERMUTE,
+            reads=[rf(0)],
+            writes=[(rf(3, 1), False)],
+            src_lanes=[0],
+            dst_lanes=[3],
+        )
+        word = encode_control(op, bf)
+        assert word.multiplier_mask == 0
+
+    def test_paper_fig6c_example(self):
+        """Routing input 0 to output 3 at C=8: control 011 — cross,
+        cross, direct along the path."""
+        bf = Butterfly(8)
+        op = NetOp(
+            kind=OpKind.PERMUTE,
+            reads=[rf(0)],
+            writes=[(rf(3, 1), False)],
+            src_lanes=[0],
+            dst_lanes=[3],
+        )
+        word = encode_control(op, bf)
+        path = bf.path_nodes(0, 3)
+        modes = [word.mode_of(s, lane) for s, lane in path]
+        assert modes == [
+            NodeMode.PASS_CROSS,
+            NodeMode.PASS_CROSS,
+            NodeMode.PASS_DIRECT,
+        ]
+
+    def test_ewise_has_no_routing_word(self):
+        bf = Butterfly(8)
+        op = NetOp(kind=OpKind.EWISE, writes=[(rf(0, 1), False)])
+        with pytest.raises(ValueError):
+            encode_control(op, bf)
+
+    def test_bytes_roundtrip(self):
+        bf = Butterfly(8)
+        word = encode_control(mac_op([0, 1, 4], 2), bf)
+        raw = word.to_bytes()
+        assert len(raw) == -(-bf.control_bits // 8) + 1
+        mode_bits = int.from_bytes(raw[:-1], "little")
+        assert mode_bits == word.mode_bits
+
+    def test_mode_of_range_check(self):
+        word = ControlWord(c=8, mode_bits=0, multiplier_mask=0)
+        with pytest.raises(ValueError):
+            word.mode_of(3, 0)
+
+
+class TestDecodeExecutes:
+    @given(st.sampled_from([4, 8, 16]), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decoded_word_drives_correct_reduction(self, c, data):
+        """Encode a MAC's control word, decode it, push values through
+        the node array — the destination lane must hold the sum."""
+        bf = Butterfly(c)
+        k = data.draw(st.integers(1, c))
+        srcs = data.draw(
+            st.lists(st.integers(0, c - 1), min_size=k, max_size=k, unique=True)
+        )
+        dst = data.draw(st.integers(0, c - 1))
+        word = encode_control(mac_op(srcs, dst), bf)
+        modes = decode_modes(word)
+        values = np.random.default_rng(
+            data.draw(st.integers(0, 1000))
+        ).standard_normal(len(srcs))
+        inputs: list[float | None] = [None] * c
+        for lane, v in zip(srcs, values):
+            inputs[lane] = float(v)
+        outputs = bf.simulate_modes(inputs, modes)
+        assert outputs[dst] == pytest.approx(values.sum(), abs=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for the FPGA resource model (Fig. 9 / Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    AlveoU50,
+    clock_frequency_hz,
+    estimate_resources,
+)
+
+
+class TestClockModel:
+    def test_c16_hits_300mhz(self):
+        assert clock_frequency_hz(16) == pytest.approx(300e6)
+
+    def test_c32_hits_236mhz(self):
+        assert clock_frequency_hz(32) == pytest.approx(236e6)
+
+    def test_small_widths_cap_at_300(self):
+        assert clock_frequency_hz(4) == pytest.approx(300e6)
+        assert clock_frequency_hz(8) == pytest.approx(300e6)
+
+    def test_monotone_nonincreasing(self):
+        freqs = [clock_frequency_hz(c) for c in (8, 16, 32, 64, 128)]
+        assert all(b <= a for a, b in zip(freqs, freqs[1:]))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            clock_frequency_hz(12)
+
+
+class TestResourceEstimates:
+    def test_prototypes_fit_the_board(self):
+        """Both paper prototypes fit the Alveo U50."""
+        for c in (16, 32):
+            est = estimate_resources(c)
+            assert est.fits(), est.utilization()
+
+    def test_utilization_grows_with_width(self):
+        u16 = estimate_resources(16).utilization()
+        u32 = estimate_resources(32).utilization()
+        assert u32["LUT"] > u16["LUT"]
+        assert u32["Register"] > u16["Register"]
+
+    def test_network_dominates_at_large_width(self):
+        # Doubling C should roughly double LUT usage once the network
+        # dominates the static sequencer cost.
+        l32 = estimate_resources(32).luts
+        l64 = estimate_resources(64).luts
+        assert 1.6 < l64 / l32 < 2.4
+
+    def test_dsp_usage_is_tiny(self):
+        """The network maps to fabric, not DSPs (Section V-A)."""
+        est = estimate_resources(32)
+        assert est.utilization()["DSP"] < 0.01
+
+    def test_very_large_width_overflows_board(self):
+        est = estimate_resources(512)
+        assert not est.fits()
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            estimate_resources(24)
+
+    def test_board_constants(self):
+        board = AlveoU50()
+        assert board.luts == 872_000
+        assert board.dsps == 5_952
+
+    def test_baseline_architecture_model(self):
+        from repro.arch.resources import estimate_resources_baseline
+
+        base = estimate_resources_baseline(16)
+        unified = estimate_resources(16)
+        # The baseline has far fewer FP adders (C-1 vs C·log2C), so it
+        # uses less fabric...
+        assert base.luts < unified.luts
+        # ...but the unified network's peak capability per LUT is
+        # higher (the Fig. 4 -> Fig. 5 consolidation argument).
+        from repro.arch import Butterfly
+
+        base_peak = (2 * 16 - 1) * base.clock_hz
+        uni_peak = Butterfly(16).num_nodes * unified.clock_hz
+        assert uni_peak / unified.luts > base_peak / base.luts
+
+    def test_baseline_rejects_bad_width(self):
+        from repro.arch.resources import estimate_resources_baseline
+
+        with pytest.raises(ValueError):
+            estimate_resources_baseline(10)

@@ -1,0 +1,135 @@
+"""Error-path tests for the simulator: malformed ops must fail loudly,
+never silently compute garbage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    EwiseFn,
+    Location,
+    NetOp,
+    NetworkSimulator,
+    OpKind,
+    StreamBuffers,
+    StreamRef,
+)
+
+
+def rf(bank, addr):
+    return Location("rf", bank, addr)
+
+
+def run_one(op, streams=None):
+    sim = NetworkSimulator(8, depth=64)
+    sim.run([[op]], streams or StreamBuffers())
+    return sim
+
+
+class TestMalformedOps:
+    def test_mac_coefficient_count_mismatch(self):
+        op = NetOp(
+            kind=OpKind.MAC,
+            reads=[rf(0, 0), rf(1, 0)],
+            writes=[(rf(2, 0), False)],
+            coeffs=np.array([1.0]),  # two reads, one coefficient
+            src_lanes=[0, 1],
+            dst_lanes=[2],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_colelim_coefficient_count_mismatch(self):
+        op = NetOp(
+            kind=OpKind.COLELIM,
+            reads=[rf(0, 0)],
+            writes=[(rf(1, 0), True), (rf(2, 0), True)],
+            coeffs=np.array([1.0]),
+            src_lanes=[0],
+            dst_lanes=[1, 2],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_permute_width_mismatch(self):
+        op = NetOp(
+            kind=OpKind.PERMUTE,
+            reads=[rf(0, 0)],
+            writes=[(rf(1, 0), False), (rf(2, 0), False)],
+            src_lanes=[0],
+            dst_lanes=[1, 2],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_load_without_coefficients(self):
+        op = NetOp(
+            kind=OpKind.PERMUTE,
+            writes=[(rf(1, 0), False)],
+            src_lanes=[0],
+            dst_lanes=[1],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_set_width_mismatch(self):
+        op = NetOp(
+            kind=OpKind.EWISE,
+            ewise_fn=EwiseFn.SET,
+            writes=[(rf(0, 0), False), (rf(1, 0), False)],
+            coeffs=np.array([1.0]),
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_clip_bounds_mismatch(self):
+        op = NetOp(
+            kind=OpKind.EWISE,
+            ewise_fn=EwiseFn.CLIP,
+            reads=[rf(0, 0)],
+            writes=[(rf(1, 0), False)],
+            coeffs=np.array([0.0]),  # needs 2x width
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_binary_ewise_wrong_read_count(self):
+        op = NetOp(
+            kind=OpKind.EWISE,
+            ewise_fn=EwiseFn.ADD,
+            reads=[rf(0, 0)],  # needs 2 per write
+            writes=[(rf(1, 0), False)],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_unsupported_scalar_fn(self):
+        op = NetOp(
+            kind=OpKind.SCALAR,
+            ewise_fn=EwiseFn.CLIP,
+            reads=[Location("scalar", 0, 0)],
+            writes=[(Location("scalar", 0, 1), False)],
+        )
+        with pytest.raises(ValueError):
+            run_one(op)
+
+    def test_unknown_location_space(self):
+        sim = NetworkSimulator(8)
+        with pytest.raises(ValueError):
+            sim.read_loc(Location("dram", 0, 0))
+        with pytest.raises(ValueError):
+            sim.write_loc(Location("dram", 0, 0), 1.0, False)
+
+    def test_stream_mul_mismatch(self):
+        streams = StreamBuffers()
+        streams.bind("S", np.array([1.0]))
+        op = NetOp(
+            kind=OpKind.EWISE,
+            ewise_fn=EwiseFn.STREAM_MUL,
+            reads=[rf(0, 0), rf(1, 0)],
+            writes=[(rf(2, 0), False), (rf(3, 0), False)],
+            coeffs=StreamRef("S", np.array([0])),
+        )
+        with pytest.raises(ValueError):
+            run_one(op, streams)

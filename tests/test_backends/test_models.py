@@ -1,0 +1,99 @@
+"""Tests for the baseline platform models and the host reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    PLATFORMS,
+    cpu_platform_for,
+    model_runtime,
+    run_reference,
+    sample_jittered_runtimes,
+)
+from repro.problems import portfolio_problem
+from repro.solver import Settings, SolverStatus, solve
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return solve(portfolio_problem(16), variant="indirect", settings=FAST)
+
+
+class TestPlatforms:
+    def test_platform_table_matches_table2(self):
+        assert PLATFORMS["cpu_mkl"].peak_flops == 500e9
+        assert PLATFORMS["gpu"].peak_flops == 20e12
+        assert PLATFORMS["gpu"].bandwidth_bytes == 448e9
+        assert PLATFORMS["cpu_mkl"].tdp_watts == 125.0
+        assert PLATFORMS["rsqp"].clock_hz == 236e6
+
+    def test_cpu_platform_selection(self):
+        assert cpu_platform_for("direct") is PLATFORMS["cpu_qdldl"]
+        assert cpu_platform_for("indirect") is PLATFORMS["cpu_mkl"]
+
+    def test_qdldl_more_efficient_than_mkl(self):
+        from repro.solver import Primitive
+
+        mkl = PLATFORMS["cpu_mkl"].sparse_efficiency[Primitive.COLUMN_ELIM]
+        qdldl = PLATFORMS["cpu_qdldl"].sparse_efficiency[Primitive.COLUMN_ELIM]
+        assert qdldl > mkl
+
+
+class TestRuntimeModel:
+    def test_runtime_positive_and_scales_with_flops(self, result):
+        plat = PLATFORMS["cpu_mkl"]
+        t = model_runtime(plat, result)
+        assert t > 0
+        # Doubling every FLOP count must increase the runtime.
+        import copy
+
+        doubled = copy.deepcopy(result)
+        for k in doubled.trace.by_primitive:
+            doubled.trace.by_primitive[k] *= 2
+        assert model_runtime(plat, doubled) > t
+
+    def test_link_cost_only_for_heterogeneous(self, result):
+        base = model_runtime(PLATFORMS["cpu_mkl"], result, vector_words_per_iter=1000)
+        nolink = model_runtime(PLATFORMS["cpu_mkl"], result)
+        assert base == nolink
+        with_link = model_runtime(
+            PLATFORMS["rsqp"], result, vector_words_per_iter=1000
+        )
+        without = model_runtime(PLATFORMS["rsqp"], result, vector_words_per_iter=0)
+        assert with_link > without
+
+    def test_gpu_overhead_dominates_small_problems(self, result):
+        gpu = PLATFORMS["gpu"]
+        t = model_runtime(gpu, result)
+        overhead = result.iterations * gpu.iteration_overhead_s
+        assert overhead / t > 0.5  # small problems are launch-bound
+
+
+class TestJitterModel:
+    def test_zero_cv_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        samples = sample_jittered_runtimes(1.0, 0.0, 10, rng)
+        assert np.all(samples == 1.0)
+
+    def test_cv_matches_request(self):
+        rng = np.random.default_rng(0)
+        samples = sample_jittered_runtimes(2.0, 0.1, 200_000, rng)
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.01)
+        assert np.std(samples) / np.mean(samples) == pytest.approx(0.1, rel=0.05)
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(1)
+        samples = sample_jittered_runtimes(1e-6, 0.5, 1000, rng)
+        assert np.all(samples > 0)
+
+
+class TestReferenceBackend:
+    def test_run_reference_times_solve(self):
+        run = run_reference(portfolio_problem(16), settings=FAST)
+        assert run.result.status is SolverStatus.SOLVED
+        assert run.wall_seconds > 0
+        assert run.setup_seconds > 0

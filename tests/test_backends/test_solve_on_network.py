@@ -1,0 +1,104 @@
+"""The flagship integration test: whole ADMM solves executed on the
+cycle-level network simulator, compared against the host reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import MIBSolver
+from repro.problems import mpc_problem, portfolio_problem, svm_problem
+from repro.solver import Settings, SolverStatus, solve
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: portfolio_problem(10),
+        lambda: mpc_problem(3, horizon=4),
+        lambda: svm_problem(5, n_samples=15),
+    ],
+)
+def test_network_solve_matches_reference(factory):
+    problem = factory()
+    solver = MIBSolver(problem, variant="direct", c=16, settings=FAST)
+    net = solver.solve_on_network(max_iter=1000)
+    ref = solve(problem, variant="direct", settings=FAST)
+    assert net.status is SolverStatus.SOLVED
+    # Identical algorithm trajectory: same iterations, same rho updates,
+    # same solution to simulator round-off.
+    assert net.iterations == ref.iterations
+    assert net.rho_updates == ref.rho_updates
+    np.testing.assert_allclose(net.x, ref.x, atol=1e-9)
+    np.testing.assert_allclose(net.y, ref.y, atol=1e-9)
+    assert net.objective == pytest.approx(ref.objective, rel=1e-9)
+
+
+def test_network_solve_counts_cycles():
+    problem = portfolio_problem(10)
+    solver = MIBSolver(problem, variant="direct", c=16, settings=FAST)
+    net = solver.solve_on_network(max_iter=1000)
+    assert net.cycles > 0
+    # Cycle accounting consistency: the executed cycles must include at
+    # least the per-iteration kernels times the iteration count.
+    per_iter = (
+        solver.kernels.cycles("iter_pre")
+        + solver.kernels.cycles("kkt_solve")
+        + solver.kernels.cycles("iter_post")
+    )
+    assert net.cycles >= net.iterations * per_iter
+
+
+def test_reduced_system_pcg_on_network():
+    """Indirect variant: the full PCG solve with every S-product on the
+    simulator reproduces the host PCG solution."""
+    problem = portfolio_problem(12)
+    solver = MIBSolver(problem, variant="indirect", c=16, settings=FAST)
+    kkt = solver.reference.kkt_solver
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(solver.reference.scaling.scaled.n)
+    x_net, iters = solver.solve_reduced_on_network(b, tol=1e-10)
+    x_host, _ = kkt.solve_reduced(b, np.zeros_like(b), tol=1e-10)
+    assert iters > 0
+    np.testing.assert_allclose(x_net, x_host, atol=1e-7)
+    # And against the definition of S directly.
+    s_x = kkt.apply_s(x_net)
+    np.testing.assert_allclose(s_x, b, atol=1e-6)
+
+
+def test_reduced_system_rejects_direct():
+    problem = portfolio_problem(10)
+    solver = MIBSolver(problem, variant="direct", c=16, settings=FAST)
+    with pytest.raises(ValueError):
+        solver.solve_reduced_on_network(np.zeros(3))
+
+
+def test_network_solve_rejects_indirect():
+    problem = portfolio_problem(10)
+    solver = MIBSolver(problem, variant="indirect", c=16, settings=FAST)
+    with pytest.raises(ValueError):
+        solver.solve_on_network()
+
+
+def test_network_solve_max_iter_respected():
+    problem = portfolio_problem(10)
+    solver = MIBSolver(problem, variant="direct", c=16, settings=FAST)
+    net = solver.solve_on_network(max_iter=3)
+    assert net.iterations == 3
+    assert net.status is SolverStatus.MAX_ITERATIONS
+
+
+def test_network_solve_with_rho_refactorization():
+    """A solve whose ρ adapts exercises on-network refactorization."""
+    problem = portfolio_problem(10)
+    settings = Settings(
+        rho=1e-3, eps_abs=1e-4, eps_rel=1e-4, max_iter=4000
+    )
+    solver = MIBSolver(problem, variant="direct", c=16, settings=settings)
+    net = solver.solve_on_network()
+    assert net.rho_updates >= 1
+    assert net.status is SolverStatus.SOLVED
+    ref = solve(problem, variant="direct", settings=settings)
+    assert net.objective == pytest.approx(ref.objective, rel=1e-6)

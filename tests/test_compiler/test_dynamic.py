@@ -1,0 +1,118 @@
+"""Tests for the dynamic (scoreboard, bounded-window) scheduler — the
+paper's future-work issue style."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import NetworkSimulator, StreamBuffers
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    row_major_view,
+    schedule_program,
+)
+from tests.conftest import random_sparse
+
+C = 8
+
+
+def _spmv_setup(seed=3, nr=24, nc=20, density=0.15):
+    rng = np.random.default_rng(seed)
+    a = random_sparse(rng, nr, nc, density)
+    kb = KernelBuilder(C)
+    x = kb.vector("x", nc)
+    y = kb.vector("y", nr)
+    xv = rng.standard_normal(nc)
+    streams = StreamBuffers()
+    streams.bind("X", xv)
+    streams.bind("A", a.data)
+    ops = kb.load_vector(x, "X") + kb.spmv(row_major_view(a), x, y, "A")
+    return kb, a, xv, streams, ops
+
+
+def _run(kb, ops, streams, options):
+    sched = schedule_program(NetworkProgram("p", list(ops)), C, options)
+    sim = NetworkSimulator(C, depth=1 << 23)
+    sim.run(sched.slots, streams)
+    return sim, sched
+
+
+class TestDynamicScheduler:
+    def test_dynamic_schedule_is_correct(self):
+        kb, a, xv, streams, ops = _spmv_setup()
+        sim, _ = _run(
+            kb, ops, streams, ScheduleOptions(mode="dynamic", dynamic_window=8)
+        )
+        np.testing.assert_allclose(
+            sim.rf.read_vector(kb.alloc.get("y")), a.to_dense() @ xv, atol=1e-9
+        )
+
+    def test_window_one_equals_in_order_issue(self):
+        kb, a, xv, streams, ops = _spmv_setup()
+        dyn1 = schedule_program(
+            NetworkProgram("p", list(ops)),
+            C,
+            ScheduleOptions(mode="dynamic", dynamic_window=1),
+        )
+        # Window 1 is in-order single-issue-per-ready: never wider than 1.
+        assert all(len(b) <= 1 for b in dyn1.slots)
+
+    def test_bigger_window_never_slower(self):
+        cycles = []
+        for window in (1, 4, 16, 64):
+            kb, a, xv, streams, ops = _spmv_setup()
+            _, sched = _run(
+                kb,
+                ops,
+                streams,
+                ScheduleOptions(mode="dynamic", dynamic_window=window),
+            )
+            cycles.append(sched.cycles)
+        assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+
+    def test_static_at_least_as_good_as_dynamic(self):
+        kb, a, xv, streams, ops = _spmv_setup()
+        _, dyn = _run(
+            kb, ops, streams, ScheduleOptions(mode="dynamic", dynamic_window=16)
+        )
+        kb2, a2, xv2, streams2, ops2 = _spmv_setup()
+        _, static = _run(kb2, ops2, streams2, ScheduleOptions())
+        # The compile-time scheduler has unbounded lookahead plus
+        # prefetching; it should be in the same ballpark or better.
+        # (Both are greedy heuristics, so a couple of cycles either way
+        # is possible on small programs.)
+        assert static.cycles <= dyn.cycles + max(4, dyn.cycles // 5)
+
+    def test_large_window_approaches_static(self):
+        kb, a, xv, streams, ops = _spmv_setup()
+        _, dyn = _run(
+            kb, ops, streams, ScheduleOptions(mode="dynamic", dynamic_window=4096)
+        )
+        kb2, _, _, streams2, ops2 = _spmv_setup()
+        _, static = _run(
+            kb2, ops2, streams2, ScheduleOptions(prefetch=False)
+        )
+        assert dyn.cycles <= int(1.3 * static.cycles) + 4
+
+    def test_unknown_mode_rejected(self):
+        kb, _, _, _, ops = _spmv_setup()
+        with pytest.raises(ValueError):
+            schedule_program(
+                NetworkProgram("p", list(ops)), C, ScheduleOptions(mode="magic")
+            )
+
+    def test_dynamic_results_match_static(self):
+        kb, a, xv, streams, ops = _spmv_setup()
+        sim_d, _ = _run(
+            kb, ops, streams, ScheduleOptions(mode="dynamic", dynamic_window=8)
+        )
+        kb2, a2, xv2, streams2, ops2 = _spmv_setup()
+        sim_s, _ = _run(kb2, ops2, streams2, ScheduleOptions())
+        np.testing.assert_allclose(
+            sim_d.rf.read_vector(kb.alloc.get("y")),
+            sim_s.rf.read_vector(kb2.alloc.get("y")),
+            atol=1e-10,
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for schedule metrics: dependency edges, occupancy render,
+and comparison bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch import Location, NetOp, OpKind
+from repro.compiler import (
+    NetworkProgram,
+    dependency_edge_count,
+)
+
+
+def rf(bank, addr):
+    return Location("rf", bank, addr)
+
+
+def op(reads=(), writes=(), acc=False, tag=""):
+    return NetOp(
+        kind=OpKind.MAC,
+        reads=[rf(*r) for r in reads],
+        writes=[(rf(*w), acc) for w in writes],
+        coeffs=np.ones(len(reads)) if reads else np.array([1.0]),
+        src_lanes=[r[0] for r in reads] or [0],
+        dst_lanes=[w[0] for w in writes],
+        tag=tag,
+    )
+
+
+class TestDependencyEdges:
+    def test_empty_program(self):
+        assert dependency_edge_count(NetworkProgram("p", [])) == 0
+
+    def test_independent_ops_no_edges(self):
+        ops = [
+            op(reads=[(0, 0)], writes=[(1, 0)]),
+            op(reads=[(2, 0)], writes=[(3, 0)]),
+        ]
+        assert dependency_edge_count(NetworkProgram("p", ops)) == 0
+
+    def test_raw_edge(self):
+        ops = [
+            op(reads=[(0, 0)], writes=[(1, 0)]),
+            op(reads=[(1, 0)], writes=[(2, 0)]),
+        ]
+        assert dependency_edge_count(NetworkProgram("p", ops)) == 1
+
+    def test_waw_edge(self):
+        ops = [
+            op(reads=[(0, 0)], writes=[(1, 0)]),
+            op(reads=[(0, 1)], writes=[(1, 0)]),
+        ]
+        # WAW on (1,0) plus WAR from nothing: exactly 1 edge.
+        assert dependency_edge_count(NetworkProgram("p", ops)) == 1
+
+    def test_war_edge(self):
+        ops = [
+            op(reads=[(1, 0)], writes=[(2, 0)]),
+            op(reads=[(0, 0)], writes=[(1, 0)]),
+        ]
+        # Second op writes what the first read: 1 WAR edge.
+        assert dependency_edge_count(NetworkProgram("p", ops)) == 1
+
+    def test_chain_counts_linearly(self):
+        ops = [op(reads=[(0, i)], writes=[(0, i + 1)]) for i in range(10)]
+        assert dependency_edge_count(NetworkProgram("p", ops)) == 9

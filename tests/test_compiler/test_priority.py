@@ -1,0 +1,77 @@
+"""Tests for the critical-path priority (list scheduling) mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import NetworkSimulator, StreamBuffers
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    row_major_view,
+    schedule_program,
+)
+from tests.conftest import random_sparse
+
+from .test_fuzz_scheduler import interpret, programs
+
+C = 8
+
+
+class TestCriticalPathPriority:
+    def test_results_match_program_order(self):
+        rng = np.random.default_rng(2)
+        a = random_sparse(rng, 20, 16, 0.2)
+        xv = rng.standard_normal(16)
+        results = {}
+        for prio in ("program", "critical_path"):
+            kb = KernelBuilder(C)
+            x = kb.vector("x", 16)
+            y = kb.vector("y", 20)
+            streams = StreamBuffers()
+            streams.bind("X", xv)
+            streams.bind("A", a.data)
+            ops = kb.load_vector(x, "X") + kb.spmv(row_major_view(a), x, y, "A")
+            sched = schedule_program(
+                NetworkProgram("p", ops), C, ScheduleOptions(priority=prio)
+            )
+            sim = NetworkSimulator(C, depth=1 << 23)
+            sim.run(sched.slots, streams)
+            results[prio] = sim.rf.read_vector(kb.alloc.get("y"))
+        np.testing.assert_allclose(
+            results["critical_path"], results["program"], atol=1e-10
+        )
+        np.testing.assert_allclose(
+            results["critical_path"], a.to_dense() @ xv, atol=1e-9
+        )
+
+    def test_unknown_priority_rejected(self):
+        kb = KernelBuilder(C)
+        out = kb.vector("o", 4)
+        with pytest.raises(ValueError):
+            schedule_program(
+                NetworkProgram("p", kb.set_zero(out)),
+                C,
+                ScheduleOptions(priority="alphabetical"),
+            )
+
+    @given(programs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_priority_fuzz_matches_semantics(self, ops, seed):
+        import copy
+
+        state = np.random.default_rng(seed).standard_normal((C, 64))
+        expected = interpret(ops, state)
+        sched = schedule_program(
+            NetworkProgram("fuzz", copy.deepcopy(ops)),
+            C,
+            ScheduleOptions(priority="critical_path"),
+        )
+        sim = NetworkSimulator(C, depth=64)
+        sim.rf.data[:, :] = state
+        sim.run(sched.slots, StreamBuffers())
+        np.testing.assert_allclose(sim.rf.data, expected, atol=1e-9)

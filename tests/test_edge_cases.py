@@ -1,0 +1,190 @@
+"""Cross-cutting edge-case coverage: degenerate problems, minimal
+network widths, empty schedules, trace bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import Butterfly, NetworkSimulator, StreamBuffers
+from repro.backends import MIBSolver
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    schedule_program,
+)
+from repro.linalg import CSCMatrix, eye
+from repro.solver import (
+    OpTrace,
+    Primitive,
+    QPProblem,
+    Settings,
+    SolverStatus,
+    solve,
+)
+
+
+class TestDegenerateProblems:
+    def test_unconstrained_qp(self):
+        """m = 0: the QP reduces to a linear system."""
+        prob = QPProblem(
+            p=eye(2, 2.0),
+            q=np.array([1.0, -1.0]),
+            a=CSCMatrix.zeros((0, 2)),
+            l=np.zeros(0),
+            u=np.zeros(0),
+        )
+        res = solve(prob, settings=Settings(eps_abs=1e-6, eps_rel=1e-6))
+        assert res.status is SolverStatus.SOLVED
+        np.testing.assert_allclose(res.x, [-0.5, 0.5], atol=1e-4)
+
+    def test_single_variable_single_constraint(self):
+        prob = QPProblem(
+            p=eye(1),
+            q=np.array([0.0]),
+            a=eye(1),
+            l=np.array([2.0]),
+            u=np.array([3.0]),
+        )
+        res = solve(prob, settings=Settings(eps_abs=1e-6, eps_rel=1e-6))
+        assert res.status is SolverStatus.SOLVED
+        assert res.x[0] == pytest.approx(2.0, abs=1e-4)
+
+    def test_all_equality_constraints(self):
+        prob = QPProblem(
+            p=eye(3, 2.0),
+            q=np.zeros(3),
+            a=CSCMatrix.from_dense(np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])),
+            l=np.array([1.0, 2.0]),
+            u=np.array([1.0, 2.0]),
+        )
+        res = solve(prob, settings=Settings(eps_abs=1e-6, eps_rel=1e-6))
+        assert res.status is SolverStatus.SOLVED
+        np.testing.assert_allclose(
+            prob.a.matvec(res.x), [1.0, 2.0], atol=1e-4
+        )
+
+    def test_zero_objective_feasibility_problem(self):
+        prob = QPProblem(
+            p=CSCMatrix.zeros((2, 2)),
+            q=np.zeros(2),
+            a=eye(2),
+            l=np.array([1.0, -2.0]),
+            u=np.array([3.0, -1.0]),
+        )
+        res = solve(prob)
+        assert res.status is SolverStatus.SOLVED
+        assert 1.0 - 1e-3 <= res.x[0] <= 3.0 + 1e-3
+
+
+class TestMinimalWidth:
+    def test_butterfly_2(self):
+        bf = Butterfly(2)
+        assert bf.stages == 1
+        assert bf.num_nodes == 4
+        occ = bf.occupancy_reduce([0, 1], 0)
+        assert occ != 0
+
+    def test_spmv_on_width_2(self):
+        rng = np.random.default_rng(0)
+        dense = np.array([[1.0, 2.0], [0.0, 3.0], [4.0, 0.0]])
+        a = CSCMatrix.from_dense(dense)
+        kb = KernelBuilder(2)
+        x = kb.vector("x", 2)
+        y = kb.vector("y", 3)
+        from repro.compiler import row_major_view
+
+        xv = rng.standard_normal(2)
+        streams = StreamBuffers()
+        streams.bind("X", xv)
+        streams.bind("A", a.data)
+        ops = kb.load_vector(x, "X") + kb.spmv(row_major_view(a), x, y, "A")
+        sched = schedule_program(NetworkProgram("p", ops), 2)
+        sim = NetworkSimulator(2, depth=1 << 23)
+        sim.run(sched.slots, streams)
+        np.testing.assert_allclose(
+            sim.rf.read_vector(y), dense @ xv, atol=1e-12
+        )
+
+    def test_mib_solver_width_8(self):
+        from repro.problems import portfolio_problem
+
+        solver = MIBSolver(
+            portfolio_problem(8),
+            c=8,
+            settings=Settings(eps_abs=1e-3, eps_rel=1e-3),
+        )
+        report = solver.solve()
+        assert report.result.status is SolverStatus.SOLVED
+
+
+class TestSchedulesAndTraces:
+    def test_empty_program(self):
+        sched = schedule_program(NetworkProgram("empty", []), 8)
+        assert sched.n_slots == 0
+        sim = NetworkSimulator(8)
+        stats = sim.run(sched.slots, StreamBuffers())
+        assert stats.instructions == 0
+
+    def test_empty_simulation_run(self):
+        sim = NetworkSimulator(4)
+        stats = sim.run([], StreamBuffers())
+        assert stats.cycles == sim.bf.latency
+
+    def test_extra_latency_lengthens_schedules(self):
+        kb = KernelBuilder(8)
+        out = kb.vector("o", 8)
+        base = schedule_program(
+            NetworkProgram("p", kb.set_zero(out)), 8, ScheduleOptions()
+        )
+        kb2 = KernelBuilder(8)
+        out2 = kb2.vector("o", 8)
+        deep = schedule_program(
+            NetworkProgram("p", kb2.set_zero(out2)),
+            8,
+            ScheduleOptions(extra_latency=6),
+        )
+        assert deep.cycles == base.cycles + 6
+
+    def test_extra_latency_serializes(self, tmp_path):
+        from repro.compiler import load_schedule, save_schedule
+
+        kb = KernelBuilder(8)
+        out = kb.vector("o", 4)
+        sched = schedule_program(
+            NetworkProgram("p", kb.set_zero(out)),
+            8,
+            ScheduleOptions(extra_latency=3),
+        )
+        restored = load_schedule(save_schedule(sched, tmp_path / "s.mibx"))
+        assert restored.extra_latency == 3
+        assert restored.cycles == sched.cycles
+
+    def test_optrace_merge(self):
+        t1, t2 = OpTrace(), OpTrace()
+        t1.add("spmv", Primitive.MAC, 10.0)
+        t2.add("spmv", Primitive.MAC, 5.0)
+        t2.add("perm", Primitive.PERMUTE, 2.0)
+        t1.merge(t2)
+        assert t1.by_operation["spmv"] == 15.0
+        assert t1.by_primitive[Primitive.PERMUTE] == 2.0
+        assert t1.calls["spmv"] == 2
+
+    def test_optrace_fraction_empty(self):
+        assert OpTrace().fraction(Primitive.MAC) == 0.0
+
+    def test_simulator_extra_latency_matches_schedule(self):
+        kb = KernelBuilder(8)
+        out = kb.vector("o", 4)
+        sched = schedule_program(
+            NetworkProgram("p", kb.set_zero(out)),
+            8,
+            ScheduleOptions(extra_latency=5),
+        )
+        sim = NetworkSimulator(8, extra_latency=5)
+        stats = sim.run(sched.slots, StreamBuffers())
+        assert stats.cycles == sched.cycles
+        np.testing.assert_array_equal(
+            sim.rf.read_vector(kb.alloc.get("o")), np.zeros(4)
+        )

@@ -1,0 +1,313 @@
+"""Tests for the custom-C frontend: lexer, parser, compiler and the
+reference interpreter, culminating in the Listing 1 program."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import TopOpcode
+from repro.frontend import (
+    CompileError,
+    HostOp,
+    LexerError,
+    Loop,
+    ParseError,
+    ProgramRuntime,
+    compile_source,
+    parse,
+    tokenize,
+)
+
+LISTING_1 = """
+void main() {
+    /* defining network instructions to be scheduled */
+    net_schedule permutate, inverse_permutate;
+    net_schedule L_solve, Lt_solve, D_solve;
+    net_schedule A_multiply;
+    /* defining vectors */
+    vectorf xtilde_view, ztilde_view, prev_x, data_q;
+    /* defining scalars */
+    float prim_res, dual_res, sigma;
+    /* vector operations */
+    xtilde_view = sigma * prev_x - data_q;
+    /* matrix multiplication */
+    load_vec(xtilde_view);
+    net_compute(A_multiply);
+    write_vec(ztilde_view);
+    /* solving the triangular system */
+    load_vec(xtilde_view);
+    load_vec(ztilde_view);
+    net_compute(permutate);
+    net_compute(L_solve);
+    net_compute(D_solve);
+    net_compute(Lt_solve);
+    net_compute(inverse_permutate);
+    write_vec(xtilde_view);
+    write_vec(ztilde_view);
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_listing1(self):
+        tokens = tokenize(LISTING_1)
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "void"
+        assert "net_schedule" in kinds
+        assert "vectorf" in kinds
+
+    def test_comments_stripped(self):
+        tokens = tokenize("void /* hi */ main // line\n () {}")
+        assert [t.kind for t in tokens] == [
+            "void",
+            "main",
+            "LPAREN",
+            "RPAREN",
+            "LBRACE",
+            "RBRACE",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("void main() { float a; a = 1.5e-3; }")
+        nums = [t for t in tokens if t.kind == "NUMBER"]
+        assert nums[0].text == "1.5e-3"
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("void main() { /* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("void main() { a = b @ c; }")
+
+
+class TestParser:
+    def test_parses_listing1(self):
+        program = parse(LISTING_1)
+        assert len(program.statements) > 10
+
+    def test_repeat(self):
+        program = parse(
+            "void main() { vectorf v; repeat (3) { load_vec(v); } }"
+        )
+        loop = program.statements[-1]
+        assert loop.count == 3
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void main() { vectorf v }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("void main() { } extra")
+
+    def test_negative_literals_in_terms(self):
+        program = parse("void main() { float a, b; a = -2 * b; }")
+        assign = program.statements[-1]
+        assert assign.terms[0].sign == -1.0
+
+
+class TestCompiler:
+    def test_compiles_listing1(self):
+        compiled = compile_source(LISTING_1)
+        assert compiled.schedules == {
+            "permutate",
+            "inverse_permutate",
+            "L_solve",
+            "Lt_solve",
+            "D_solve",
+            "A_multiply",
+        }
+        opcodes = [
+            i.opcode
+            for i in compiled.instructions
+            if hasattr(i, "opcode")
+        ]
+        assert opcodes.count(TopOpcode.NET_COMPUTE) == 6
+        assert opcodes.count(TopOpcode.LOAD_VEC) == 3
+        assert opcodes.count(TopOpcode.WRITE_VEC) == 3
+        assert TopOpcode.AXPBY in opcodes
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { vectorf v; float v; }")
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { vectorf v; v = w; }")
+
+    def test_vector_product_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { vectorf a, b, c; a = b * c; }")
+
+    def test_three_vector_terms_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "void main() { vectorf a, b, c, d; a = b + c + d; }"
+            )
+
+    def test_net_compute_requires_schedule(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { vectorf v; net_compute(v); }")
+
+    def test_scalar_assignment_becomes_host_op(self):
+        compiled = compile_source(
+            "void main() { float a, b; a = 2 * b - 1; }"
+        )
+        assert isinstance(compiled.instructions[0], HostOp)
+
+    def test_norm_inf_assignment(self):
+        compiled = compile_source(
+            "void main() { vectorf v; float r; r = norm_inf(v); }"
+        )
+        assert compiled.instructions[0].opcode is TopOpcode.NORM_INF
+
+    def test_instruction_count_expands_loops(self):
+        compiled = compile_source(
+            "void main() { vectorf v; repeat (4) { load_vec(v); "
+            "write_vec(v); } }"
+        )
+        assert compiled.count_instructions() == 8
+        assert isinstance(compiled.instructions[0], Loop)
+
+
+class TestInterpreter:
+    def test_axpby_and_reductions(self):
+        compiled = compile_source(
+            """
+            void main() {
+                vectorf a, b, out;
+                float s, r;
+                load_vec(a);
+                load_vec(b);
+                out = s * a - 2 * b;
+                r = norm_inf(out);
+                write_vec(out);
+            }
+            """
+        )
+        rt = ProgramRuntime(compiled)
+        rt.bind_hbm("a", np.array([1.0, 2.0]))
+        rt.bind_hbm("b", np.array([0.5, -1.0]))
+        rt.set_scalar("s", 3.0)
+        rt.run()
+        np.testing.assert_allclose(rt.hbm["out"], [2.0, 8.0])
+        assert rt.scalars["r"] == 8.0
+
+    def test_ew_ops(self):
+        compiled = compile_source(
+            """
+            void main() {
+                vectorf a, b, prod, rec, mn, mx;
+                load_vec(a);
+                load_vec(b);
+                ew_prod(prod, a, b);
+                ew_reci(rec, a);
+                select_min(mn, a, b);
+                select_max(mx, a, b);
+                write_vec(prod); write_vec(rec); write_vec(mn); write_vec(mx);
+            }
+            """
+        )
+        rt = ProgramRuntime(compiled)
+        rt.bind_hbm("a", np.array([2.0, -4.0]))
+        rt.bind_hbm("b", np.array([1.0, 5.0]))
+        rt.run()
+        np.testing.assert_allclose(rt.hbm["prod"], [2.0, -20.0])
+        np.testing.assert_allclose(rt.hbm["rec"], [0.5, -0.25])
+        np.testing.assert_allclose(rt.hbm["mn"], [1.0, -4.0])
+        np.testing.assert_allclose(rt.hbm["mx"], [2.0, 5.0])
+
+    def test_repeat_executes_body(self):
+        compiled = compile_source(
+            """
+            void main() {
+                vectorf x, one;
+                load_vec(x);
+                load_vec(one);
+                repeat (5) { x = x + one; }
+                write_vec(x);
+            }
+            """
+        )
+        rt = ProgramRuntime(compiled)
+        rt.bind_hbm("x", np.zeros(3))
+        rt.bind_hbm("one", np.ones(3))
+        rt.run()
+        np.testing.assert_allclose(rt.hbm["x"], np.full(3, 5.0))
+
+    def test_unbound_schedule_errors(self):
+        compiled = compile_source(
+            "void main() { net_schedule s; vectorf v; net_compute(s); }"
+        )
+        rt = ProgramRuntime(compiled)
+        with pytest.raises(Exception):
+            rt.run()
+
+    def test_listing1_executes_the_kkt_pipeline(self):
+        """Bind Listing 1's schedules to a real factorization and check
+        the program solves the KKT system end to end."""
+        from repro.linalg import ldl_factor
+        from tests.conftest import random_spd_upper
+
+        rng = np.random.default_rng(0)
+        up = random_spd_upper(rng, 6, density=0.4)
+        factor = ldl_factor(up)
+        full = up.symmetrize_from_upper()
+        b = rng.standard_normal(6)
+
+        compiled = compile_source(LISTING_1)
+        rt = ProgramRuntime(compiled)
+        rt.bind_hbm("xtilde_view", b)
+        rt.bind_hbm("ztilde_view", np.zeros(6))
+        rt.set_scalar("sigma", 0.0)
+
+        # Schedule bindings: each net_compute becomes the corresponding
+        # kernel's reference semantics over the runtime's vectors.
+        from repro.linalg import (
+            solve_lower_unit_columns,
+            solve_upper_unit_transpose,
+        )
+
+        def bind(name, fn):
+            rt.bind_schedule(name, fn)
+
+        bind("A_multiply", lambda r: r.vectors.__setitem__(
+            "ztilde_view", full.matvec(r.vectors["xtilde_view"])
+        ))
+        bind("permutate", lambda r: None)  # identity ordering here
+        bind("inverse_permutate", lambda r: None)
+        bind(
+            "L_solve",
+            lambda r: r.vectors.__setitem__(
+                "xtilde_view",
+                solve_lower_unit_columns(
+                    factor.symbolic, factor.l_data, r.vectors["xtilde_view"]
+                ),
+            ),
+        )
+        bind(
+            "D_solve",
+            lambda r: r.vectors.__setitem__(
+                "xtilde_view", r.vectors["xtilde_view"] / factor.d
+            ),
+        )
+        bind(
+            "Lt_solve",
+            lambda r: r.vectors.__setitem__(
+                "xtilde_view",
+                solve_upper_unit_transpose(
+                    factor.symbolic, factor.l_data, r.vectors["xtilde_view"]
+                ),
+            ),
+        )
+        # prev_x / data_q feed the first axpby.
+        rt.bind_hbm("prev_x", np.zeros(6))
+        rt.bind_hbm("data_q", -b)
+        rt.vectors["prev_x"] = rt.hbm["prev_x"].copy()
+        rt.vectors["data_q"] = rt.hbm["data_q"].copy()
+        rt.run()
+        np.testing.assert_allclose(
+            full.matvec(rt.hbm["xtilde_view"]), b, atol=1e-8
+        )

@@ -1,0 +1,78 @@
+"""Round-trip tests for the custom-C pretty-printer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_source, parse, to_source
+from tests.test_frontend.test_frontend import LISTING_1
+
+IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"void", "main", "repeat", "float"}
+)
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality ignoring source line numbers."""
+
+    def strip(node):
+        if hasattr(node, "__dataclass_fields__"):
+            return {
+                k: strip(getattr(node, k))
+                for k in node.__dataclass_fields__
+                if k != "line"
+            }
+        if isinstance(node, (list, tuple)):
+            return [strip(x) for x in node]
+        return node
+
+    return strip(a) == strip(b)
+
+
+class TestRoundTrip:
+    def test_listing1_round_trips(self):
+        ast = parse(LISTING_1)
+        regenerated = to_source(ast)
+        assert ast_equal(parse(regenerated), ast)
+
+    def test_round_trip_is_fixed_point(self):
+        src1 = to_source(parse(LISTING_1))
+        src2 = to_source(parse(src1))
+        assert src1 == src2
+
+    def test_repeat_round_trips(self):
+        src = (
+            "void main() { vectorf v; float s; repeat (3) { "
+            "load_vec(v); v = -2 * s * v + v; } }"
+        )
+        ast = parse(src)
+        assert ast_equal(parse(to_source(ast)), ast)
+
+    def test_compiled_semantics_survive_round_trip(self):
+        c1 = compile_source(LISTING_1)
+        c2 = compile_source(to_source(parse(LISTING_1)))
+        assert c1.schedules == c2.schedules
+        assert c1.vectors == c2.vectors
+        assert c1.count_instructions() == c2.count_instructions()
+
+    @given(
+        st.lists(IDENT, min_size=2, max_size=4, unique=True),
+        st.integers(1, 5),
+        st.floats(-9, 9).map(lambda f: round(f, 2)).filter(lambda f: f != 0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_programs_round_trip(self, names, count, coeff):
+        vecs = names[:-1]
+        scalar = names[-1]
+        body = [
+            f"vectorf {', '.join(vecs)};",
+            f"float {scalar};",
+            f"load_vec({vecs[0]});",
+            f"{vecs[0]} = {coeff} * {vecs[0]};",
+            f"repeat ({count}) {{ {vecs[-1]} = {scalar} * {vecs[0]} - {vecs[0]}; }}",
+            f"{scalar} = norm_inf({vecs[0]});",
+        ]
+        src = "void main() { " + " ".join(body) + " }"
+        ast = parse(src)
+        assert ast_equal(parse(to_source(ast)), ast)

@@ -1,0 +1,95 @@
+"""Tests for the approximate minimum degree ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CSCMatrix,
+    amd_order,
+    natural_order,
+    symbolic_factor,
+)
+from tests.conftest import random_spd_upper
+
+
+def fill_of(up: CSCMatrix) -> int:
+    return symbolic_factor(up).l_nnz
+
+
+class TestBasics:
+    def test_returns_permutation(self, rng):
+        up = random_spd_upper(rng, 15, density=0.2)
+        perm = amd_order(up)
+        np.testing.assert_array_equal(np.sort(perm.perm), np.arange(15))
+
+    def test_empty_matrix(self):
+        perm = amd_order(CSCMatrix.zeros((0, 0)))
+        assert perm.n == 0
+
+    def test_diagonal_matrix_any_order_valid(self):
+        perm = amd_order(CSCMatrix.from_dense(np.eye(5)))
+        np.testing.assert_array_equal(np.sort(perm.perm), np.arange(5))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            amd_order(CSCMatrix.zeros((2, 3)))
+
+    def test_natural_order_is_identity(self):
+        assert natural_order(4).is_identity()
+
+
+class TestFillReduction:
+    def test_reverse_arrow_zero_fill(self):
+        # Dense first row/column: natural order produces a dense L;
+        # minimum degree eliminates the hub last, giving zero fill.
+        n = 20
+        dense = np.eye(n) * 10.0
+        dense[0, :] = 1.0
+        dense[:, 0] = 1.0
+        up = CSCMatrix.from_dense(np.triu(dense))
+        full = up.symmetrize_from_upper()
+        perm = amd_order(up)
+        permuted = perm.permute_symmetric(full).upper_triangle()
+        # Zero fill: nnz(L) equals strictly-lower nnz of permuted matrix.
+        strict_lower = (full.nnz - n) // 2
+        assert fill_of(permuted) == strict_lower
+        # And the hub (node 0) is eliminated last.
+        assert perm.perm[-1] == 0
+
+    def test_no_worse_than_natural_on_average(self, rng):
+        wins = 0
+        total = 0
+        for trial in range(8):
+            trial_rng = np.random.default_rng(trial)
+            up = random_spd_upper(trial_rng, 30, density=0.08)
+            full = up.symmetrize_from_upper()
+            natural_fill = fill_of(up)
+            perm = amd_order(up)
+            amd_fill = fill_of(perm.permute_symmetric(full).upper_triangle())
+            total += 1
+            if amd_fill <= natural_fill:
+                wins += 1
+        assert wins >= total - 1  # allow one unlucky tie-break
+
+    def test_tridiagonal_stays_zero_fill(self):
+        n = 12
+        dense = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        up = CSCMatrix.from_dense(np.triu(dense))
+        full = up.symmetrize_from_upper()
+        perm = amd_order(up)
+        permuted = perm.permute_symmetric(full).upper_triangle()
+        assert fill_of(permuted) == n - 1  # no fill beyond the couplings
+
+
+class TestProperties:
+    @given(st.integers(2, 20), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_valid_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        up = random_spd_upper(rng, n, density=0.25)
+        perm = amd_order(up)
+        np.testing.assert_array_equal(np.sort(perm.perm), np.arange(n))

@@ -1,0 +1,225 @@
+"""Unit and property tests for CSC matrix storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import CSCMatrix, block_diag, eye, hstack, vstack
+
+
+def dense_matrices(max_dim: int = 12):
+    """Hypothesis strategy for small dense float matrices (many zeros)."""
+    shapes = st.tuples(
+        st.integers(1, max_dim), st.integers(1, max_dim)
+    )
+    return shapes.flatmap(
+        lambda s: hnp.arrays(
+            dtype=np.float64,
+            shape=s,
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.0, 0.5, 3.25]),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((7, 5))
+        dense[rng.random((7, 5)) < 0.6] = 0.0
+        m = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_dense(np.ones(3))
+
+    def test_from_coo_sums_duplicates(self):
+        m = CSCMatrix.from_coo((2, 2), [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        assert m.to_dense()[0, 0] == 3.0
+        assert m.nnz == 2
+
+    def test_from_coo_rejects_duplicates_when_asked(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_coo(
+                (2, 2), [0, 0], [0, 0], [1.0, 2.0], sum_duplicates=False
+            )
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_coo((2, 2), [2], [0], [1.0])
+        with pytest.raises(ValueError):
+            CSCMatrix.from_coo((2, 2), [0], [5], [1.0])
+
+    def test_validation_catches_unsorted_rows(self):
+        with pytest.raises(ValueError):
+            CSCMatrix((2, 1), [0, 2], [1, 0], [1.0, 2.0])
+
+    def test_zeros(self):
+        m = CSCMatrix.zeros((3, 4))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 4)
+
+    def test_empty_matrix_density(self):
+        assert CSCMatrix.zeros((0, 0)).density() == 0.0
+
+
+class TestOps:
+    def test_matvec_matches_dense(self, rng):
+        dense = rng.standard_normal((6, 9))
+        dense[rng.random((6, 9)) < 0.5] = 0.0
+        m = CSCMatrix.from_dense(dense)
+        x = rng.standard_normal(9)
+        np.testing.assert_allclose(m.matvec(x), dense @ x, atol=1e-12)
+        np.testing.assert_allclose(m @ x, dense @ x, atol=1e-12)
+
+    def test_matvec_shape_check(self):
+        m = eye(3)
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(4))
+
+    def test_rmatvec_matches_dense(self, rng):
+        dense = rng.standard_normal((6, 9))
+        dense[rng.random((6, 9)) < 0.5] = 0.0
+        m = CSCMatrix.from_dense(dense)
+        y = rng.standard_normal(6)
+        np.testing.assert_allclose(m.rmatvec(y), dense.T @ y, atol=1e-12)
+
+    def test_transpose(self, rng):
+        dense = rng.standard_normal((4, 7))
+        dense[rng.random((4, 7)) < 0.5] = 0.0
+        m = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(m.T.to_dense(), dense.T)
+
+    def test_scale(self):
+        m = eye(3).scale(2.5)
+        np.testing.assert_array_equal(m.to_dense(), 2.5 * np.eye(3))
+
+    def test_scale_rows_cols(self, rng):
+        dense = rng.standard_normal((4, 5))
+        m = CSCMatrix.from_dense(dense)
+        dr = rng.random(4) + 0.5
+        dc = rng.random(5) + 0.5
+        expected = np.diag(dr) @ dense @ np.diag(dc)
+        np.testing.assert_allclose(
+            m.scale_rows_cols(dr, dc).to_dense(), expected, atol=1e-12
+        )
+
+    def test_add_diagonal_scalar_and_vector(self):
+        m = CSCMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 0.0]]))
+        np.testing.assert_array_equal(
+            m.add_diagonal(3.0).to_dense(), np.array([[4.0, 2.0], [0.0, 3.0]])
+        )
+        np.testing.assert_array_equal(
+            m.add_diagonal(np.array([1.0, 2.0])).to_dense(),
+            np.array([[2.0, 2.0], [0.0, 2.0]]),
+        )
+
+    def test_add_diagonal_requires_square(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.zeros((2, 3)).add_diagonal(1.0)
+
+
+class TestStructure:
+    def test_triangles(self, rng):
+        dense = rng.standard_normal((5, 5))
+        m = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(
+            m.upper_triangle().to_dense(), np.triu(dense)
+        )
+        np.testing.assert_array_equal(
+            m.lower_triangle().to_dense(), np.tril(dense)
+        )
+        np.testing.assert_array_equal(
+            m.upper_triangle(include_diagonal=False).to_dense(),
+            np.triu(dense, 1),
+        )
+
+    def test_symmetrize_from_upper(self, rng):
+        dense = rng.standard_normal((5, 5))
+        sym = dense + dense.T
+        up = CSCMatrix.from_dense(np.triu(sym))
+        np.testing.assert_allclose(
+            up.symmetrize_from_upper().to_dense(), sym, atol=1e-12
+        )
+
+    def test_diagonal(self):
+        dense = np.array([[1.0, 2.0], [3.0, 0.0]])
+        np.testing.assert_array_equal(
+            CSCMatrix.from_dense(dense).diagonal(), np.array([1.0, 0.0])
+        )
+
+    def test_pattern_equal(self):
+        a = CSCMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        b = CSCMatrix.from_dense(np.array([[5.0, 0.0], [0.0, -1.0]]))
+        c = CSCMatrix.from_dense(np.array([[5.0, 1.0], [0.0, -1.0]]))
+        assert a.pattern_equal(b)
+        assert not a.pattern_equal(c)
+
+
+class TestStacking:
+    def test_vstack(self):
+        a = eye(2)
+        b = CSCMatrix.from_dense(np.array([[1.0, 2.0]]))
+        out = vstack([a, b])
+        np.testing.assert_array_equal(
+            out.to_dense(), np.vstack([np.eye(2), [[1.0, 2.0]]])
+        )
+
+    def test_hstack(self):
+        a = eye(2)
+        b = CSCMatrix.from_dense(np.array([[3.0], [4.0]]))
+        out = hstack([a, b])
+        np.testing.assert_array_equal(
+            out.to_dense(), np.hstack([np.eye(2), [[3.0], [4.0]]])
+        )
+
+    def test_block_diag(self):
+        a = eye(1, 2.0)
+        b = eye(2, 3.0)
+        out = block_diag([a, b])
+        expected = np.diag([2.0, 3.0, 3.0])
+        np.testing.assert_array_equal(out.to_dense(), expected)
+
+    def test_stack_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vstack([eye(2), eye(3)])
+        with pytest.raises(ValueError):
+            hstack([eye(2), eye(3)])
+        with pytest.raises(ValueError):
+            vstack([])
+
+
+class TestProperties:
+    @given(dense_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_dense_roundtrip_property(self, dense):
+        m = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(m.to_dense(), dense)
+        assert m.nnz == np.count_nonzero(dense)
+
+    @given(dense_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, dense):
+        m = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(m.T.T.to_dense(), dense)
+
+    @given(dense_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_coo_roundtrip(self, dense):
+        m = CSCMatrix.from_dense(dense)
+        r, c, v = m.to_coo()
+        m2 = CSCMatrix.from_coo(m.shape, r, c, v, sum_duplicates=False)
+        np.testing.assert_array_equal(m2.to_dense(), dense)
+
+    @given(dense_matrices(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matvec_property(self, dense, seed):
+        m = CSCMatrix.from_dense(dense)
+        x = np.random.default_rng(seed).standard_normal(m.ncols)
+        np.testing.assert_allclose(m.matvec(x), dense @ x, atol=1e-9)
+        np.testing.assert_allclose(
+            m.rmatvec(np.ones(m.nrows)), dense.T @ np.ones(m.nrows), atol=1e-9
+        )

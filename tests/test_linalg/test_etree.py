@@ -1,0 +1,168 @@
+"""Tests for elimination trees, postorder and column counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CSCMatrix,
+    column_counts,
+    elimination_tree,
+    level_sets,
+    postorder,
+    topological_order,
+    tree_height,
+)
+from tests.conftest import random_spd_upper
+
+
+def dense_cholesky_pattern(a_full: np.ndarray) -> np.ndarray:
+    """Reference: pattern of L from a dense LDL with symbolic fill.
+
+    Runs dense right-looking elimination on the boolean pattern,
+    propagating structural fill exactly.
+    """
+    n = a_full.shape[0]
+    pat = a_full != 0.0
+    pat |= np.eye(n, dtype=bool)
+    for k in range(n):
+        below = np.nonzero(pat[k + 1 :, k])[0] + k + 1
+        for i in below:
+            pat[i, below] |= True
+    return np.tril(pat)
+
+
+class TestEliminationTree:
+    def test_tridiagonal_is_a_path(self):
+        n = 6
+        dense = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        up = CSCMatrix.from_dense(np.triu(dense))
+        parent = elimination_tree(up)
+        expected = np.array([1, 2, 3, 4, 5, -1])
+        np.testing.assert_array_equal(parent, expected)
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        up = CSCMatrix.from_dense(np.eye(5))
+        parent = elimination_tree(up)
+        np.testing.assert_array_equal(parent, -np.ones(5, dtype=np.int64))
+
+    def test_arrow_matrix(self):
+        # Arrow pointing at the last column: every column's parent is n-1.
+        n = 5
+        dense = np.eye(n)
+        dense[:, -1] = 1.0
+        dense[-1, :] = 1.0
+        up = CSCMatrix.from_dense(np.triu(dense))
+        parent = elimination_tree(up)
+        np.testing.assert_array_equal(parent[:-1], np.full(n - 1, n - 1))
+        assert parent[-1] == -1
+
+    def test_parent_always_larger(self, rng):
+        up = random_spd_upper(rng, 20, density=0.15)
+        parent = elimination_tree(up)
+        for j, p in enumerate(parent):
+            assert p == -1 or p > j
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            elimination_tree(CSCMatrix.zeros((2, 3)))
+
+
+class TestPostorder:
+    def test_children_before_parents(self, rng):
+        up = random_spd_upper(rng, 25, density=0.1)
+        parent = elimination_tree(up)
+        order = postorder(parent)
+        position = np.empty_like(order)
+        position[order] = np.arange(order.size)
+        for j, p in enumerate(parent):
+            if p != -1:
+                assert position[j] < position[p]
+
+    def test_is_a_permutation(self, rng):
+        up = random_spd_upper(rng, 15, density=0.2)
+        order = postorder(elimination_tree(up))
+        np.testing.assert_array_equal(np.sort(order), np.arange(15))
+
+    def test_rejects_cyclic_parent(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0], dtype=np.int64))
+
+    def test_topological_order_children_first(self, rng):
+        up = random_spd_upper(rng, 12, density=0.25)
+        parent = elimination_tree(up)
+        order = topological_order(parent)
+        position = np.empty_like(order)
+        position[order] = np.arange(order.size)
+        for j, p in enumerate(parent):
+            if p != -1:
+                assert position[j] < position[p]
+
+
+class TestColumnCounts:
+    def test_against_dense_symbolic_elimination(self, rng):
+        for trial in range(5):
+            trial_rng = np.random.default_rng(100 + trial)
+            up = random_spd_upper(trial_rng, 15, density=0.15)
+            full = up.symmetrize_from_upper().to_dense()
+            parent = elimination_tree(up)
+            counts = column_counts(up, parent)
+            ref = dense_cholesky_pattern(full).sum(axis=0)
+            np.testing.assert_array_equal(counts, ref)
+
+    def test_diagonal_matrix_counts_are_one(self):
+        up = CSCMatrix.from_dense(np.eye(4))
+        parent = elimination_tree(up)
+        np.testing.assert_array_equal(column_counts(up, parent), np.ones(4))
+
+
+class TestLevels:
+    def test_level_sets_partition_columns(self, rng):
+        up = random_spd_upper(rng, 18, density=0.15)
+        parent = elimination_tree(up)
+        levels = level_sets(parent)
+        flat = sorted(j for level in levels for j in level)
+        assert flat == list(range(18))
+
+    def test_levels_respect_dependencies(self, rng):
+        up = random_spd_upper(rng, 18, density=0.15)
+        parent = elimination_tree(up)
+        levels = level_sets(parent)
+        level_of = {}
+        for d, level in enumerate(levels):
+            for j in level:
+                level_of[j] = d
+        for j, p in enumerate(parent):
+            if p != -1:
+                assert level_of[j] < level_of[p]
+
+    def test_tree_height_path(self):
+        parent = np.array([1, 2, 3, -1], dtype=np.int64)
+        assert tree_height(parent) == 4
+
+    def test_tree_height_forest(self):
+        parent = np.array([-1, -1, -1], dtype=np.int64)
+        assert tree_height(parent) == 1
+
+    def test_tree_height_empty(self):
+        assert tree_height(np.array([], dtype=np.int64)) == 0
+
+
+class TestProperties:
+    @given(st.integers(2, 14), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_etree_matches_dense_fill_pattern(self, n, seed):
+        rng = np.random.default_rng(seed)
+        up = random_spd_upper(rng, n, density=0.3)
+        parent = elimination_tree(up)
+        pat = dense_cholesky_pattern(up.symmetrize_from_upper().to_dense())
+        # parent[j] must be the smallest i > j with L[i, j] != 0.
+        for j in range(n):
+            below = np.nonzero(pat[j + 1 :, j])[0]
+            if below.size == 0:
+                assert parent[j] == -1
+            else:
+                assert parent[j] == below[0] + j + 1

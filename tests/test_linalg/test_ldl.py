@@ -1,0 +1,177 @@
+"""Tests for symbolic and numeric LDL factorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CSCMatrix,
+    FactorizationError,
+    amd_order,
+    ldl_factor,
+    ldl_refactor,
+    symbolic_factor,
+)
+from tests.conftest import random_quasidefinite_upper, random_spd_upper
+
+
+class TestSymbolic:
+    def test_row_and_column_views_agree(self, rng):
+        up = random_spd_upper(rng, 20, density=0.15)
+        sym = symbolic_factor(up)
+        pairs_cols = {
+            (int(i), j)
+            for j in range(sym.n)
+            for i in sym.col_pattern(j)
+        }
+        pairs_rows = {
+            (k, int(j))
+            for k in range(sym.n)
+            for j in sym.row_pattern(k)
+        }
+        assert pairs_cols == pairs_rows
+        assert sym.l_nnz == len(pairs_cols)
+
+    def test_pattern_contains_input_pattern(self, rng):
+        up = random_spd_upper(rng, 15, density=0.2)
+        sym = symbolic_factor(up)
+        stored = {
+            (int(i), j) for j in range(sym.n) for i in sym.col_pattern(j)
+        }
+        rows, cols, _ = up.to_coo()
+        for i, j in zip(rows, cols):
+            if i < j:  # upper entry (i, j) -> L entry (j, i)
+                assert (int(j), int(i)) in stored
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            symbolic_factor(CSCMatrix.zeros((2, 3)))
+
+
+class TestNumeric:
+    def test_reconstructs_spd_matrix(self, rng):
+        up = random_spd_upper(rng, 15, density=0.2)
+        full = up.symmetrize_from_upper().to_dense()
+        f = ldl_factor(up)
+        l = f.l_matrix(include_diagonal=True).to_dense()
+        np.testing.assert_allclose(l @ np.diag(f.d) @ l.T, full, atol=1e-8)
+
+    def test_reconstructs_quasidefinite_matrix(self, rng):
+        up = random_quasidefinite_upper(rng, 8, 6)
+        full = up.symmetrize_from_upper().to_dense()
+        f = ldl_factor(up)
+        l = f.l_matrix(include_diagonal=True).to_dense()
+        np.testing.assert_allclose(l @ np.diag(f.d) @ l.T, full, atol=1e-8)
+        # Quasi-definite: D has both signs.
+        assert (f.d > 0).any() and (f.d < 0).any()
+
+    def test_solve_both_forward_methods(self, rng):
+        up = random_quasidefinite_upper(rng, 10, 7)
+        full = up.symmetrize_from_upper().to_dense()
+        f = ldl_factor(up)
+        b = rng.standard_normal(17)
+        x_col = f.solve(b, lower_method="column")
+        x_row = f.solve(b, lower_method="row")
+        np.testing.assert_allclose(full @ x_col, b, atol=1e-8)
+        np.testing.assert_allclose(x_col, x_row, atol=1e-10)
+
+    def test_solve_rejects_bad_method(self, rng):
+        f = ldl_factor(random_spd_upper(rng, 5))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(5), lower_method="diagonal")
+
+    def test_solve_shape_check(self, rng):
+        f = ldl_factor(random_spd_upper(rng, 5))
+        with pytest.raises(ValueError):
+            f.solve(np.ones(6))
+
+    def test_zero_pivot_raises(self):
+        up = CSCMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 1.0]])).upper_triangle()
+        with pytest.raises(FactorizationError):
+            ldl_factor(up)
+
+    def test_rejects_lower_entries(self):
+        full = CSCMatrix.from_dense(np.array([[2.0, 1.0], [1.0, 3.0]]))
+        with pytest.raises(ValueError):
+            ldl_factor(full)  # not an upper triangle
+
+
+class TestRefactor:
+    def test_refactor_tracks_diagonal_update(self, rng):
+        # Simulates a rho update: same pattern, different diagonal block.
+        up = random_quasidefinite_upper(rng, 8, 6)
+        f = ldl_factor(up)
+        b = rng.standard_normal(14)
+        x1 = f.solve(b)
+
+        up2 = up.copy()
+        diag_positions = [
+            p
+            for j in range(up2.ncols)
+            for p in range(up2.indptr[j], up2.indptr[j + 1])
+            if up2.indices[p] == j and j >= 8
+        ]
+        up2.data[diag_positions] *= 2.0
+        ldl_refactor(up2, f)
+        x2 = f.solve(b)
+        full2 = up2.symmetrize_from_upper().to_dense()
+        np.testing.assert_allclose(full2 @ x2, b, atol=1e-8)
+        assert not np.allclose(x1, x2)
+
+    def test_refactor_shape_check(self, rng):
+        f = ldl_factor(random_spd_upper(rng, 5))
+        with pytest.raises(ValueError):
+            ldl_refactor(random_spd_upper(rng, 6), f)
+
+
+class TestWithAMD:
+    def test_amd_reduces_fill_on_arrow(self):
+        # Reverse-arrow matrix: dense first row/col. Natural order fills
+        # in completely; eliminating the arrow head last avoids all fill.
+        n = 30
+        dense = np.eye(n) * 10.0
+        dense[0, :] = 1.0
+        dense[:, 0] = 1.0
+        up = CSCMatrix.from_dense(np.triu(dense))
+        sym_natural = symbolic_factor(up)
+        perm = amd_order(up)
+        pup = perm.permute_symmetric(up.symmetrize_from_upper()).upper_triangle()
+        sym_amd = symbolic_factor(pup)
+        assert sym_amd.l_nnz < sym_natural.l_nnz
+
+    def test_permuted_solve_matches_unpermuted(self, rng):
+        up = random_quasidefinite_upper(rng, 9, 5)
+        full = up.symmetrize_from_upper()
+        b = rng.standard_normal(14)
+        x_ref = ldl_factor(up).solve(b)
+
+        perm = amd_order(up)
+        pk = perm.permute_symmetric(full).upper_triangle()
+        f = ldl_factor(pk)
+        x_perm = f.solve(perm.apply(b))
+        np.testing.assert_allclose(perm.apply_inverse(x_perm), x_ref, atol=1e-7)
+
+
+class TestProperties:
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_factor_solve_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        up = random_spd_upper(rng, n, density=0.3)
+        full = up.symmetrize_from_upper().to_dense()
+        f = ldl_factor(up)
+        b = rng.standard_normal(n)
+        np.testing.assert_allclose(full @ f.solve(b), b, atol=1e-6)
+
+    @given(st.integers(2, 8), st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_quasidefinite_roundtrip(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        up = random_quasidefinite_upper(rng, n, m)
+        full = up.symmetrize_from_upper().to_dense()
+        f = ldl_factor(up)
+        b = rng.standard_normal(n + m)
+        np.testing.assert_allclose(full @ f.solve(b), b, atol=1e-6)

@@ -1,0 +1,119 @@
+"""Tests for permutations and symmetric matrix permutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import CSCMatrix, Permutation
+
+
+def permutations(max_n: int = 16):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    )
+
+
+class TestBasics:
+    def test_identity(self):
+        p = Permutation.identity(4)
+        assert p.is_identity()
+        np.testing.assert_array_equal(p.apply(np.arange(4)), np.arange(4))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([1, 2, 3])
+
+    def test_apply_and_inverse(self):
+        p = Permutation([2, 0, 1])
+        x = np.array([10.0, 20.0, 30.0])
+        y = p.apply(x)
+        np.testing.assert_array_equal(y, [30.0, 10.0, 20.0])
+        np.testing.assert_array_equal(p.apply_inverse(y), x)
+        np.testing.assert_array_equal(p.inverse().apply(y), x)
+
+    def test_apply_length_check(self):
+        with pytest.raises(ValueError):
+            Permutation([1, 0]).apply(np.ones(3))
+
+    def test_compose(self):
+        p = Permutation([2, 0, 1])
+        q = Permutation([1, 2, 0])
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(
+            p.compose(q).apply(x), p.apply(q.apply(x))
+        )
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1]).compose(Permutation([0]))
+
+    def test_equality(self):
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert Permutation([1, 0]) != Permutation([0, 1])
+
+
+class TestMatrixPermutation:
+    def test_symmetric_permutation_dense_equiv(self, rng):
+        n = 6
+        dense = rng.standard_normal((n, n))
+        dense = dense + dense.T
+        m = CSCMatrix.from_dense(dense)
+        p = Permutation(rng.permutation(n))
+        permuted = p.permute_symmetric(m).to_dense()
+        # new[i, j] = old[perm[i], perm[j]]
+        expected = dense[np.ix_(p.perm, p.perm)]
+        np.testing.assert_allclose(permuted, expected, atol=1e-12)
+
+    def test_symmetric_permutation_consistent_with_vectors(self, rng):
+        # (P^T A P)(P^T x) should equal P^T (A x).
+        n = 5
+        dense = rng.standard_normal((n, n))
+        m = CSCMatrix.from_dense(dense)
+        p = Permutation(rng.permutation(n))
+        x = rng.standard_normal(n)
+        lhs = p.permute_symmetric(m).matvec(p.apply(x))
+        rhs = p.apply(m.matvec(x))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_permute_rows(self, rng):
+        dense = rng.standard_normal((4, 3))
+        m = CSCMatrix.from_dense(dense)
+        p = Permutation([2, 0, 3, 1])
+        np.testing.assert_allclose(
+            p.permute_rows(m).to_dense(), dense[p.perm, :], atol=1e-12
+        )
+
+    def test_shape_checks(self):
+        p = Permutation([0, 1])
+        with pytest.raises(ValueError):
+            p.permute_symmetric(CSCMatrix.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            p.permute_rows(CSCMatrix.zeros((3, 2)))
+
+
+class TestProperties:
+    @given(permutations())
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, perm):
+        p = Permutation(perm)
+        x = np.arange(len(perm), dtype=float)
+        np.testing.assert_array_equal(p.apply_inverse(p.apply(x)), x)
+        np.testing.assert_array_equal(p.apply(p.apply_inverse(x)), x)
+
+    @given(permutations())
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_involution(self, perm):
+        p = Permutation(perm)
+        assert p.inverse().inverse() == p
+
+    @given(permutations())
+    @settings(max_examples=30, deadline=None)
+    def test_compose_with_inverse_is_identity(self, perm):
+        p = Permutation(perm)
+        assert p.compose(p.inverse()).is_identity()
+        assert p.inverse().compose(p).is_identity()

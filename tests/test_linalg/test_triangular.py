@@ -1,0 +1,128 @@
+"""Tests for triangular solves (row- and column-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CSCMatrix,
+    ldl_factor,
+    solve_lower_csc,
+    solve_lower_unit_columns,
+    solve_lower_unit_rows,
+    solve_upper_csc,
+    solve_upper_unit_transpose,
+)
+from tests.conftest import random_spd_upper
+
+
+def random_unit_lower(rng: np.random.Generator, n: int, density: float = 0.3):
+    dense = np.where(
+        rng.random((n, n)) < density, rng.standard_normal((n, n)), 0.0
+    )
+    dense = np.tril(dense, -1) + np.eye(n)
+    return dense
+
+
+class TestSymbolicSolves:
+    def test_row_and_column_methods_agree(self, rng):
+        up = random_spd_upper(rng, 12, density=0.25)
+        f = ldl_factor(up)
+        b = rng.standard_normal(12)
+        x_col = solve_lower_unit_columns(f.symbolic, f.l_data, b)
+        x_row = solve_lower_unit_rows(f.symbolic, f.l_data, b)
+        np.testing.assert_allclose(x_col, x_row, atol=1e-10)
+
+    def test_forward_solve_against_dense(self, rng):
+        up = random_spd_upper(rng, 10, density=0.3)
+        f = ldl_factor(up)
+        l = f.l_matrix(include_diagonal=True).to_dense()
+        b = rng.standard_normal(10)
+        x = solve_lower_unit_columns(f.symbolic, f.l_data, b)
+        np.testing.assert_allclose(l @ x, b, atol=1e-10)
+
+    def test_backward_solve_against_dense(self, rng):
+        up = random_spd_upper(rng, 10, density=0.3)
+        f = ldl_factor(up)
+        l = f.l_matrix(include_diagonal=True).to_dense()
+        b = rng.standard_normal(10)
+        x = solve_upper_unit_transpose(f.symbolic, f.l_data, b)
+        np.testing.assert_allclose(l.T @ x, b, atol=1e-10)
+
+
+class TestCSCSolves:
+    def test_lower_with_diagonal(self, rng):
+        n = 8
+        dense = random_unit_lower(rng, n) * 2.0  # diagonal of 2s
+        l = CSCMatrix.from_dense(dense)
+        b = rng.standard_normal(n)
+        x = solve_lower_csc(l, b)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_lower_unit_diagonal_implicit(self, rng):
+        n = 8
+        dense = random_unit_lower(rng, n)
+        strict = CSCMatrix.from_dense(dense - np.eye(n))
+        b = rng.standard_normal(n)
+        x = solve_lower_csc(strict, b, unit_diagonal=True)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_lower_unit_diagonal_explicit_tolerated(self, rng):
+        n = 8
+        dense = random_unit_lower(rng, n)
+        full = CSCMatrix.from_dense(dense)
+        b = rng.standard_normal(n)
+        x = solve_lower_csc(full, b, unit_diagonal=True)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_upper_with_diagonal(self, rng):
+        n = 8
+        dense = random_unit_lower(rng, n).T * 3.0
+        u = CSCMatrix.from_dense(dense)
+        b = rng.standard_normal(n)
+        x = solve_upper_csc(u, b)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_upper_unit_diagonal(self, rng):
+        n = 8
+        dense = random_unit_lower(rng, n).T
+        strict = CSCMatrix.from_dense(dense - np.eye(n))
+        b = rng.standard_normal(n)
+        x = solve_upper_csc(strict, b, unit_diagonal=True)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_missing_diagonal_raises(self):
+        l = CSCMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            solve_lower_csc(l, np.ones(2))
+        u = CSCMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            solve_upper_csc(u, np.ones(2))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            solve_lower_csc(CSCMatrix.zeros((2, 3)), np.ones(3))
+        with pytest.raises(ValueError):
+            solve_upper_csc(CSCMatrix.zeros((2, 3)), np.ones(3))
+
+    def test_rhs_length_check(self):
+        with pytest.raises(ValueError):
+            solve_lower_csc(CSCMatrix.from_dense(np.eye(2)), np.ones(3))
+
+
+class TestProperties:
+    @given(st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_csc_solves_invert_matvec(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_unit_lower(rng, n) + np.eye(n)  # diagonal of 2s
+        l = CSCMatrix.from_dense(dense)
+        x_true = rng.standard_normal(n)
+        b = dense @ x_true
+        np.testing.assert_allclose(solve_lower_csc(l, b), x_true, atol=1e-8)
+        u = CSCMatrix.from_dense(dense.T)
+        b2 = dense.T @ x_true
+        np.testing.assert_allclose(solve_upper_csc(u, b2), x_true, atol=1e-8)

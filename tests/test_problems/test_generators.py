@@ -1,0 +1,163 @@
+"""Tests for the five benchmark problem generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    DOMAINS,
+    benchmark_suite,
+    domain_scales,
+    huber_problem,
+    lasso_problem,
+    mpc_problem,
+    portfolio_problem,
+    svm_problem,
+)
+from repro.solver import Settings, SolverStatus, solve
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=10000)
+
+GENERATORS = {
+    "portfolio": lambda seed=0: portfolio_problem(20, seed=seed),
+    "lasso": lambda seed=0: lasso_problem(8, n_samples=24, seed=seed),
+    "huber": lambda seed=0: huber_problem(6, n_samples=18, seed=seed),
+    "mpc": lambda seed=0: mpc_problem(4, horizon=5, seed=seed),
+    "svm": lambda seed=0: svm_problem(8, n_samples=24, seed=seed),
+}
+
+
+class TestStructure:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_valid_problem(self, domain):
+        prob = GENERATORS[domain]()
+        assert prob.n > 0 and prob.m > 0
+        assert np.all(prob.l <= prob.u)
+        # P must be PSD (within numerical tolerance).
+        eigs = np.linalg.eigvalsh(prob.p_full.to_dense())
+        assert eigs.min() >= -1e-9
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_pattern_constant_across_seeds(self, domain):
+        """The paper's key premise: instances share a sparsity pattern."""
+        p1 = GENERATORS[domain](seed=0)
+        p2 = GENERATORS[domain](seed=99)
+        assert p1.a.pattern_equal(p2.a)
+        assert p1.p_upper.pattern_equal(p2.p_upper)
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_values_differ_across_seeds(self, domain):
+        p1 = GENERATORS[domain](seed=0)
+        p2 = GENERATORS[domain](seed=99)
+        assert not np.allclose(
+            np.concatenate([p1.q, p1.l.clip(-1e20, 1e20), p1.a.data]),
+            np.concatenate([p2.q, p2.l.clip(-1e20, 1e20), p2.a.data]),
+        )
+
+    def test_portfolio_half_arrow_structure(self):
+        """Top block of rows plus a diagonal tail (Fig. 2)."""
+        prob = portfolio_problem(30)
+        n, k = 30, 3
+        a = prob.a.to_dense()
+        # Normalization row touches every asset.
+        assert np.all(a[0, :n] == 1.0)
+        # Box rows form an identity on the x block.
+        np.testing.assert_array_equal(a[1 + k :, :n], np.eye(n))
+        np.testing.assert_array_equal(a[1 + k :, n:], np.zeros((n, k)))
+
+    def test_portfolio_equality_and_inequality_mix(self):
+        prob = portfolio_problem(20)
+        eq = prob.eq_constraint_mask()
+        assert eq[0]  # normalization
+        assert not eq[-1]  # box
+
+    def test_mpc_dynamics_rows_are_equalities(self):
+        prob = mpc_problem(4, horizon=5)
+        nx, n_horizon = 4, 5
+        eq = prob.eq_constraint_mask()
+        assert np.all(eq[: (n_horizon + 1) * nx])
+        assert not np.any(eq[(n_horizon + 1) * nx :])
+
+    def test_lasso_dimensions(self):
+        prob = lasso_problem(8, n_samples=24)
+        assert prob.n == 8 + 24 + 8
+        assert prob.m == 24 + 16
+
+    def test_huber_dimensions(self):
+        prob = huber_problem(6, n_samples=18)
+        assert prob.n == 6 + 3 * 18
+        assert prob.m == 3 * 18
+
+    def test_svm_dimensions(self):
+        prob = svm_problem(8, n_samples=24)
+        assert prob.n == 8 + 24
+        assert prob.m == 48
+
+    def test_generators_reject_bad_sizes(self):
+        with pytest.raises(ValueError):
+            portfolio_problem(1)
+
+
+class TestSolvability:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_solves_with_direct(self, domain):
+        prob = GENERATORS[domain]()
+        res = solve(prob, variant="direct", settings=FAST)
+        assert res.status is SolverStatus.SOLVED, (domain, res.status)
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_solves_with_indirect(self, domain):
+        prob = GENERATORS[domain]()
+        res = solve(prob, variant="indirect", settings=FAST)
+        assert res.status is SolverStatus.SOLVED, (domain, res.status)
+
+    def test_portfolio_weights_normalized(self):
+        prob = portfolio_problem(20)
+        res = solve(prob, settings=FAST)
+        weights = res.x[:20]
+        assert weights.sum() == pytest.approx(1.0, abs=1e-2)
+        assert weights.min() >= -1e-2  # no short selling
+
+    def test_mpc_respects_input_bounds(self):
+        prob = mpc_problem(4, horizon=5)
+        res = solve(prob, settings=FAST)
+        nx, n_horizon = 4, 5
+        u_traj = res.x[(n_horizon + 1) * nx :]
+        box_lo = prob.l[(n_horizon + 1) * nx :]
+        box_hi = prob.u[(n_horizon + 1) * nx :]
+        u_lo = box_lo[(n_horizon + 1) * nx :]
+        u_hi = box_hi[(n_horizon + 1) * nx :]
+        assert np.all(u_traj >= u_lo - 1e-2)
+        assert np.all(u_traj <= u_hi + 1e-2)
+
+
+class TestSuite:
+    def test_full_grid_size(self):
+        specs = benchmark_suite()
+        assert len(specs) == 100
+        assert {s.domain for s in specs} == set(DOMAINS)
+
+    def test_scales_strictly_increasing(self):
+        for domain in DOMAINS:
+            scales = domain_scales(domain)
+            assert len(scales) == 20
+            assert all(b > a for a, b in zip(scales, scales[1:]))
+
+    def test_nnz_grows_with_scale(self):
+        specs = [s for s in benchmark_suite(n_scales=5) if s.domain == "svm"]
+        nnzs = [s.generate().nnz for s in specs]
+        assert all(b > a for a, b in zip(nnzs, nnzs[1:]))
+
+    def test_spec_generate_matches_domain(self):
+        spec = benchmark_suite(n_scales=3)[0]
+        prob = spec.generate()
+        assert prob.name.startswith(spec.domain)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_suite(domains=("nonexistent",))
+
+    def test_subset_grid(self):
+        specs = benchmark_suite(domains=("mpc",), n_scales=4)
+        assert len(specs) == 4

@@ -1,0 +1,83 @@
+"""Tests for solution polishing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import CSCMatrix, eye
+from repro.solver import QPProblem, Settings, SolverStatus, solve
+
+
+def box_qp():
+    """min (x-5)^2 in [0, 2]: active upper bound at x=2."""
+    return QPProblem(
+        p=eye(1, 2.0),
+        q=np.array([-10.0]),
+        a=eye(1),
+        l=np.array([0.0]),
+        u=np.array([2.0]),
+    )
+
+
+def eq_qp():
+    """min x'x s.t. 1'x = 1 — equality active by construction."""
+    return QPProblem(
+        p=eye(3, 2.0),
+        q=np.zeros(3),
+        a=CSCMatrix.from_dense(np.ones((1, 3))),
+        l=np.array([1.0]),
+        u=np.array([1.0]),
+    )
+
+
+class TestPolish:
+    def test_polish_improves_accuracy(self):
+        prob = box_qp()
+        loose = Settings(eps_abs=1e-3, eps_rel=1e-3)
+        plain = solve(prob, settings=loose)
+        polished = solve(
+            prob, settings=Settings(eps_abs=1e-3, eps_rel=1e-3, polish=True)
+        )
+        assert polished.polished
+        # Polished solution is essentially exact.
+        assert abs(polished.x[0] - 2.0) < 1e-9
+        assert abs(polished.x[0] - 2.0) <= abs(plain.x[0] - 2.0) + 1e-12
+
+    def test_polish_on_equality_constraints(self):
+        res = solve(
+            eq_qp(), settings=Settings(eps_abs=1e-3, eps_rel=1e-3, polish=True)
+        )
+        assert res.status is SolverStatus.SOLVED
+        assert res.polished
+        np.testing.assert_allclose(res.x, np.full(3, 1 / 3), atol=1e-9)
+
+    def test_polish_off_by_default(self):
+        res = solve(box_qp())
+        assert not res.polished
+
+    def test_polish_no_active_set_is_safe(self):
+        # Unconstrained minimum strictly inside the box: nothing active,
+        # polish is a no-op and must not break the solve.
+        prob = QPProblem(
+            p=eye(2, 2.0),
+            q=np.array([-1.0, 1.0]),
+            a=eye(2),
+            l=np.array([-10.0, -10.0]),
+            u=np.array([10.0, 10.0]),
+        )
+        res = solve(prob, settings=Settings(polish=True))
+        assert res.status is SolverStatus.SOLVED
+        np.testing.assert_allclose(res.x, [0.5, -0.5], atol=1e-3)
+
+    def test_polished_duals_satisfy_stationarity(self):
+        prob = box_qp()
+        res = solve(prob, settings=Settings(polish=True))
+        stat = prob.p_full.matvec(res.x) + prob.q + prob.a.rmatvec(res.y)
+        assert np.abs(stat).max() < 1e-8
+
+    @pytest.mark.parametrize("variant", ["direct", "indirect"])
+    def test_polish_with_both_variants(self, variant):
+        res = solve(eq_qp(), variant=variant, settings=Settings(polish=True))
+        assert res.status is SolverStatus.SOLVED
+        np.testing.assert_allclose(res.x, np.full(3, 1 / 3), atol=1e-6)

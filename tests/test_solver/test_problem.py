@@ -1,0 +1,116 @@
+"""Tests for the QP problem container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import CSCMatrix, eye
+from repro.solver import OSQP_INFTY, QPProblem
+
+
+def small_problem() -> QPProblem:
+    p = CSCMatrix.from_dense(np.array([[2.0, 0.5], [0.5, 1.0]]))
+    a = CSCMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+    return QPProblem(
+        p=p,
+        q=np.array([1.0, -1.0]),
+        a=a,
+        l=np.array([1.0, 0.0]),
+        u=np.array([1.0, 0.7]),
+    )
+
+
+class TestValidation:
+    def test_dimensions(self):
+        prob = small_problem()
+        assert prob.n == 2
+        assert prob.m == 2
+
+    def test_p_shape_check(self):
+        with pytest.raises(ValueError):
+            QPProblem(
+                p=CSCMatrix.zeros((3, 3)),
+                q=np.zeros(2),
+                a=CSCMatrix.zeros((1, 2)),
+                l=np.zeros(1),
+                u=np.zeros(1),
+            )
+
+    def test_a_shape_check(self):
+        with pytest.raises(ValueError):
+            QPProblem(
+                p=eye(2),
+                q=np.zeros(2),
+                a=CSCMatrix.zeros((1, 3)),
+                l=np.zeros(1),
+                u=np.zeros(1),
+            )
+
+    def test_bounds_order_check(self):
+        with pytest.raises(ValueError):
+            QPProblem(
+                p=eye(1),
+                q=np.zeros(1),
+                a=eye(1),
+                l=np.array([1.0]),
+                u=np.array([0.0]),
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            QPProblem(
+                p=eye(1),
+                q=np.array([np.nan]),
+                a=eye(1),
+                l=np.zeros(1),
+                u=np.ones(1),
+            )
+
+
+class TestAccessors:
+    def test_objective(self):
+        prob = small_problem()
+        x = np.array([0.3, 0.7])
+        p_dense = prob.p.to_dense()
+        expected = 0.5 * x @ p_dense @ x + prob.q @ x
+        assert prob.objective(x) == pytest.approx(expected)
+
+    def test_p_upper_and_full_consistent(self):
+        prob = small_problem()
+        np.testing.assert_allclose(
+            prob.p_full.to_dense(), prob.p.to_dense(), atol=1e-12
+        )
+        assert prob.p_upper.nnz <= prob.p.nnz
+
+    def test_upper_triangle_storage_accepted(self):
+        # Users may pass just the upper triangle of P.
+        p_up = CSCMatrix.from_dense(np.array([[2.0, 0.5], [0.0, 1.0]]))
+        prob = QPProblem(
+            p=p_up,
+            q=np.zeros(2),
+            a=eye(2),
+            l=-np.ones(2),
+            u=np.ones(2),
+        )
+        expected = np.array([[2.0, 0.5], [0.5, 1.0]])
+        np.testing.assert_allclose(prob.p_full.to_dense(), expected)
+
+    def test_constraint_masks(self):
+        prob = QPProblem(
+            p=eye(2),
+            q=np.zeros(2),
+            a=CSCMatrix.from_dense(np.ones((3, 2))),
+            l=np.array([1.0, 0.0, -OSQP_INFTY]),
+            u=np.array([1.0, 2.0, OSQP_INFTY]),
+        )
+        np.testing.assert_array_equal(
+            prob.eq_constraint_mask(), [True, False, False]
+        )
+        np.testing.assert_array_equal(
+            prob.loose_constraint_mask(), [False, False, True]
+        )
+
+    def test_nnz(self):
+        prob = small_problem()
+        assert prob.nnz == prob.p_upper.nnz + prob.a.nnz

@@ -1,0 +1,74 @@
+"""Property-based tests for Ruiz equilibration."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import CSCMatrix
+from repro.solver import QPProblem, ruiz_scale
+
+
+def random_problem(seed: int, n: int, m: int, spread: float) -> QPProblem:
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, n))
+    p = b @ b.T + 0.1 * np.eye(n)
+    # Badly scaled rows/columns.
+    row_scale = 10.0 ** rng.uniform(-spread, spread, size=m)
+    col_scale = 10.0 ** rng.uniform(-spread, spread, size=n)
+    a = rng.standard_normal((m, n)) * row_scale[:, None] * col_scale[None, :]
+    center = a @ rng.standard_normal(n)
+    return QPProblem(
+        p=CSCMatrix.from_dense(p),
+        q=rng.standard_normal(n),
+        a=CSCMatrix.from_dense(a),
+        l=center - 1.0,
+        u=center + 1.0,
+    )
+
+
+class TestRuizProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 8),
+        st.integers(2, 10),
+        st.floats(0.0, 4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equilibration_bounds_column_norms(self, seed, n, m, spread):
+        prob = random_problem(seed, n, m, spread)
+        sc = ruiz_scale(prob)
+        stacked = np.vstack([sc.scaled.p_full.to_dense(), sc.scaled.a.to_dense()])
+        norms = np.abs(stacked).max(axis=0)
+        norms = norms[norms > 0]
+        # Even starting 10^±4 out of scale, Ruiz pulls the spread in.
+        assert norms.max() / norms.min() < 100.0
+
+    @given(st.integers(0, 10_000), st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_unscale_is_exact_inverse(self, seed, n, m):
+        prob = random_problem(seed, n, m, 2.0)
+        sc = ruiz_scale(prob)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.standard_normal(n)
+        # Scaled A times scaled x equals E times (A times unscaled x).
+        lhs = sc.scaled.a.matvec(x)
+        rhs = sc.e * prob.a.matvec(sc.unscale_x(x))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_diagonals_positive(self, seed):
+        prob = random_problem(seed, 5, 7, 3.0)
+        sc = ruiz_scale(prob)
+        assert np.all(sc.d > 0)
+        assert np.all(sc.e > 0)
+        assert sc.c > 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_scaled_problem_same_pattern(self, seed):
+        prob = random_problem(seed, 5, 7, 2.0)
+        sc = ruiz_scale(prob)
+        assert sc.scaled.a.pattern_equal(prob.a)

@@ -1,0 +1,109 @@
+"""Tests for parametric problem updates (compile-once / solve-many)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import MIBSolver
+from repro.problems import lasso_problem, portfolio_problem
+from repro.solver import OSQPSolver, Settings, SolverStatus, solve
+
+FAST = Settings(eps_abs=1e-4, eps_rel=1e-4)
+
+
+class TestHostUpdate:
+    @pytest.mark.parametrize("variant", ["direct", "indirect"])
+    def test_update_matches_fresh_setup(self, variant):
+        base = portfolio_problem(16, gamma=1.0, seed=0)
+        new = portfolio_problem(16, gamma=0.3, seed=5)
+        solver = OSQPSolver(base, variant=variant, settings=FAST)
+        solver.solve()
+        solver.update_values(new)
+        updated = solver.solve()
+        fresh = solve(new, variant=variant, settings=FAST)
+        assert updated.status is SolverStatus.SOLVED
+        assert updated.objective == pytest.approx(fresh.objective, abs=1e-3)
+
+    def test_update_rejects_different_pattern(self):
+        solver = OSQPSolver(portfolio_problem(16), settings=FAST)
+        with pytest.raises(ValueError):
+            solver.update_values(portfolio_problem(20))
+
+    def test_direct_update_refactors_numerically(self):
+        base = portfolio_problem(16, seed=0)
+        solver = OSQPSolver(base, variant="direct", settings=FAST)
+        from repro.solver import DirectKKTSolver
+
+        kkt = solver.kkt_solver
+        assert isinstance(kkt, DirectKKTSolver)
+        before = kkt.num_factorizations
+        solver.update_values(portfolio_problem(16, seed=9))
+        assert kkt.num_factorizations == before + 1
+
+    def test_updated_kkt_matrix_matches_fresh_assembly(self):
+        from repro.solver import assemble_kkt
+
+        base = lasso_problem(6, n_samples=18, seed=0)
+        new = lasso_problem(6, n_samples=18, seed=3)
+        rho = np.full(base.m, 0.1)
+        kkt = assemble_kkt(base, 1e-6, rho)
+        kkt.update_values(new.p_upper, new.a)
+        fresh = assemble_kkt(new, 1e-6, rho)
+        np.testing.assert_allclose(
+            kkt.matrix.to_dense(), fresh.matrix.to_dense(), atol=1e-12
+        )
+
+    def test_update_preserves_sigma_on_empty_diagonal(self):
+        """P entries absent from the diagonal must keep their sigma."""
+        from repro.solver import assemble_kkt
+
+        base = lasso_problem(5, n_samples=15, seed=0)  # P has zero blocks
+        kkt = assemble_kkt(base, 0.5, np.full(base.m, 0.1))
+        kkt.update_values(base.p_upper, base.a)
+        diag = kkt.matrix.symmetrize_from_upper().diagonal()
+        p_diag = base.p_full.diagonal()
+        np.testing.assert_allclose(diag[: base.n], p_diag + 0.5, atol=1e-12)
+
+
+class TestMIBUpdate:
+    def test_gamma_sweep_without_recompile(self):
+        base = portfolio_problem(16, gamma=1.0, seed=0)
+        solver = MIBSolver(base, variant="direct", c=16, settings=FAST)
+        kernels_before = {
+            k: s.cycles for k, s in solver.kernels.schedules.items()
+        }
+        objectives = []
+        for gamma in (0.5, 1.0, 2.0):
+            solver.update_values(portfolio_problem(16, gamma=gamma, seed=0))
+            report = solver.solve()
+            assert report.result.status is SolverStatus.SOLVED
+            objectives.append(report.result.objective)
+        # Schedules untouched — that is the whole point.
+        assert kernels_before == {
+            k: s.cycles for k, s in solver.kernels.schedules.items()
+        }
+        assert len(set(np.round(objectives, 6))) == 3  # gamma matters
+
+    def test_updated_instance_matches_fresh_mib_solver(self):
+        base = portfolio_problem(16, seed=0)
+        new = portfolio_problem(16, seed=7)
+        solver = MIBSolver(base, variant="direct", c=16, settings=FAST)
+        solver.update_values(new)
+        updated = solver.solve()
+        fresh = MIBSolver(new, variant="direct", c=16, settings=FAST).solve()
+        assert updated.result.objective == pytest.approx(
+            fresh.result.objective, abs=1e-4
+        )
+
+    def test_network_kkt_solve_after_update(self):
+        base = portfolio_problem(12, seed=0)
+        new = portfolio_problem(12, seed=4)
+        solver = MIBSolver(base, variant="direct", c=16, settings=FAST)
+        solver.update_values(new)
+        rhs = np.random.default_rng(1).standard_normal(solver._kkt_dim)
+        np.testing.assert_allclose(
+            solver.solve_kkt_on_network(rhs),
+            solver.reference.kkt_solver.solve(rhs),
+            atol=1e-9,
+        )
