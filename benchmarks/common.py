@@ -22,6 +22,21 @@ def n_scales() -> int:
     return int(os.environ.get("REPRO_SCALES", "4"))
 
 
+def n_jobs() -> int:
+    """Worker processes for the per-problem fan-out (REPRO_JOBS,
+    default 1 = serial; results are identical either way)."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def cache_dir() -> str | None:
+    """Shared compilation-cache directory (REPRO_CACHE_DIR, optional).
+
+    Pointing reruns at one directory amortizes pattern scheduling
+    across the whole benchmark session — the paper's compile-once/
+    solve-many lever applied to the harness itself."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name

@@ -7,6 +7,10 @@ These are expensive, so they are computed once per session and shared.
 Scale control:
     REPRO_SCALES=<n>   scales per domain (default 4; the paper uses 20)
     REPRO_FULL=1       shorthand for the full 5 x 20 grid
+    REPRO_JOBS=<n>     parallel compile+solve workers (default 1);
+                       results are deterministic and order-identical
+    REPRO_CACHE_DIR=<d>  shared pattern-keyed compilation cache across
+                       benchmarks and reruns
 
 Each benchmark prints its figure/table to stdout (run with ``-s`` to
 see it live) and writes it under ``benchmarks/results/``.
@@ -16,10 +20,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import evaluate_problem, profile_problem
-from repro.problems import benchmark_suite
+from repro.analysis import evaluate_suite, profile_problem
+from repro.problems import benchmark_suite, parallel_map
 
-from benchmarks.common import BENCH_SETTINGS, n_scales
+from benchmarks.common import BENCH_SETTINGS, cache_dir, n_jobs, n_scales
 
 
 @pytest.fixture(scope="session")
@@ -27,52 +31,50 @@ def suite_specs():
     return benchmark_suite(n_scales=n_scales())
 
 
+def _profile_task(task):
+    """Top-level (picklable) Fig. 3 worker: one (spec, variant) cell."""
+    spec, variant = task
+    return profile_problem(
+        spec.generate(),
+        domain=spec.domain,
+        dimension=spec.dimension,
+        variant=variant,
+        settings=BENCH_SETTINGS,
+    )
+
+
 @pytest.fixture(scope="session")
 def flops_profiles(suite_specs):
     """Fig. 3 data: FLOP profiles of every (problem, variant)."""
-    profiles = []
-    for spec in suite_specs:
-        problem = spec.generate()
-        for variant in ("direct", "indirect"):
-            profiles.append(
-                profile_problem(
-                    problem,
-                    domain=spec.domain,
-                    dimension=spec.dimension,
-                    variant=variant,
-                    settings=BENCH_SETTINGS,
-                )
-            )
-    return profiles
+    tasks = [
+        (spec, variant)
+        for spec in suite_specs
+        for variant in ("direct", "indirect")
+    ]
+    return parallel_map(_profile_task, tasks, jobs=n_jobs())
 
 
 @pytest.fixture(scope="session")
 def evaluations_indirect(suite_specs):
     """Fig. 10 / Table III data, indirect variant (all baselines)."""
-    return [
-        evaluate_problem(
-            spec.generate(),
-            domain=spec.domain,
-            dimension=spec.dimension,
-            variant="indirect",
-            c=32,
-            settings=BENCH_SETTINGS,
-        )
-        for spec in suite_specs
-    ]
+    return evaluate_suite(
+        suite_specs,
+        variant="indirect",
+        c=32,
+        settings=BENCH_SETTINGS,
+        jobs=n_jobs(),
+        cache_dir=cache_dir(),
+    )
 
 
 @pytest.fixture(scope="session")
 def evaluations_direct(suite_specs):
     """Fig. 10 / Table III data, direct variant (CPU/QDLDL baseline)."""
-    return [
-        evaluate_problem(
-            spec.generate(),
-            domain=spec.domain,
-            dimension=spec.dimension,
-            variant="direct",
-            c=32,
-            settings=BENCH_SETTINGS,
-        )
-        for spec in suite_specs
-    ]
+    return evaluate_suite(
+        suite_specs,
+        variant="direct",
+        c=32,
+        settings=BENCH_SETTINGS,
+        jobs=n_jobs(),
+        cache_dir=cache_dir(),
+    )

@@ -16,15 +16,25 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
-from .analysis import ascii_table, evaluate_problem, format_si, kv_block
+from .analysis import (
+    ascii_table,
+    evaluate_problem,
+    evaluate_suite,
+    format_si,
+    kv_block,
+    process_cache,
+    suite_summary_block,
+)
 from .arch import Butterfly, estimate_resources
 from .backends import MIBSolver
 from .compiler import (
     KernelBuilder,
     NetworkProgram,
+    ScheduleCache,
     compare_scheduling,
     row_major_view,
     save_schedule,
@@ -92,8 +102,13 @@ def cmd_solve(args) -> int:
 
 def cmd_compile(args) -> int:
     problem = _make_problem(args)
+    cache = ScheduleCache(args.cache_dir) if args.cache_dir else None
     solver = MIBSolver(
-        problem, variant=args.variant, c=args.width, settings=_settings(args)
+        problem,
+        variant=args.variant,
+        c=args.width,
+        settings=_settings(args),
+        cache=cache,
     )
     rows = [
         [name, sched.n_ops, sched.n_slots, sched.cycles, f"{sched.mean_issue_width():.2f}"]
@@ -107,6 +122,9 @@ def cmd_compile(args) -> int:
             f"({solver.compile_seconds:.2f}s)",
         )
     )
+    if cache is not None:
+        status = "hit" if solver.cache_hit else "miss (stored)"
+        print(f"cache: {status}  key={solver.cache_key[:16]}…  dir={cache.cache_dir}")
     if args.output:
         for name, sched in solver.kernels.schedules.items():
             path = save_schedule(sched, f"{args.output}.{name}.mibx")
@@ -127,24 +145,22 @@ def cmd_schedule(args) -> int:
     return 0
 
 
-def cmd_suite(args) -> int:
-    specs = benchmark_suite(n_scales=args.scales)
+def suite_rows(
+    specs, evaluations
+) -> tuple[list[str], list[list[object]]]:
+    """Deterministic per-problem table rows for ``suite`` output.
+
+    Factored out so the parallel-determinism tests can byte-compare
+    the exact rows a ``--jobs N`` run renders.
+    """
     rows = []
-    for spec in specs:
-        problem = spec.generate()
-        ev = evaluate_problem(
-            problem,
-            domain=spec.domain,
-            dimension=spec.dimension,
-            variant=args.variant,
-            c=args.width,
-            settings=_settings(args),
-        )
+    baselines: list[str] = []
+    for spec, ev in zip(specs, evaluations):
         baselines = sorted(set(ev.measurements) - {"mib"})
         rows.append(
             [
                 spec.label,
-                problem.nnz,
+                ev.nnz,
                 ev.iterations,
                 format_si(ev.measurements["mib"].runtime_s) + "s",
             ]
@@ -153,7 +169,48 @@ def cmd_suite(args) -> int:
     headers = ["problem", "nnz", "iters", "MIB runtime"] + [
         f"vs {b}" for b in baselines
     ]
+    return headers, rows
+
+
+def cmd_suite(args) -> int:
+    domains = (
+        tuple(d.strip() for d in args.domains.split(",") if d.strip())
+        if args.domains
+        else DOMAINS
+    )
+    try:
+        specs = benchmark_suite(domains=domains, n_scales=args.scales)
+    except ValueError as exc:
+        raise SystemExit(f"{exc}; pick from {DOMAINS}")
+    t0 = time.perf_counter()
+    evaluations = evaluate_suite(
+        specs,
+        variant=args.variant,
+        c=args.width,
+        settings=_settings(args),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    wall = time.perf_counter() - t0
+    headers, rows = suite_rows(specs, evaluations)
     print(ascii_table(headers, rows, title=f"suite sweep ({args.variant}, C={args.width})"))
+    cache_hits = sum(ev.cache_hit for ev in evaluations)
+    cache = process_cache(args.cache_dir) if args.jobs <= 1 else None
+    print()
+    print(
+        suite_summary_block(
+            problems=len(evaluations),
+            jobs=args.jobs,
+            wall_seconds=wall,
+            compile_seconds=sum(ev.compile_seconds for ev in evaluations),
+            solve_seconds=sum(ev.solve_seconds for ev in evaluations),
+            cache_hits=cache_hits if args.cache_dir else None,
+            cache_misses=(
+                len(evaluations) - cache_hits if args.cache_dir else None
+            ),
+            extra_rows=cache.stats.rows() if cache is not None else (),
+        )
+    )
     return 0
 
 
@@ -200,6 +257,11 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compile", help="compile a pattern, report kernels")
     add_problem_args(p)
     p.add_argument("--output", help="path prefix for saved executables")
+    p.add_argument(
+        "--cache-dir",
+        help="pattern-keyed compilation cache directory (reuses or "
+        "stores the compiled executable)",
+    )
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("schedule", help="Fig. 8 before/after comparison")
@@ -209,6 +271,21 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("suite", help="sweep the benchmark grid")
     add_problem_args(p)
     p.add_argument("--scales", type=int, default=3)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel compile+solve worker processes (deterministic "
+        "output order; 1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="shared compilation cache directory for the sweep",
+    )
+    p.add_argument(
+        "--domains",
+        help=f"comma-separated subset of {DOMAINS} (default: all)",
+    )
     p.set_defaults(fn=cmd_suite)
 
     p = sub.add_parser("info", help="architecture summary")

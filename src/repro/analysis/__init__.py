@@ -2,7 +2,13 @@
 evaluation (Fig. 10/11, Table III) and report rendering."""
 
 from .flops import FlopsProfile, profile_problem, profile_suite
-from .report import ascii_table, format_si, kv_block, series_block
+from .report import (
+    ascii_table,
+    format_si,
+    kv_block,
+    series_block,
+    suite_summary_block,
+)
 from .sparsity import render_sparsity
 from .timing import (
     HOST_IDLE_WATTS,
@@ -13,6 +19,7 @@ from .timing import (
     evaluate_suite,
     geomean,
     jitter_experiment,
+    process_cache,
 )
 
 __all__ = [
@@ -28,8 +35,10 @@ __all__ = [
     "geomean",
     "jitter_experiment",
     "kv_block",
+    "process_cache",
     "profile_problem",
     "profile_suite",
     "render_sparsity",
     "series_block",
+    "suite_summary_block",
 ]

@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["ascii_table", "series_block", "kv_block", "format_si"]
+__all__ = [
+    "ascii_table",
+    "series_block",
+    "kv_block",
+    "format_si",
+    "suite_summary_block",
+]
 
 
 def format_si(value: float, *, digits: int = 3) -> str:
@@ -73,3 +79,38 @@ def series_block(
 def kv_block(title: str, pairs: Iterable[tuple[str, object]]) -> str:
     """Render key/value rows."""
     return ascii_table(["metric", "value"], list(pairs), title=title)
+
+
+def suite_summary_block(
+    *,
+    problems: int,
+    jobs: int,
+    wall_seconds: float,
+    compile_seconds: float,
+    solve_seconds: float,
+    cache_hits: int | None = None,
+    cache_misses: int | None = None,
+    extra_rows: Iterable[tuple[str, object]] = (),
+) -> str:
+    """The suite run footer: per-stage wall time, parallel fan-out and
+    compilation-cache effectiveness.
+
+    ``compile_seconds``/``solve_seconds`` are summed across problems
+    (total work), so their ratio to ``wall_seconds`` is the achieved
+    parallel speedup.  Cache rows appear only when a cache was active.
+    """
+    work = compile_seconds + solve_seconds
+    rows: list[tuple[str, object]] = [
+        ("problems", problems),
+        ("jobs", jobs),
+        ("wall time", f"{wall_seconds:.2f} s"),
+        ("compile time (sum over problems)", f"{compile_seconds:.2f} s"),
+        ("solve time (sum over problems)", f"{solve_seconds:.2f} s"),
+        ("parallel speedup (work/wall)", f"{work / wall_seconds:.2f}x"
+         if wall_seconds > 0 else "n/a"),
+    ]
+    if cache_hits is not None or cache_misses is not None:
+        rows.append(("cache hits / misses",
+                     f"{cache_hits or 0} / {cache_misses or 0}"))
+    rows.extend(extra_rows)
+    return kv_block("suite summary", rows)

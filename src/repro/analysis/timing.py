@@ -9,7 +9,9 @@ schedules, and prices each baseline platform from its analytical model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -21,7 +23,8 @@ from ..backends.models import (
     model_runtime,
     sample_jittered_runtimes,
 )
-from ..problems import ProblemSpec
+from ..compiler import ScheduleCache
+from ..problems import ProblemSpec, parallel_map
 from ..solver import QPProblem, Settings
 
 __all__ = [
@@ -33,6 +36,7 @@ __all__ = [
     "evaluate_suite",
     "geomean",
     "jitter_experiment",
+    "process_cache",
 ]
 
 HOST_IDLE_WATTS = 22.0  # the CPU idles while FPGA/GPU devices solve
@@ -85,6 +89,12 @@ class ProblemEvaluation:
     variant: str
     iterations: int
     measurements: dict[str, PlatformMeasurement]
+    # Per-stage observability.  Wall times never participate in
+    # equality: a --jobs 4 run must compare equal to --jobs 1 even
+    # though each stage's wall clock differs run to run.
+    compile_seconds: float = field(default=0.0, compare=False)
+    solve_seconds: float = field(default=0.0, compare=False)
+    cache_hit: bool = field(default=False, compare=False)
 
     def speedup_over(self, baseline: str, target: str = "mib") -> float:
         return (
@@ -119,18 +129,23 @@ def evaluate_problem(
     settings: Settings | None = None,
     platforms: dict[str, Platform] | None = None,
     baselines: tuple[str, ...] | None = None,
+    cache: ScheduleCache | None = None,
 ) -> ProblemEvaluation:
     """Evaluate one problem across the MIB prototype and baselines.
 
     The direct variant is compared against the CPU only (the paper:
     OSQP offers no GPU direct backend, and RSQP supports only the
-    indirect variant).
+    indirect variant).  With ``cache``, compilation is served from the
+    pattern-keyed cache when possible; the evaluation records the
+    compile/solve stage wall times and whether the cache hit.
     """
     platforms = platforms or PLATFORMS
     if baselines is None:
         baselines = ("cpu",) if variant == "direct" else ("cpu", "gpu", "rsqp")
-    mib = MIBSolver(problem, variant=variant, c=c, settings=settings)
+    mib = MIBSolver(problem, variant=variant, c=c, settings=settings, cache=cache)
+    t_solve = time.perf_counter()
     report = mib.solve()
+    solve_seconds = time.perf_counter() - t_solve
     result = report.result
     total_flops = result.trace.total_flops
     measurements: dict[str, PlatformMeasurement] = {}
@@ -171,6 +186,40 @@ def evaluate_problem(
         variant=variant,
         iterations=result.iterations,
         measurements=measurements,
+        compile_seconds=mib.compile_seconds,
+        solve_seconds=solve_seconds,
+        cache_hit=mib.cache_hit,
+    )
+
+
+# One ScheduleCache per (process, cache_dir): worker processes of the
+# parallel suite driver share compiled patterns through the directory,
+# while repeated serial calls share the in-memory LRU.
+_PROCESS_CACHES: dict[str, ScheduleCache] = {}
+
+
+def process_cache(cache_dir: str | Path | None) -> ScheduleCache | None:
+    """The calling process's cache bound to ``cache_dir`` (or None)."""
+    if cache_dir is None:
+        return None
+    key = str(cache_dir)
+    cache = _PROCESS_CACHES.get(key)
+    if cache is None:
+        cache = _PROCESS_CACHES[key] = ScheduleCache(cache_dir)
+    return cache
+
+
+def _evaluate_spec(task) -> ProblemEvaluation:
+    """Top-level worker (picklable) for the parallel suite driver."""
+    spec, variant, c, settings, seed, cache_dir = task
+    return evaluate_problem(
+        spec.generate(seed),
+        domain=spec.domain,
+        dimension=spec.dimension,
+        variant=variant,
+        c=c,
+        settings=settings,
+        cache=process_cache(cache_dir),
     )
 
 
@@ -181,19 +230,22 @@ def evaluate_suite(
     c: int = 32,
     settings: Settings | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[ProblemEvaluation]:
-    """Evaluate a set of benchmark specs under one variant."""
-    return [
-        evaluate_problem(
-            spec.generate(seed),
-            domain=spec.domain,
-            dimension=spec.dimension,
-            variant=variant,
-            c=c,
-            settings=settings,
-        )
+    """Evaluate a set of benchmark specs under one variant.
+
+    ``jobs > 1`` fans the per-problem compile+solve work out across
+    processes with results in spec order — deterministically identical
+    to the serial run.  ``cache_dir`` shares compiled patterns across
+    workers and across reruns through the on-disk schedule cache.
+    """
+    tasks = [
+        (spec, variant, c, settings, seed,
+         str(cache_dir) if cache_dir is not None else None)
         for spec in specs
     ]
+    return parallel_map(_evaluate_spec, tasks, jobs=jobs)
 
 
 def jitter_experiment(

@@ -91,6 +91,16 @@ class VectorAllocator:
     def get(self, name: str) -> VectorView:
         return self._vectors[name]
 
+    def views(self) -> list[VectorView]:
+        """All allocated regions, in allocation order.
+
+        The order matters: replaying ``allocate`` calls in this order
+        (with the recorded rotations) reproduces the exact layout — the
+        contract the compilation cache relies on to restore a compiled
+        binary's absolute bank/address references.
+        """
+        return list(self._vectors.values())
+
     def __contains__(self, name: str) -> bool:
         return name in self._vectors
 

@@ -29,10 +29,13 @@ import numpy as np
 from ..arch import NetworkSimulator, StreamBuffers
 from ..arch.resources import clock_frequency_hz
 from ..compiler import (
+    CompiledArtifact,
     KernelBuilder,
     NetworkProgram,
     Schedule,
+    ScheduleCache,
     ScheduleOptions,
+    VectorSlot,
     row_major_view,
     schedule_program,
 )
@@ -123,6 +126,14 @@ class MIBSolver:
         ADMM settings shared with the algorithmic reference.
     multi_issue / prefetch:
         Scheduler features (exposed for the ablation benchmarks).
+    cache:
+        Optional shared :class:`~repro.compiler.ScheduleCache`.  On a
+        key hit (same sparsity pattern + configuration) construction
+        skips lowering and scheduling entirely and restores the
+        compiled kernels from the cached artifact; ``cache_hit``
+        records which path ran.  Instances rebound with
+        :meth:`update_values` never recompile, so they hit the cache
+        by construction.
     """
 
     # Super-pipelining model (paper future work): one extra register
@@ -142,6 +153,7 @@ class MIBSolver:
         ordering: str = "amd",
         lower_method: str = "column",
         super_pipelined: bool = False,
+        cache: ScheduleCache | None = None,
     ) -> None:
         self.problem = problem
         self.variant = variant
@@ -168,15 +180,82 @@ class MIBSolver:
         )
         self.builder = KernelBuilder(c, depth=1 << 24)
         self.kernels = _CompiledKernels()
+        self.cache = cache
+        self.cache_key: str | None = None
+        self.cache_hit = False
         t0 = time.perf_counter()
-        if variant == "direct":
-            self._compile_direct()
-        else:
-            self._compile_indirect()
-        self._compile_vector_kernels()
-        if variant == "direct":
-            self._compile_network_iteration()
+        if cache is not None:
+            self.cache_key = cache.key_for(
+                problem,
+                variant=variant,
+                c=c,
+                options=self.options,
+                ordering=ordering,
+                lower_method=lower_method,
+                settings=self.reference.settings,
+            )
+            artifact = cache.get(self.cache_key)
+            if artifact is not None:
+                try:
+                    self._restore_compiled(artifact)
+                    self.cache_hit = True
+                except Exception:
+                    # A stale or inapplicable artifact degrades to a
+                    # plain recompile, never a failure.
+                    cache.stats.restore_errors += 1
+                    self.builder = KernelBuilder(c, depth=1 << 24)
+                    self.kernels = _CompiledKernels()
+        if not self.cache_hit:
+            if variant == "direct":
+                self._compile_direct()
+            else:
+                self._compile_indirect()
+            self._compile_vector_kernels()
+            if variant == "direct":
+                self._compile_network_iteration()
+            if cache is not None:
+                cache.put(self.cache_key, self._to_artifact(self.cache_key))
         self.compile_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # compilation cache
+    # ------------------------------------------------------------------
+    def _restore_compiled(self, artifact: CompiledArtifact) -> None:
+        """Rebuild the compiled state from a cached artifact.
+
+        Replays the register-file allocations (so the schedules'
+        absolute locations resolve to the same regions), installs the
+        schedules, and recomputes the cheap pattern-derived views the
+        network-execution paths consult.  No lowering, no scheduling.
+        """
+        for slot in artifact.vectors:
+            view = self.builder.alloc.allocate(
+                slot.name, slot.length, rotation=slot.rotation
+            )
+            if view.base != slot.base:
+                raise ValueError(
+                    f"allocator layout drift restoring {slot.name!r}"
+                )
+        self.kernels.schedules.update(artifact.schedules)
+        sp = self.reference.scaling.scaled
+        self._a_view = row_major_view(sp.a)
+        self._p_view = row_major_view(sp.p_full)
+        if self.variant == "direct":
+            kkt = self.reference.kkt_solver
+            assert isinstance(kkt, DirectKKTSolver)
+            self._kkt_dim = kkt.dim
+            self._perm = kkt.perm
+
+    def _to_artifact(self, key: str) -> CompiledArtifact:
+        """Snapshot the compiled state for the cache."""
+        return CompiledArtifact(
+            key=key,
+            schedules=dict(self.kernels.schedules),
+            vectors=[
+                VectorSlot(v.name, v.length, v.rotation, v.base)
+                for v in self.builder.alloc.views()
+            ],
+        )
 
     # ------------------------------------------------------------------
     # compilation

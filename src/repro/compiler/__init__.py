@@ -1,6 +1,14 @@
 """The MIB compiler: sparsity-pattern-specific lowering of solver
 operations to network instructions, and multi-issue scheduling."""
 
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    CompiledArtifact,
+    ScheduleCache,
+    VectorSlot,
+    pattern_fingerprint,
+)
 from .kernels import KernelBuilder, NetworkProgram
 from .matrixview import RowMajorView, l_row_positions, row_major_view
 from .metrics import (
@@ -16,6 +24,8 @@ from .scheduler import (
     validate_schedule,
 )
 from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
     load_schedule,
     save_schedule,
     schedule_from_dict,
@@ -23,6 +33,14 @@ from .serialize import (
 )
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "CompiledArtifact",
+    "FORMAT_VERSION",
+    "ScheduleCache",
+    "SerializationError",
+    "VectorSlot",
+    "pattern_fingerprint",
     "load_schedule",
     "save_schedule",
     "schedule_from_dict",

@@ -23,9 +23,22 @@ import numpy as np
 from ..arch.isa import EwiseFn, Location, NetOp, OpKind, StreamRef
 from .scheduler import Schedule
 
-__all__ = ["schedule_to_dict", "schedule_from_dict", "save_schedule", "load_schedule"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
 
 FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """A schedule container is malformed or from an unknown format
+    version.  Subclasses :class:`ValueError` for compatibility; the
+    compilation cache catches it to trigger load-or-recompile."""
 
 
 def _loc_to_list(loc: Location) -> list:
@@ -106,7 +119,9 @@ def schedule_from_dict(raw: dict) -> Schedule:
     """Reconstruct a schedule saved by :func:`schedule_to_dict`."""
     version = raw.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported schedule format version {version!r}")
+        raise SerializationError(
+            f"unsupported schedule format version {version!r}"
+        )
     return Schedule(
         name=raw["name"],
         c=int(raw["c"]),

@@ -4,6 +4,7 @@ paper's evaluation (portfolio, lasso, Huber fitting, MPC, SVM)."""
 from .huber import huber_problem
 from .lasso import lasso_problem
 from .mpc import mpc_problem, random_linear_system
+from .parallel import default_jobs, parallel_map
 from .portfolio import portfolio_problem
 from .suite import DOMAINS, N_SCALES, ProblemSpec, benchmark_suite, domain_scales
 from .svm import svm_problem
@@ -13,7 +14,9 @@ __all__ = [
     "N_SCALES",
     "ProblemSpec",
     "benchmark_suite",
+    "default_jobs",
     "domain_scales",
+    "parallel_map",
     "huber_problem",
     "lasso_problem",
     "mpc_problem",

@@ -1,0 +1,234 @@
+"""Hazard-injection tests: mutated valid schedules must be rejected.
+
+The simulator is the hazard oracle for the whole compiler (a schedule
+that executes without :class:`HazardViolation` is hazard-free by
+construction).  These tests take *valid* schedules, break them in the
+specific ways a buggy scheduler could — issuing a dependent op inside
+the pipeline-latency window, dropping a prefetch copy while keeping the
+rewritten consumer slot, co-issuing structurally conflicting ops,
+oversubscribing the scalar units — and assert the simulator raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    EwiseFn,
+    HazardViolation,
+    Location,
+    NetOp,
+    NetworkSimulator,
+    OpKind,
+    StreamBuffers,
+)
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    schedule_program,
+)
+
+C = 8
+SCRATCH_BASE = 1 << 22  # the scheduler's prefetch scratch region
+
+
+def rf(bank, addr):
+    return Location("rf", bank, addr)
+
+
+def _mac(reads, writes, src_lanes, dst_lanes, tag=""):
+    return NetOp(
+        kind=OpKind.MAC,
+        reads=reads,
+        writes=writes,
+        coeffs=np.ones(len(reads)),
+        src_lanes=src_lanes,
+        dst_lanes=dst_lanes,
+        tag=tag,
+    )
+
+
+def _dependent_chain():
+    """producer writes rf(1, 0); consumer reads it."""
+    producer = _mac([rf(0, 0)], [(rf(1, 0), False)], [0], [1], tag="producer")
+    consumer = _mac([rf(1, 0)], [(rf(2, 0), False)], [1], [2], tag="consumer")
+    return NetworkProgram("chain", [producer, consumer])
+
+
+def _fig7_program():
+    """The Fig. 7 read-port-contention scenario (two loads mature at
+    the same cycle; both consumers also read the shared bank 0)."""
+
+    def load(dst_bank, addr, value, lane):
+        return NetOp(
+            kind=OpKind.PERMUTE,
+            writes=[(rf(dst_bank, addr), False)],
+            coeffs=np.array([value]),
+            src_lanes=[lane],
+            dst_lanes=[dst_bank],
+            tag=f"load{dst_bank}",
+        )
+
+    def consumer(i, dep_bank, dst_bank):
+        return NetOp(
+            kind=OpKind.MAC,
+            reads=[rf(dep_bank, 10), rf(0, i)],
+            writes=[(rf(dst_bank, 20), False)],
+            coeffs=np.array([1.0, 1.0]),
+            src_lanes=[dep_bank, 0],
+            dst_lanes=[dst_bank],
+            tag=f"consume{i}",
+        )
+
+    return [
+        load(1, 10, 100.0, 1),
+        load(2, 10, 200.0, 2),
+        consumer(0, 1, 5),
+        consumer(1, 2, 6),
+    ]
+
+
+class TestLatencyViolations:
+    def test_valid_single_issue_schedule_executes(self):
+        sched = schedule_program(
+            _dependent_chain(), C, ScheduleOptions(multi_issue=False)
+        )
+        NetworkSimulator(C).run(sched.slots, StreamBuffers())
+
+    def test_compressing_stall_slots_raises_raw(self):
+        # The single-issue baseline stalls the consumer until the
+        # producer's write commits; squeezing those empty slots out
+        # issues the consumer with the write still in flight.
+        sched = schedule_program(
+            _dependent_chain(), C, ScheduleOptions(multi_issue=False)
+        )
+        compressed = [b for b in sched.slots if b]
+        assert len(compressed) < len(sched.slots)
+        with pytest.raises(HazardViolation, match="RAW"):
+            NetworkSimulator(C).run(compressed, StreamBuffers())
+
+    def test_moving_consumer_into_latency_window_raises_raw(self):
+        # Swap the consumers' bundle into slot 1: the loads issued at
+        # slot 0 commit log2(C)+3 cycles later, so the dependent reads
+        # now race in-flight writes.
+        sched = schedule_program(
+            NetworkProgram("fig7", _fig7_program()),
+            C,
+            ScheduleOptions(prefetch=True),
+        )
+        slots = [list(b) for b in sched.slots]
+        t_consume = next(
+            t
+            for t, b in enumerate(slots)
+            if any(op.tag.startswith("consume") for op in b)
+        )
+        assert t_consume > 1
+        slots[1], slots[t_consume] = slots[t_consume], slots[1]
+        with pytest.raises(HazardViolation, match="RAW"):
+            NetworkSimulator(C).run(slots, StreamBuffers())
+
+
+class TestDroppedPrefetch:
+    def test_dropping_prefetch_copy_reintroduces_conflict(self):
+        # Schedule with prefetching: the copy moves one consumer's
+        # bank-0 operand to an idle bank so both consumers co-issue.
+        # Deleting the copy and pointing the consumer back at the
+        # original operand must make that co-issue slot illegal.
+        ops = _fig7_program()
+        sched = schedule_program(
+            NetworkProgram("fig7", ops), C, ScheduleOptions(prefetch=True)
+        )
+        assert sched.n_prefetch == 1
+        NetworkSimulator(C).run(sched.slots, StreamBuffers())  # valid as-is
+
+        slots = [
+            [op for op in b if not op.tag.startswith("prefetch:")]
+            for b in sched.slots
+        ]
+        rewritten = next(
+            op
+            for b in slots
+            for op in b
+            if any(l.space == "rf" and l.addr >= SCRATCH_BASE for l in op.reads)
+        )
+        i = int(rewritten.tag[-1])  # consume0 / consume1
+        for ri, loc in enumerate(rewritten.reads):
+            if loc.addr >= SCRATCH_BASE:
+                scratch_bank = loc.bank
+                rewritten.reads[ri] = rf(0, i)
+                for li, lane in enumerate(rewritten.src_lanes):
+                    if lane == scratch_bank:
+                        rewritten.src_lanes[li] = 0
+                        break
+        rewritten._occ = None  # occupancy was cached for the scratch bank
+        with pytest.raises(HazardViolation, match="conflict"):
+            NetworkSimulator(C).run(slots, StreamBuffers())
+
+
+class TestStructuralConflicts:
+    def test_coissued_ewise_ops_node_conflict(self):
+        # Element-wise ops occupy the full network: two in one bundle
+        # can never be legal.
+        kb = KernelBuilder(C)
+        a = kb.vector("a", 4)
+        b = kb.vector("b", 4)
+        bundle = [kb.set_zero(a)[0], kb.set_zero(b)[0]]
+        with pytest.raises(HazardViolation, match="node conflict"):
+            NetworkSimulator(C).run([bundle], StreamBuffers())
+
+    def test_scalar_units_oversubscribed(self):
+        sim = NetworkSimulator(C)
+        ops = []
+        for k in range(5):  # SCALAR_UNITS == 4
+            sim.rf.data[k, 0] = 1.0 + k
+            ops.append(
+                NetOp(
+                    kind=OpKind.SCALAR,
+                    ewise_fn=EwiseFn.RECIP,
+                    reads=[rf(k, 0)],
+                    writes=[(Location("scalar", 0, k), False)],
+                    tag=f"recip{k}",
+                )
+            )
+        with pytest.raises(HazardViolation, match="scalar units"):
+            sim.run([ops], StreamBuffers())
+
+    def test_four_scalar_ops_are_legal(self):
+        sim = NetworkSimulator(C)
+        ops = []
+        for k in range(4):
+            sim.rf.data[k, 0] = 1.0 + k
+            ops.append(
+                NetOp(
+                    kind=OpKind.SCALAR,
+                    ewise_fn=EwiseFn.RECIP,
+                    reads=[rf(k, 0)],
+                    writes=[(Location("scalar", 0, k), False)],
+                    tag=f"recip{k}",
+                )
+            )
+        sim.run([ops], StreamBuffers())
+        assert sim.scalar[3] == pytest.approx(0.25)
+
+    def test_mac_reading_one_bank_twice(self):
+        # Distinct entry lanes (the network can route it) but both
+        # operands live in bank 0 — a prefetch rewrite that moved the
+        # lane without moving the data would look exactly like this.
+        op = _mac(
+            [rf(0, 0), rf(0, 1)], [(rf(1, 0), False)], [0, 3], [1], tag="dup"
+        )
+        with pytest.raises(HazardViolation, match="bank twice"):
+            NetworkSimulator(C).run([[op]], StreamBuffers())
+
+    def test_coissued_reads_of_one_bank_port_conflict(self):
+        # Two single-lane MACs in disjoint network quadrants, both
+        # reading bank 0: structurally routable, but one read port.
+        op_a = _mac([rf(0, 0)], [(rf(1, 0), False)], [0], [1], tag="a")
+        op_b = _mac([rf(0, 1)], [(rf(5, 0), False)], [4], [5], tag="b")
+        # Reading from bank 0 while entering the network at lane 4
+        # models a prefetched operand whose copy was mislaid: the lane
+        # is free but the port is not.
+        with pytest.raises(HazardViolation, match="conflict"):
+            NetworkSimulator(C).run([[op_a, op_b]], StreamBuffers())

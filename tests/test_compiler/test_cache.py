@@ -1,0 +1,244 @@
+"""Correctness tests for the pattern-keyed compilation cache.
+
+Covers the load-or-recompile contract end to end: warm constructions
+must skip scheduling entirely (proved by stubbing the scheduler out),
+cached and fresh solvers must agree bit for bit, any on-disk corruption
+must degrade to a silent recompile, and equal-shape patterns with
+different structure must never share a key.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro.backends.mib as mib_mod
+from repro.backends.mib import MIBSolver
+from repro.compiler import (
+    CompiledArtifact,
+    ScheduleCache,
+    ScheduleOptions,
+    pattern_fingerprint,
+)
+from repro.linalg import CSCMatrix
+from repro.problems.suite import _GENERATORS
+from repro.solver import Settings
+
+C = 16
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+def _problem(dim: int = 10):
+    return _GENERATORS["portfolio"](dim, 0)
+
+
+def _solver(problem, cache, variant="direct"):
+    return MIBSolver(
+        problem, variant=variant, c=C, settings=SETTINGS, cache=cache
+    )
+
+
+def _no_schedule(*args, **kwargs):  # pragma: no cover - must not run
+    raise AssertionError("schedule_program called on a warm cache path")
+
+
+class TestWarmPath:
+    def test_cold_construction_misses_and_stores(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        solver = _solver(_problem(), cache)
+        assert not solver.cache_hit
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.path_for(solver.cache_key).exists()
+
+    @pytest.mark.parametrize("variant", ["direct", "indirect"])
+    def test_warm_construction_skips_scheduling(
+        self, tmp_path, monkeypatch, variant
+    ):
+        cache = ScheduleCache(tmp_path)
+        problem = _problem()
+        cold = _solver(problem, cache, variant)
+        monkeypatch.setattr(mib_mod, "schedule_program", _no_schedule)
+        warm = _solver(problem, cache, variant)
+        assert warm.cache_hit
+        assert cache.stats.hits == 1
+        assert cache.stats.memory_hits == 1
+        assert warm.kernels.schedules.keys() == cold.kernels.schedules.keys()
+
+    @pytest.mark.parametrize("variant", ["direct", "indirect"])
+    def test_cached_solve_bit_identical(self, tmp_path, variant):
+        cache = ScheduleCache(tmp_path)
+        problem = _problem()
+        cold = _solver(problem, cache, variant).solve()
+        warm = _solver(problem, cache, variant).solve()
+        assert np.array_equal(cold.result.x, warm.result.x)
+        assert np.array_equal(cold.result.y, warm.result.y)
+        assert cold.result.iterations == warm.result.iterations
+        assert cold.cycles == warm.cycles
+
+    def test_fresh_cache_hits_from_disk(self, tmp_path, monkeypatch):
+        problem = _problem()
+        _solver(problem, ScheduleCache(tmp_path), "direct")
+        # A brand-new cache on the same directory (fresh process in the
+        # parallel driver) must restore without scheduling.
+        cache2 = ScheduleCache(tmp_path)
+        monkeypatch.setattr(mib_mod, "schedule_program", _no_schedule)
+        warm = _solver(problem, cache2, "direct")
+        assert warm.cache_hit
+        assert cache2.stats.disk_hits == 1
+
+
+class TestCorruptionSafety:
+    def _stored_path(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        solver = _solver(_problem(), cache)
+        return cache.path_for(solver.cache_key)
+
+    def _expect_recompile(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        solver = _solver(_problem(), cache)
+        assert not solver.cache_hit
+        assert cache.stats.disk_errors == 1
+        assert cache.stats.misses == 1
+        result = solver.solve().result
+        assert result.status.value == "solved"
+        return cache
+
+    def test_version_mismatch_silently_recompiles(self, tmp_path):
+        path = self._stored_path(tmp_path)
+        raw = json.loads(path.read_text())
+        raw["cache_format_version"] = 999
+        path.write_text(json.dumps(raw))
+        self._expect_recompile(tmp_path)
+
+    def test_truncated_file_silently_recompiles(self, tmp_path):
+        path = self._stored_path(tmp_path)
+        path.write_text(path.read_text()[:100])
+        self._expect_recompile(tmp_path)
+
+    def test_garbage_file_silently_recompiles(self, tmp_path):
+        path = self._stored_path(tmp_path)
+        path.write_text("this is not an executable")
+        self._expect_recompile(tmp_path)
+
+    def test_tampered_schedule_fails_validation_and_recompiles(self, tmp_path):
+        # Valid JSON, valid container version — but one schedule now
+        # co-issues a duplicated op, which static validation rejects.
+        path = self._stored_path(tmp_path)
+        raw = json.loads(path.read_text())
+        sched = next(iter(raw["schedules"].values()))
+        bundle = next(b for b in sched["slots"] if b)
+        bundle.append(dict(bundle[0]))
+        path.write_text(json.dumps(raw))
+        self._expect_recompile(tmp_path)
+
+    def test_recompile_restores_the_disk_copy(self, tmp_path):
+        path = self._stored_path(tmp_path)
+        path.write_text("garbage")
+        self._expect_recompile(tmp_path)
+        # The recompilation stored a fresh artifact over the bad file.
+        json.loads(path.read_text())
+
+
+class TestKeying:
+    def _stub(self, p_dense, a_dense):
+        return SimpleNamespace(
+            p_upper=CSCMatrix.from_dense(np.triu(p_dense)),
+            a=CSCMatrix.from_dense(a_dense),
+        )
+
+    def _key(self, stub, **overrides):
+        kwargs = dict(variant="direct", c=C, options=ScheduleOptions())
+        kwargs.update(overrides)
+        return pattern_fingerprint(stub, **kwargs)
+
+    def test_same_pattern_same_key(self):
+        p = np.eye(4)
+        a = np.zeros((3, 4))
+        a[0, 1] = a[2, 3] = 1.0
+        assert self._key(self._stub(p, a)) == self._key(self._stub(p, a))
+
+    def test_values_do_not_affect_the_key(self):
+        p = np.eye(4)
+        a = np.zeros((3, 4))
+        a[0, 1] = a[2, 3] = 1.0
+        b = a * 7.5  # same structure, different numbers
+        assert self._key(self._stub(p, a)) == self._key(self._stub(p, b))
+
+    def test_equal_shape_different_structure_distinct_keys(self):
+        p = np.eye(4)
+        a1 = np.zeros((3, 4))
+        a1[0, 1] = a1[2, 3] = 1.0
+        a2 = np.zeros((3, 4))
+        a2[0, 2] = a2[2, 3] = 1.0  # same shape, same nnz, one entry moved
+        assert self._key(self._stub(p, a1)) != self._key(self._stub(p, a2))
+
+    def test_configuration_enters_the_key(self):
+        p = np.eye(4)
+        a = np.zeros((3, 4))
+        a[0, 1] = 1.0
+        stub = self._stub(p, a)
+        base = self._key(stub)
+        assert self._key(stub, c=32) != base
+        assert self._key(stub, variant="indirect") != base
+        assert self._key(stub, options=ScheduleOptions(prefetch=False)) != base
+        assert self._key(stub, sigma=1e-5) != base
+        assert self._key(stub, alpha=1.0) != base
+        assert self._key(stub, ordering="natural") != base
+        assert self._key(stub, lower_method="row") != base
+
+
+class TestLRU:
+    def _artifact(self, key):
+        return CompiledArtifact(key=key, schedules={}, vectors=[])
+
+    def test_memory_eviction(self):
+        cache = ScheduleCache(None, max_entries=1)
+        cache.put("k1", self._artifact("k1"))
+        cache.put("k2", self._artifact("k2"))
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        assert cache.get("k1") is None  # memory-only: evicted is gone
+        assert cache.get("k2") is not None
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ScheduleCache(tmp_path, max_entries=1)
+        cache.put("k1", self._artifact("k1"))
+        cache.put("k2", self._artifact("k2"))
+        assert cache.stats.evictions == 1
+        assert cache.get("k1") is not None  # reloaded from disk
+        assert cache.stats.disk_hits == 1
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = ScheduleCache(None, max_entries=2)
+        cache.put("k1", self._artifact("k1"))
+        cache.put("k2", self._artifact("k2"))
+        assert cache.get("k1") is not None  # k1 becomes most recent
+        cache.put("k3", self._artifact("k3"))  # evicts k2, not k1
+        assert cache.get("k1") is not None
+        assert cache.get("k2") is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(None, max_entries=0)
+
+
+class TestStats:
+    def test_rows_and_merge(self):
+        cache = ScheduleCache(None)
+        cache.put("k", CompiledArtifact(key="k", schedules={}, vectors=[]))
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert any("hit rate" in name for name, _ in stats.rows())
+        other = ScheduleCache(None).stats
+        other.hits = 3
+        other.misses = 1
+        stats.merge(other)
+        assert stats.hits == 4
+        assert stats.lookups == 6

@@ -1,0 +1,210 @@
+"""Randomized differential tests of schedule equivalence.
+
+For every lowered primitive, the multi-issue schedule (the paper's
+first-fit packing with data prefetching) must compute *bit-identical*
+results to the single-issue baseline schedule of the same program:
+scheduling reorders instructions but never the arithmetic inside one,
+and same-location commits stay in program order.  Both are additionally
+checked against the host (numpy) reference.
+
+Each primitive runs ~20 seeded random sparsity patterns, cycling the
+network width through C in {8, 16, 32}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import NetworkSimulator, StreamBuffers
+from repro.backends.cpu import run_reference
+from repro.backends.mib import MIBSolver
+from repro.compiler import (
+    KernelBuilder,
+    NetworkProgram,
+    ScheduleOptions,
+    row_major_view,
+    schedule_program,
+)
+from repro.linalg import ldl_factor, solve_lower_unit_columns
+from repro.problems.suite import _GENERATORS
+from repro.solver import Settings
+from tests.conftest import random_sparse, random_spd_upper
+
+N_SEEDS = 20
+WIDTHS = (8, 16, 32)
+
+# The paper's scheduling mode vs. the Fig. 8 "before reordering"
+# baseline; both execute on the hazard-checking simulator.
+MULTI = ScheduleOptions(multi_issue=True, prefetch=True)
+SINGLE = ScheduleOptions(multi_issue=False, prefetch=False)
+
+
+def _width(seed: int) -> int:
+    return WIDTHS[seed % len(WIDTHS)]
+
+
+def _write_view(sim: NetworkSimulator, view, values) -> None:
+    for i, v in enumerate(values):
+        loc = view.location(i)
+        sim.rf.data[loc.bank, loc.addr] = v
+
+
+def _read_view(sim: NetworkSimulator, view, length: int) -> np.ndarray:
+    return np.array([sim.read_loc(view.location(i)) for i in range(length)])
+
+
+def _execute(build, seed: int, options: ScheduleOptions) -> np.ndarray:
+    """Lower, schedule and run one primitive; return the output vector.
+
+    Lowering is redone per scheduling mode: the scheduler mutates ops
+    in place (prefetch rewrites operands), so the two schedules must
+    not share a program instance.
+    """
+    c = _width(seed)
+    kb = KernelBuilder(c)
+    sim = NetworkSimulator(c)
+    streams = StreamBuffers()
+    ops, out_view, out_len = build(seed, kb, sim, streams)
+    sched = schedule_program(NetworkProgram("diff", ops), c, options)
+    sim.run(sched.slots, streams)
+    return _read_view(sim, out_view, out_len)
+
+
+def _differential(build, reference, seed: int) -> None:
+    multi = _execute(build, seed, MULTI)
+    single = _execute(build, seed, SINGLE)
+    assert np.array_equal(multi, single), (
+        "multi-issue schedule diverged from single-issue baseline"
+    )
+    np.testing.assert_allclose(multi, reference(seed), rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# SpMV (MAC reduction primitive)
+# ----------------------------------------------------------------------
+def _spmv_inputs(seed: int):
+    rng = np.random.default_rng(1000 + seed)
+    nrows = 8 + seed % 11
+    ncols = 6 + (3 * seed) % 13
+    a = random_sparse(rng, nrows, ncols, 0.3)
+    v = rng.standard_normal(max(nrows, ncols))
+    return a, v
+
+
+def _build_spmv(seed, kb, sim, streams):
+    a, v = _spmv_inputs(seed)
+    x = kb.vector("x", a.shape[1])
+    y = kb.vector("y", a.shape[0])
+    _write_view(sim, x, v[: a.shape[1]])
+    streams.bind("A", a.data)
+    return kb.spmv(row_major_view(a), x, y, "A"), y, a.shape[0]
+
+
+def _ref_spmv(seed):
+    a, v = _spmv_inputs(seed)
+    return a.to_dense() @ v[: a.shape[1]]
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_spmv_differential(seed):
+    _differential(_build_spmv, _ref_spmv, seed)
+
+
+# ----------------------------------------------------------------------
+# A^T x (column-elimination primitive)
+# ----------------------------------------------------------------------
+def _build_spmv_t(seed, kb, sim, streams):
+    a, v = _spmv_inputs(seed)
+    y = kb.vector("y", a.shape[0])
+    out = kb.vector("out", a.shape[1])
+    _write_view(sim, y, v[: a.shape[0]])
+    streams.bind("A", a.data)
+    view = row_major_view(a)
+    return kb.spmv_transpose(view, y, out, "A"), out, a.shape[1]
+
+
+def _ref_spmv_t(seed):
+    a, v = _spmv_inputs(seed)
+    return a.to_dense().T @ v[: a.shape[0]]
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_spmv_transpose_differential(seed):
+    _differential(_build_spmv_t, _ref_spmv_t, seed)
+
+
+# ----------------------------------------------------------------------
+# Permutation (butterfly routing waves)
+# ----------------------------------------------------------------------
+def _perm_inputs(seed: int):
+    rng = np.random.default_rng(2000 + seed)
+    n = 10 + seed % 23
+    return rng.permutation(n), rng.standard_normal(n)
+
+
+def _build_perm(seed, kb, sim, streams):
+    perm, src_vals = _perm_inputs(seed)
+    n = len(perm)
+    src = kb.vector("src", n)
+    dst = kb.vector("dst", n)
+    _write_view(sim, src, src_vals)
+    return kb.permute_vector(src, dst, perm), dst, n
+
+
+def _ref_perm(seed):
+    perm, src = _perm_inputs(seed)
+    return src[perm]
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_permutation_differential(seed):
+    _differential(_build_perm, _ref_perm, seed)
+
+
+# ----------------------------------------------------------------------
+# Triangular solve (column-based forward substitution on an LDL factor)
+# ----------------------------------------------------------------------
+def _tri_inputs(seed: int):
+    rng = np.random.default_rng(3000 + seed)
+    n = 8 + seed % 17
+    factor = ldl_factor(random_spd_upper(rng, n, 0.3))
+    b = rng.standard_normal(n)
+    return factor, b
+
+
+def _build_tri(seed, kb, sim, streams):
+    factor, b = _tri_inputs(seed)
+    sym = factor.symbolic
+    x = kb.vector("x", sym.n)
+    _write_view(sim, x, b)
+    streams.bind("L", factor.l_data)
+    return kb.lsolve_columns(sym, x, "L"), x, sym.n
+
+
+def _ref_tri(seed):
+    factor, b = _tri_inputs(seed)
+    return solve_lower_unit_columns(factor.symbolic, factor.l_data, b.copy())
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_triangular_solve_differential(seed):
+    _differential(_build_tri, _ref_tri, seed)
+
+
+# ----------------------------------------------------------------------
+# Solver level: the cycle-priced MIB backend runs the same algorithm
+# as the host reference, bit for bit, at every network width.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("c", WIDTHS)
+@pytest.mark.parametrize("variant", ["direct", "indirect"])
+def test_solver_bitwise_matches_host_reference(variant, c):
+    problem = _GENERATORS["portfolio"](10, 0)
+    settings = Settings(eps_abs=1e-3, eps_rel=1e-3)
+    mib = MIBSolver(problem, variant=variant, c=c, settings=settings)
+    ref = run_reference(problem, variant=variant, settings=settings)
+    got, want = mib.solve().result, ref.result
+    assert got.iterations == want.iterations
+    assert np.array_equal(got.x, want.x)
+    assert np.array_equal(got.y, want.y)
+    assert got.objective == want.objective

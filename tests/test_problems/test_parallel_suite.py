@@ -1,0 +1,120 @@
+"""Determinism tests for the parallel suite driver.
+
+The contract: ``--jobs N`` produces byte-identical results to
+``--jobs 1`` — same evaluations (wall-clock fields are excluded from
+equality by design), same rendered table rows — and a shared cache
+directory lets workers reuse each other's compiled patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main, suite_rows
+from repro.analysis import evaluate_suite
+from repro.problems import ProblemSpec, default_jobs, parallel_map
+from repro.solver import Settings
+
+SPECS = [
+    ProblemSpec("portfolio", 0, 10),
+    ProblemSpec("mpc", 0, 3),
+    ProblemSpec("svm", 0, 6),
+    ProblemSpec("lasso", 0, 8),
+]
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+def _evaluate(jobs, cache_dir=None):
+    return evaluate_suite(
+        SPECS,
+        variant="indirect",
+        c=16,
+        settings=SETTINGS,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=4
+        )
+
+    def test_more_jobs_than_items(self):
+        assert parallel_map(_square, [3], jobs=8) == [9]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSuiteDeterminism:
+    def test_parallel_evaluations_identical_to_serial(self):
+        serial = _evaluate(jobs=1)
+        parallel = _evaluate(jobs=4)
+        assert parallel == serial
+        # The rendered table rows must be byte-identical too (this is
+        # exactly what `python -m repro suite` prints).
+        assert suite_rows(SPECS, parallel) == suite_rows(SPECS, serial)
+
+    def test_result_order_follows_spec_order(self):
+        evaluations = _evaluate(jobs=2)
+        assert [e.domain for e in evaluations] == [s.domain for s in SPECS]
+
+    def test_shared_cache_across_jobs_and_reruns(self, tmp_path):
+        cache_dir = tmp_path / "suite-cache"
+        first = _evaluate(jobs=2, cache_dir=cache_dir)
+        assert not any(e.cache_hit for e in first)
+        assert sorted(cache_dir.glob("*.mibc")), "workers persisted nothing"
+        # A serial rerun over the same directory compiles nothing.
+        second = _evaluate(jobs=1, cache_dir=cache_dir)
+        assert all(e.cache_hit for e in second)
+        assert second == first
+
+    def test_timing_fields_do_not_break_equality(self):
+        a, b = _evaluate(jobs=1), _evaluate(jobs=1)
+        # Wall clocks differ run to run; equality must hold regardless.
+        assert a == b
+        assert any(e.compile_seconds > 0 for e in a)
+
+
+class TestCLISmoke:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_suite_jobs_flag(self, capsys, jobs, tmp_path):
+        rc = main(
+            [
+                "suite",
+                "--scales",
+                "1",
+                "--jobs",
+                str(jobs),
+                "--domains",
+                "mpc,svm",
+                "--width",
+                "16",
+                "--cache-dir",
+                str(tmp_path / "cli-cache"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "suite summary" in out
+        assert f"| jobs" in out
+
+    def test_serial_and_parallel_tables_match(self, capsys):
+        main(["suite", "--scales", "1", "--jobs", "1", "--domains", "mpc"])
+        serial = capsys.readouterr().out
+        main(["suite", "--scales", "1", "--jobs", "2", "--domains", "mpc"])
+        parallel = capsys.readouterr().out
+        # Everything above the summary block (the results table) is
+        # byte-identical; the summary's wall times legitimately differ.
+        table = lambda s: s.split("suite summary")[0]
+        assert table(serial) == table(parallel)
