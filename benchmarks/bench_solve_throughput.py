@@ -1,0 +1,168 @@
+"""ADMM iteration-loop throughput: interpretive vs trace replay.
+
+The motivating profile for trace compilation: a fully network-executed
+solve spends essentially all of its wall time inside the per-iteration
+kernel loop of :meth:`MIBSolver.solve_on_network`, interpreted one
+``NetOp`` at a time.  This benchmark times that loop under both
+execution modes on representative suite entries, verifies the replay
+results are bit-identical to the oracle, and writes ``BENCH_solve.json``
+(repo root + ``benchmarks/results/``).
+
+Runnable two ways:
+
+* ``pytest benchmarks/bench_solve_throughput.py`` — harness run;
+* ``python benchmarks/bench_solve_throughput.py [--check]`` — CI
+  perf-smoke entry point; ``--check`` exits non-zero if replay is not
+  faster than the interpreter anywhere (or results diverge).
+
+The per-iteration cost is isolated as ``(t(N iters) - t(1 iter)) /
+(N - 1)``: the one-time factorization, data load and final residual
+check cancel in the difference, leaving exactly the ADMM loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.backends.mib import MIBSolver
+from repro.problems import lasso_problem, mpc_problem
+from repro.solver import Settings
+
+from benchmarks.common import RESULTS_DIR
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+C = 8
+TIMED_ITERS = 12
+
+# Fixed-length runs: residual checks deferred past the horizon, no rho
+# adaptation, tolerances far below reach — every run executes exactly
+# max_iter iterations of exactly the same three kernels.
+BENCH_SETTINGS = Settings(
+    max_iter=4000,
+    check_interval=10_000,
+    adaptive_rho=False,
+    eps_abs=1e-14,
+    eps_rel=1e-14,
+)
+
+DOMAINS = {
+    "lasso": lambda: lasso_problem(6, seed=7),
+    "mpc": lambda: mpc_problem(3, horizon=4, seed=7),
+}
+
+
+def _report_key(r):
+    return (
+        r.status,
+        r.iterations,
+        r.cycles,
+        r.x.tobytes(),
+        r.z.tobytes(),
+        r.y.tobytes(),
+        r.primal_residual,
+        r.dual_residual,
+    )
+
+
+def _time_solve(solver, max_iter: int):
+    t0 = time.perf_counter()
+    report = solver.solve_on_network(max_iter=max_iter)
+    return time.perf_counter() - t0, report
+
+
+def bench_domain(name: str, timed_iters: int = TIMED_ITERS) -> dict:
+    problem = DOMAINS[name]()
+    row: dict = {"n": problem.n, "m": problem.m, "nnz": problem.nnz}
+    reports = {}
+    for mode in ("interpret", "replay"):
+        solver = MIBSolver(
+            problem, variant="direct", c=C,
+            settings=BENCH_SETTINGS, execution=mode,
+        )
+        # Warm-up: trace compilation (replay) and allocator/cache
+        # effects (both modes) stay out of the timed runs.
+        solver.solve_on_network(max_iter=1)
+        t_one, _ = _time_solve(solver, 1)
+        t_many, reports[mode] = _time_solve(solver, timed_iters)
+        per_iter = max((t_many - t_one) / (timed_iters - 1), 1e-12)
+        row[mode] = {
+            "solve_seconds": t_many,
+            "seconds_per_iteration": per_iter,
+            "iterations_per_second": 1.0 / per_iter,
+        }
+    row["speedup"] = (
+        row["interpret"]["seconds_per_iteration"]
+        / row["replay"]["seconds_per_iteration"]
+    )
+    row["bit_identical"] = _report_key(reports["interpret"]) == _report_key(
+        reports["replay"]
+    )
+    return row
+
+
+def run_benchmark(timed_iters: int = TIMED_ITERS) -> dict:
+    domains = {name: bench_domain(name, timed_iters) for name in DOMAINS}
+    return {
+        "benchmark": "admm_iteration_loop_throughput",
+        "c": C,
+        "variant": "direct",
+        "timed_iterations": timed_iters,
+        "domains": domains,
+        "min_speedup": min(d["speedup"] for d in domains.values()),
+        "all_bit_identical": all(
+            d["bit_identical"] for d in domains.values()
+        ),
+    }
+
+
+def write_results(results: dict) -> Path:
+    payload = json.dumps(results, indent=2) + "\n"
+    out = REPO_ROOT / "BENCH_solve.json"
+    out.write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_solve.json").write_text(payload)
+    return out
+
+
+def _print_summary(results: dict) -> None:
+    for name, d in results["domains"].items():
+        print(
+            f"{name:>8}: interpret {d['interpret']['iterations_per_second']:8.2f} it/s"
+            f" | replay {d['replay']['iterations_per_second']:8.2f} it/s"
+            f" | speedup {d['speedup']:6.1f}x"
+            f" | bit-identical: {d['bit_identical']}"
+        )
+    print(f"min speedup: {results['min_speedup']:.1f}x")
+
+
+def test_replay_throughput():
+    """Harness entry: replay must beat the interpreter and agree
+    bit for bit on every domain."""
+    results = run_benchmark()
+    write_results(results)
+    _print_summary(results)
+    assert results["all_bit_identical"]
+    assert results["min_speedup"] > 1.0
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    results = run_benchmark()
+    write_results(results)
+    _print_summary(results)
+    if check:
+        if not results["all_bit_identical"]:
+            print("FAIL: replay diverged from the interpretive oracle")
+            return 1
+        if results["min_speedup"] <= 1.0:
+            print("FAIL: replay slower than interpretive execution")
+            return 1
+        print("perf-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -130,6 +130,7 @@ def evaluate_problem(
     platforms: dict[str, Platform] | None = None,
     baselines: tuple[str, ...] | None = None,
     cache: ScheduleCache | None = None,
+    execution: str = "replay",
 ) -> ProblemEvaluation:
     """Evaluate one problem across the MIB prototype and baselines.
 
@@ -138,11 +139,20 @@ def evaluate_problem(
     indirect variant).  With ``cache``, compilation is served from the
     pattern-keyed cache when possible; the evaluation records the
     compile/solve stage wall times and whether the cache hit.
+    ``execution`` selects how any simulator-executed kernels run
+    (``"replay"`` traces or the ``"interpret"`` oracle).
     """
     platforms = platforms or PLATFORMS
     if baselines is None:
         baselines = ("cpu",) if variant == "direct" else ("cpu", "gpu", "rsqp")
-    mib = MIBSolver(problem, variant=variant, c=c, settings=settings, cache=cache)
+    mib = MIBSolver(
+        problem,
+        variant=variant,
+        c=c,
+        settings=settings,
+        cache=cache,
+        execution=execution,
+    )
     t_solve = time.perf_counter()
     report = mib.solve()
     solve_seconds = time.perf_counter() - t_solve
@@ -211,7 +221,7 @@ def process_cache(cache_dir: str | Path | None) -> ScheduleCache | None:
 
 def _evaluate_spec(task) -> ProblemEvaluation:
     """Top-level worker (picklable) for the parallel suite driver."""
-    spec, variant, c, settings, seed, cache_dir = task
+    spec, variant, c, settings, seed, cache_dir, execution = task
     return evaluate_problem(
         spec.generate(seed),
         domain=spec.domain,
@@ -220,6 +230,7 @@ def _evaluate_spec(task) -> ProblemEvaluation:
         c=c,
         settings=settings,
         cache=process_cache(cache_dir),
+        execution=execution,
     )
 
 
@@ -232,6 +243,7 @@ def evaluate_suite(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    execution: str = "replay",
 ) -> list[ProblemEvaluation]:
     """Evaluate a set of benchmark specs under one variant.
 
@@ -242,7 +254,7 @@ def evaluate_suite(
     """
     tasks = [
         (spec, variant, c, settings, seed,
-         str(cache_dir) if cache_dir is not None else None)
+         str(cache_dir) if cache_dir is not None else None, execution)
         for spec in specs
     ]
     return parallel_map(_evaluate_spec, tasks, jobs=jobs)

@@ -4,6 +4,7 @@ files, HBM model, cycle-level simulator and FPGA resource model."""
 from .control import ControlWord, decode_modes, encode_control
 from .hbm import HBMModel, StreamBuffers
 from .isa import (
+    BINARY_EWISE_FNS,
     EwiseFn,
     Location,
     NetOp,
@@ -27,10 +28,16 @@ from .simulator import (
     op_occupancy,
 )
 from .topology import Butterfly, NodeMode, RoutingConflict
+from .trace import CompiledTrace, TracePhase, compile_trace, stamp_matches
 
 __all__ = [
     "AlveoU50",
+    "BINARY_EWISE_FNS",
     "Butterfly",
+    "CompiledTrace",
+    "TracePhase",
+    "compile_trace",
+    "stamp_matches",
     "ControlWord",
     "decode_modes",
     "encode_control",

@@ -23,6 +23,7 @@ from typing import NamedTuple
 import numpy as np
 
 __all__ = [
+    "BINARY_EWISE_FNS",
     "Location",
     "OpKind",
     "NetOp",
@@ -90,6 +91,13 @@ class EwiseFn(enum.Enum):
     FACTOR_FIN = "factor_fin"  # scalar: l = y*dinv to lbuf, d -= y²·dinv
 
 
+# Two-operand EWISE functions: they stream the second operand through
+# the staging port and double-pump (two issue slots, held RF ports).
+BINARY_EWISE_FNS = frozenset(
+    {EwiseFn.ADD, EwiseFn.SUB, EwiseFn.MUL, EwiseFn.AXPBY}
+)
+
+
 @dataclass
 class NetOp:
     """One logical network instruction.
@@ -143,6 +151,10 @@ class NetOp:
     def all_read_locations(self) -> list[Location]:
         """Every location whose value this op consumes (data deps)."""
         return list(self.reads) + list(self.coeff_reads)
+
+    def stream_ref(self) -> StreamRef | None:
+        """The op's HBM stream reference, if its coefficients are one."""
+        return self.coeffs if isinstance(self.coeffs, StreamRef) else None
 
     def all_write_locations(self) -> list[Location]:
         return [loc for loc, _ in self.writes]

@@ -52,6 +52,11 @@ class VectorView:
         lo = row * self.c
         return list(range(lo, min(lo + self.c, self.length)))
 
+    def bank_addr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (banks, addrs) of every element, in order."""
+        i = np.arange(self.length)
+        return (i + self.rotation) % self.c, self.base + i // self.c
+
 
 class VectorAllocator:
     """Assigns register-file regions (and rotations) to named vectors."""
@@ -148,14 +153,10 @@ class RegisterFileArray:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (view.length,):
             raise ValueError("value length mismatch")
-        for i, v in enumerate(values):
-            loc = view.location(i)
-            self.data[loc.bank, loc.addr] = v
+        banks, addrs = view.bank_addr_arrays()
+        self.data[banks, addrs] = values
 
     def read_vector(self, view: VectorView) -> np.ndarray:
         """Bulk host-side readback."""
-        out = np.empty(view.length, dtype=np.float64)
-        for i in range(view.length):
-            loc = view.location(i)
-            out[i] = self.data[loc.bank, loc.addr]
-        return out
+        banks, addrs = view.bank_addr_arrays()
+        return self.data[banks, addrs]

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .hbm import HBMModel, StreamBuffers
-from .isa import EwiseFn, Location, NetOp, OpKind, StreamRef
+from .isa import BINARY_EWISE_FNS, EwiseFn, Location, NetOp, OpKind, StreamRef
 from .regfile import RegisterFileArray
 from .topology import Butterfly
 
@@ -49,12 +49,7 @@ class HazardViolation(RuntimeError):
 
 def op_duration(op: NetOp) -> int:
     """Issue slots the op occupies (binary EWISE double-pumps)."""
-    if op.kind is OpKind.EWISE and op.ewise_fn in (
-        EwiseFn.ADD,
-        EwiseFn.SUB,
-        EwiseFn.MUL,
-        EwiseFn.AXPBY,
-    ):
+    if op.kind is OpKind.EWISE and op.ewise_fn in BINARY_EWISE_FNS:
         return 2
     return 1
 
@@ -137,6 +132,22 @@ class NetworkSimulator:
             return self.hbm_out.get(loc.addr, 0.0)
         raise ValueError(f"unknown space {loc.space}")
 
+    def reset(self, rows: int | None = None) -> None:
+        """Clear the simulator's storage and traffic counters.
+
+        ``rows`` bounds the dense register-file rows to zero (pass the
+        allocator's ``used_rows``); ``None`` clears the full depth.
+        The prefetch scratch region needs no clearing — every scratch
+        word is written before it is read, by construction.
+        """
+        self.rf.data[:, : self.rf.depth if rows is None else rows] = 0.0
+        self.rf._overflow.clear()
+        self.lbuf.clear()
+        self.scalar.clear()
+        self.hbm_out.clear()
+        self.hbm.words_read = 0
+        self.hbm.words_written = 0
+
     def write_loc(self, loc: Location, value: float, accumulate: bool) -> None:
         if loc.space == "rf":
             self.rf.write(loc, value, accumulate=accumulate)
@@ -172,8 +183,10 @@ class NetworkSimulator:
         # Program-order sequence of every in-flight write, per location:
         # a read only races (RAW) against writes that precede it in
         # program order; overlapping a *later* write (WAR) is legal —
-        # the read sees the committed old value.
-        in_flight: dict[Location, list[int]] = defaultdict(list)
+        # the read sees the committed old value.  Drained locations are
+        # deleted so the map's size tracks writes in flight, not every
+        # location ever touched across a long multi-kernel run.
+        in_flight: dict[Location, list[int]] = {}
         stats = SimulationStats()
         next_seq = 0
 
@@ -189,7 +202,10 @@ class NetworkSimulator:
             for w in pending:
                 if w.commit_cycle <= t:
                     self.write_loc(w.loc, w.value, w.accumulate)
-                    in_flight[w.loc].remove(w.seq)
+                    lst = in_flight[w.loc]
+                    lst.remove(w.seq)
+                    if not lst:
+                        del in_flight[w.loc]
                 else:
                     still.append(w)
             pending = still
@@ -248,7 +264,8 @@ class NetworkSimulator:
                 # Data hazards: reading a word while an *earlier* write
                 # to it is still in flight is a true RAW violation.
                 for loc in op.all_read_locations():
-                    if any(s < seq for s in in_flight[loc]):
+                    lst = in_flight.get(loc)
+                    if lst and any(s < seq for s in lst):
                         raise HazardViolation(
                             f"RAW hazard at cycle {t} on {loc}: {op.tag or op.kind}"
                         )
@@ -259,10 +276,10 @@ class NetworkSimulator:
                             t + dur - 1 + latency, loc, value, accumulate, seq
                         )
                     )
-                    in_flight[loc].append(seq)
+                    in_flight.setdefault(loc, []).append(seq)
                 if collect_stats:
                     stats.instructions += 1
-                    stats.node_cycles_busy += bin(occ).count("1")
+                    stats.node_cycles_busy += occ.bit_count()
             if collect_stats:
                 stats.bundles += 1
                 width = len(bundle)
@@ -275,6 +292,18 @@ class NetworkSimulator:
         stats.cycles = len(slots) + latency
         stats.latency = latency
         return stats
+
+    def replay(
+        self,
+        trace,
+        streams: StreamBuffers | None = None,
+        *,
+        collect_stats: bool = True,
+    ) -> SimulationStats:
+        """Execute a :class:`~repro.arch.trace.CompiledTrace` against
+        this simulator's storage (the validate-once fast path; see
+        :func:`~repro.arch.trace.compile_trace`)."""
+        return trace.replay(self, streams, collect_stats=collect_stats)
 
     # ------------------------------------------------------------------
     def _coeff_values(self, op: NetOp, streams: StreamBuffers) -> np.ndarray | None:
@@ -303,11 +332,19 @@ class NetworkSimulator:
         coeffs = self._coeff_values(op, streams)
         out: list[tuple[Location, float, bool]] = []
         if op.kind is OpKind.MAC:
-            inputs = np.array([self.read_loc(l) for l in op.reads])
-            weights = coeffs if coeffs is not None else np.ones(len(op.reads))
-            if len(weights) != len(op.reads):
+            if coeffs is not None and len(coeffs) != len(op.reads):
                 raise ValueError(f"MAC coefficient count mismatch: {op.tag}")
-            value = float(np.dot(weights, inputs))
+            # Sequential left-fold in read order — the systolic
+            # reduction order, and bit-identical to the trace replay's
+            # segmented accumulation (``np.bincount`` adds weights in
+            # input order).
+            value = 0.0
+            if coeffs is None:
+                for l in op.reads:
+                    value += self.read_loc(l)
+            else:
+                for w, l in zip(coeffs, op.reads):
+                    value += float(w) * self.read_loc(l)
             loc, acc = op.writes[0]
             out.append((loc, value, acc))
         elif op.kind is OpKind.COLELIM:

@@ -26,7 +26,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..arch import NetworkSimulator, StreamBuffers
+from ..arch import (
+    CompiledTrace,
+    NetworkSimulator,
+    SimulationStats,
+    StreamBuffers,
+    compile_trace,
+    stamp_matches,
+)
 from ..arch.resources import clock_frequency_hz
 from ..compiler import (
     CompiledArtifact,
@@ -134,12 +141,23 @@ class MIBSolver:
         records which path ran.  Instances rebound with
         :meth:`update_values` never recompile, so they hit the cache
         by construction.
+    execution:
+        How the network-executed paths run kernels: ``"replay"`` (the
+        default) validates each schedule once, lowers it to a
+        :class:`~repro.arch.trace.CompiledTrace` and re-executes the
+        vectorized trace on every invocation; ``"interpret"`` runs the
+        cycle-by-cycle oracle interpreter every time.  The two are
+        bit-identical; replay is the fast path for iterative solves.
     """
 
     # Super-pipelining model (paper future work): one extra register
     # stage per datapath stage roughly doubles the commit latency and
     # raises the achievable clock by ~40%.
     SUPER_PIPELINE_CLOCK_GAIN = 1.4
+
+    # Register-file depth of the network-execution simulator (deep
+    # enough for the prefetch scratch region at 1 << 22).
+    SIM_DEPTH = 1 << 24
 
     def __init__(
         self,
@@ -154,10 +172,19 @@ class MIBSolver:
         lower_method: str = "column",
         super_pipelined: bool = False,
         cache: ScheduleCache | None = None,
+        execution: str = "replay",
     ) -> None:
+        if execution not in ("replay", "interpret"):
+            raise ValueError(
+                f"execution must be 'replay' or 'interpret', got {execution!r}"
+            )
         self.problem = problem
         self.variant = variant
         self.c = c
+        self.execution = execution
+        self._sim: NetworkSimulator | None = None
+        self._traces: dict[str, CompiledTrace] = {}
+        self._trace_stamps: dict[str, dict] = {}
         self.super_pipelined = super_pipelined
         self.clock_hz = clock_frequency_hz(c)
         extra_latency = 0
@@ -237,6 +264,7 @@ class MIBSolver:
                     f"allocator layout drift restoring {slot.name!r}"
                 )
         self.kernels.schedules.update(artifact.schedules)
+        self._trace_stamps = dict(artifact.traces)
         sp = self.reference.scaling.scaled
         self._a_view = row_major_view(sp.a)
         self._p_view = row_major_view(sp.p_full)
@@ -255,7 +283,83 @@ class MIBSolver:
                 VectorSlot(v.name, v.length, v.rotation, v.base)
                 for v in self.builder.alloc.views()
             ],
+            traces=dict(self._trace_stamps),
         )
+
+    # ------------------------------------------------------------------
+    # trace-compiled execution
+    # ------------------------------------------------------------------
+    def _network_sim(self, *, reset: bool = True) -> NetworkSimulator:
+        """The shared lazily-created simulator.
+
+        One ``SIM_DEPTH``-deep register file is allocated per solver
+        and reused across every network-execution entry point; each
+        entry resets the allocator-managed region instead of paying a
+        fresh multi-GiB allocation per call.
+        """
+        if self._sim is None:
+            self._sim = NetworkSimulator(self.c, depth=self.SIM_DEPTH)
+        elif reset:
+            self._sim.reset(self.builder.alloc.used_rows)
+        return self._sim
+
+    def _trace(self, name: str, sim: NetworkSimulator) -> CompiledTrace:
+        """The kernel's compiled trace (validate-and-lower on first use).
+
+        A cached validation stamp (restored with the artifact) proves
+        this exact schedule already passed hazard validation for this
+        configuration, so re-lowering skips the hazard bookkeeping.
+        Values never invalidate a trace: streamed coefficients rebind
+        at every replay, which is what makes :meth:`update_values` and
+        ρ refactorization free of recompilation.
+        """
+        trace = self._traces.get(name)
+        if trace is None:
+            stamp = self._trace_stamps.get(name)
+            validated = stamp_matches(
+                stamp,
+                c=self.c,
+                depth=sim.rf.depth,
+                extra_latency=sim.extra_latency,
+            )
+            trace = compile_trace(
+                self.kernels.schedules[name].slots,
+                c=self.c,
+                depth=sim.rf.depth,
+                extra_latency=sim.extra_latency,
+                validate=not validated,
+                name=name,
+            )
+            self._traces[name] = trace
+            if not validated:
+                self._trace_stamps[name] = trace.summary()
+                if self.cache is not None and self.cache_key is not None:
+                    self.cache.put(
+                        self.cache_key, self._to_artifact(self.cache_key)
+                    )
+        return trace
+
+    def _run_kernel(
+        self, sim: NetworkSimulator, name: str, streams: StreamBuffers
+    ) -> SimulationStats:
+        """Execute one compiled kernel in the configured mode."""
+        if self.execution == "interpret":
+            return sim.run(self.kernels.schedules[name].slots, streams)
+        return self._trace(name, sim).replay(sim, streams)
+
+    def compile_traces(
+        self, names: list[str] | None = None
+    ) -> dict[str, dict]:
+        """Eagerly validate-and-lower kernels to replay traces.
+
+        Returns each trace's layout summary (the cache stamp).  Useful
+        to front-load trace compilation before timed iteration loops.
+        """
+        sim = self._network_sim(reset=False)
+        return {
+            name: self._trace(name, sim).summary()
+            for name in (names or list(self.kernels.schedules))
+        }
 
     # ------------------------------------------------------------------
     # compilation
@@ -531,12 +635,12 @@ class MIBSolver:
         dim = self._kkt_dim
         if rhs.shape != (dim,):
             raise ValueError("rhs dimension mismatch")
-        sim = NetworkSimulator(self.c, depth=1 << 24)
+        sim = self._network_sim()
         streams = StreamBuffers()
         streams.bind("K", kkt._permuted_upper.data)
         sim.rf.load_vector(self.builder.alloc.get("kkt_b"), rhs)
         # Numeric factorization on the network, then bind its outputs.
-        sim.run(self.kernels.schedules["factor"].slots, streams)
+        self._run_kernel(sim, "factor", streams)
         sym = kkt.symbolic
         streams.bind(
             "L", np.array([sim.lbuf.get(p, 0.0) for p in range(sym.l_nnz)])
@@ -544,7 +648,7 @@ class MIBSolver:
         streams.bind(
             "Dinv", sim.rf.read_vector(self.builder.alloc.get("factor_dinv"))
         )
-        sim.run(self.kernels.schedules["kkt_solve"].slots, streams)
+        self._run_kernel(sim, "kkt_solve", streams)
         return sim.rf.read_vector(self.builder.alloc.get("kkt_b"))
 
     def solve_on_network(
@@ -579,7 +683,7 @@ class MIBSolver:
         n, m = sp.n, sp.m
         max_iter = max_iter or st.max_iter
 
-        sim = NetworkSimulator(self.c, depth=1 << 24)
+        sim = self._network_sim()
         streams = StreamBuffers()
         streams.bind("q", sp.q)
         streams.bind("A", sp.a.data)
@@ -598,7 +702,7 @@ class MIBSolver:
 
         def refactor() -> int:
             streams.bind("K", ks._permuted_upper.data)
-            stats = sim.run(self.kernels.schedules["factor"].slots, streams)
+            stats = self._run_kernel(sim, "factor", streams)
             streams.bind(
                 "L",
                 np.array([sim.lbuf.get(p, 0.0) for p in range(sym.l_nnz)]),
@@ -617,11 +721,11 @@ class MIBSolver:
         iteration = 0
         for iteration in range(1, max_iter + 1):
             for kernel in ("iter_pre", "kkt_solve", "iter_post"):
-                stats = sim.run(self.kernels.schedules[kernel].slots, streams)
+                stats = self._run_kernel(sim, kernel, streams)
                 total_cycles += stats.cycles
             if iteration % st.check_interval and iteration != max_iter:
                 continue
-            stats = sim.run(self.kernels.schedules["residuals"].slots, streams)
+            stats = self._run_kernel(sim, "residuals", streams)
             total_cycles += stats.cycles
             ax = sim.rf.read_vector(alloc.get("res_ax"))
             px = sim.rf.read_vector(alloc.get("res_px"))
@@ -694,18 +798,17 @@ class MIBSolver:
         assert isinstance(kkt, IndirectKKTSolver)
         sp = self.reference.scaling.scaled
         n = sp.n
-        sim = NetworkSimulator(self.c, depth=1 << 24)
+        sim = self._network_sim()
         streams = StreamBuffers()
         streams.bind("A", sp.a.data)
         streams.bind("P", sp.p_full.data)
         streams.bind("rho", self.reference.rho_vec)
         v_view = self.builder.alloc.get("cg_v")
         sv_view = self.builder.alloc.get("cg_sv")
-        apply_s_slots = self.kernels.schedules["apply_s"].slots
 
         def apply_s(v: np.ndarray) -> np.ndarray:
             sim.rf.load_vector(v_view, v)
-            sim.run(apply_s_slots, streams)
+            self._run_kernel(sim, "apply_s", streams)
             return sim.rf.read_vector(sv_view)
 
         m_inv = kkt._m_inv
@@ -745,7 +848,7 @@ class MIBSolver:
         formulas of Algorithm 1 (lines 4-7).
         """
         sp = self.reference.scaling.scaled
-        sim = NetworkSimulator(self.c, depth=1 << 24)
+        sim = self._network_sim()
         streams = StreamBuffers()
         streams.bind("q", sp.q)
         streams.bind("rho", self.reference.rho_vec)
@@ -773,11 +876,11 @@ class MIBSolver:
         if self.variant != "indirect":
             raise ValueError("S-product network path is indirect-only")
         sp = self.reference.scaling.scaled
-        sim = NetworkSimulator(self.c, depth=1 << 24)
+        sim = self._network_sim()
         streams = StreamBuffers()
         streams.bind("A", sp.a.data)
         streams.bind("P", sp.p_full.data)
         streams.bind("rho", self.reference.rho_vec)
         sim.rf.load_vector(self.builder.alloc.get("cg_v"), v)
-        sim.run(self.kernels.schedules["apply_s"].slots, streams)
+        self._run_kernel(sim, "apply_s", streams)
         return sim.rf.read_vector(self.builder.alloc.get("cg_sv"))

@@ -46,6 +46,8 @@ from .serialize import (
     SerializationError,
     schedule_from_dict,
     schedule_to_dict,
+    simulation_stats_from_dict,
+    simulation_stats_to_dict,
 )
 
 __all__ = [
@@ -60,7 +62,8 @@ __all__ = [
 # Version of the on-disk artifact container.  Bump whenever the
 # artifact layout, the register-file allocation discipline, or the
 # meaning of any hashed field changes; old files then silently miss.
-CACHE_FORMAT_VERSION = 1
+# v2: added the per-kernel replay-trace validation stamps (``traces``).
+CACHE_FORMAT_VERSION = 2
 
 
 def pattern_fingerprint(
@@ -123,12 +126,23 @@ class VectorSlot:
 @dataclass
 class CompiledArtifact:
     """Everything a warm :class:`~repro.backends.mib.MIBSolver` needs to
-    skip lowering and scheduling: the per-kernel schedules plus the
-    register-file layout they were compiled against."""
+    skip lowering and scheduling: the per-kernel schedules, the
+    register-file layout they were compiled against, and the replay
+    trace stamps.
+
+    ``traces`` maps kernel name to the validation stamp emitted by
+    :meth:`~repro.arch.trace.CompiledTrace.summary`: the architecture
+    configuration the trace was validated for, its layout shape, and
+    the precomputed :class:`~repro.arch.simulator.SimulationStats`.  A
+    matching stamp lets a warm solver lower the schedule straight to a
+    trace with hazard validation skipped (it already passed for this
+    exact schedule/configuration pair).
+    """
 
     key: str
     schedules: dict[str, Schedule]
     vectors: list[VectorSlot]
+    traces: dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +153,13 @@ class CompiledArtifact:
             ],
             "schedules": {
                 name: schedule_to_dict(s) for name, s in self.schedules.items()
+            },
+            "traces": {
+                name: {
+                    **{k: v for k, v in stamp.items() if k != "stats"},
+                    "stats": simulation_stats_to_dict(stamp["stats"]),
+                }
+                for name, stamp in self.traces.items()
             },
         }
 
@@ -159,6 +180,13 @@ class CompiledArtifact:
                 VectorSlot(str(n), int(l), int(r), int(b))
                 for n, l, r, b in raw["vectors"]
             ],
+            traces={
+                str(name): {
+                    **{k: v for k, v in stamp.items() if k != "stats"},
+                    "stats": simulation_stats_from_dict(stamp["stats"]),
+                }
+                for name, stamp in raw.get("traces", {}).items()
+            },
         )
 
 
