@@ -9,6 +9,8 @@ compile    Compile a problem's sparsity pattern and report per-kernel
 schedule   Fig. 8-style before/after multi-issue comparison of one
            kernel.
 suite      Quick sweep over the benchmark grid with modeled speedups.
+serve      Long-running QP solve service (warm solver pool, HTTP/JSON
+           API, live metrics) — see repro.serve.
 info       Architecture summary for a given network width.
 """
 
@@ -214,6 +216,40 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeServer
+
+    server = ServeServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_timeout_s=args.timeout,
+        capacity=args.pool_size,
+        variant=args.variant,
+        c=args.width,
+        settings=_settings(args),
+        cache_dir=args.cache_dir,
+        warm_start=args.warm_start,
+    )
+    server.start()
+    print(
+        f"repro.serve listening on http://{server.host}:{server.port} "
+        f"(variant={args.variant}, C={args.width}, pool={args.pool_size}, "
+        f"workers={args.workers})"
+    )
+    print("endpoints: POST /v1/solve   GET /v1/health   GET /v1/metrics")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.stop()
+        print(server.metrics.render())
+    return 0
+
+
 def cmd_info(args) -> int:
     bf = Butterfly(args.width)
     est = estimate_resources(args.width)
@@ -287,6 +323,43 @@ def main(argv: list[str] | None = None) -> int:
         help=f"comma-separated subset of {DOMAINS} (default: all)",
     )
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("serve", help="run the QP solve service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000, help="0 = ephemeral")
+    p.add_argument(
+        "--workers", type=int, default=2, help="queue-draining solver threads"
+    )
+    p.add_argument(
+        "--pool-size",
+        type=int,
+        default=8,
+        help="warm solvers kept resident (LRU beyond this)",
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=64, help="pending-request bound"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="pattern-keyed compilation cache directory shared with "
+        "suite/compile runs",
+    )
+    p.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed each solve from the pattern's previous solution "
+        "(MPC-style serving; tolerances unchanged)",
+    )
+    p.add_argument("--variant", choices=("direct", "indirect"), default="direct")
+    p.add_argument("--width", type=int, default=16, help="network width C")
+    p.add_argument("--eps", type=float, default=1e-3)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="architecture summary")
     p.add_argument("--width", type=int, default=32)

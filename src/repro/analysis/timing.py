@@ -9,6 +9,7 @@ schedules, and prices each baseline platform from its analytical model.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -250,8 +251,24 @@ def evaluate_suite(
     ``jobs > 1`` fans the per-problem compile+solve work out across
     processes with results in spec order — deterministically identical
     to the serial run.  ``cache_dir`` shares compiled patterns across
-    workers and across reruns through the on-disk schedule cache.
+    workers and across reruns through the on-disk schedule cache; when
+    it is not given, a parallel run still shares compilations between
+    sibling workers through a session-scoped temporary directory
+    (worker processes have no shared memory, so without a disk cache
+    every worker would recompile patterns its siblings already built).
     """
+    if jobs > 1 and cache_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-suite-cache-") as tmp:
+            return evaluate_suite(
+                specs,
+                variant=variant,
+                c=c,
+                settings=settings,
+                seed=seed,
+                jobs=jobs,
+                cache_dir=tmp,
+                execution=execution,
+            )
     tasks = [
         (spec, variant, c, settings, seed,
          str(cache_dir) if cache_dir is not None else None, execution)

@@ -34,6 +34,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -241,6 +242,14 @@ class ScheduleCache:
     max_entries:
         In-memory LRU capacity (artifacts, not bytes).  Eviction only
         drops the memory copy; the disk copy, if any, survives.
+
+    Thread safety: the in-memory LRU and the statistics counters are
+    guarded by one lock, so a single cache may be shared by the serve
+    layer's worker threads.  Disk I/O happens *outside* the lock — two
+    threads may both miss and both store (last atomic rename wins, the
+    artifacts are identical by construction), and a read racing a
+    writer at worst observes a missing/partial file, which the
+    load-or-recompile discipline already absorbs as a miss.
     """
 
     def __init__(
@@ -253,6 +262,7 @@ class ScheduleCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self._memory: OrderedDict[str, CompiledArtifact] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -291,33 +301,38 @@ class ScheduleCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> CompiledArtifact | None:
         """Look up a compiled artifact; ``None`` means recompile."""
-        artifact = self._memory.get(key)
-        if artifact is not None:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            return artifact
+        with self._lock:
+            artifact = self._memory.get(key)
+            if artifact is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return artifact
         artifact = self._load_disk(key)
-        if artifact is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._remember(key, artifact)
-            return artifact
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if artifact is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, artifact)
+                return artifact
+            self.stats.misses += 1
+            return None
 
     def put(self, key: str, artifact: CompiledArtifact) -> None:
         """Store a freshly compiled artifact (memory + disk)."""
-        self.stats.stores += 1
-        self._remember(key, artifact)
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(key, artifact)
         self._store_disk(key, artifact)
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         path = self.path_for(key)
         return path is not None and path.exists()
 
@@ -343,7 +358,8 @@ class ScheduleCache:
         except Exception:
             # Truncated file, bad JSON, version mismatch, tampered
             # schedule — silently fall back to recompilation.
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.stats.disk_errors += 1
             return None
         return artifact
 
@@ -352,13 +368,16 @@ class ScheduleCache:
         if path is None:
             return
         payload = json.dumps(artifact.to_dict())
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
             tmp.write_text(payload)
             os.replace(tmp, path)
         except OSError:
             # A read-only or vanished cache dir degrades to memory-only.
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.stats.disk_errors += 1
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:

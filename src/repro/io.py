@@ -20,6 +20,8 @@ __all__ = [
     "read_matrix_market",
     "write_matrix_market",
     "load_problem",
+    "problem_from_dict",
+    "problem_to_dict",
     "save_problem",
     "read_qps",
 ]
@@ -254,9 +256,14 @@ def _matrix_from_obj(obj: dict) -> CSCMatrix:
     )
 
 
-def save_problem(problem: QPProblem, path: str | Path) -> Path:
-    """Serialize a QP to a JSON document (infinities encoded)."""
-    path = Path(path)
+def problem_to_dict(problem: QPProblem) -> dict:
+    """The ``repro-qp-v1`` JSON document form of a QP.
+
+    This is the wire encoding of the serve layer's ``POST /v1/solve``
+    payloads as well as the on-disk format of :func:`save_problem`;
+    infinite bounds are encoded as the strings ``"inf"``/``"-inf"``
+    (JSON has no infinity literal).
+    """
 
     def encode_bounds(v: np.ndarray) -> list:
         return [
@@ -264,7 +271,7 @@ def save_problem(problem: QPProblem, path: str | Path) -> Path:
             for x in v.tolist()
         ]
 
-    doc = {
+    return {
         "format": "repro-qp-v1",
         "name": problem.name,
         "P": _matrix_to_obj(problem.p_upper),
@@ -273,13 +280,10 @@ def save_problem(problem: QPProblem, path: str | Path) -> Path:
         "l": encode_bounds(problem.l),
         "u": encode_bounds(problem.u),
     }
-    path.write_text(json.dumps(doc))
-    return path
 
 
-def load_problem(path: str | Path) -> QPProblem:
-    """Load a QP saved by :func:`save_problem`."""
-    doc = json.loads(Path(path).read_text())
+def problem_from_dict(doc: dict) -> QPProblem:
+    """Rebuild a QP from its ``repro-qp-v1`` document form."""
     if doc.get("format") != "repro-qp-v1":
         raise ValueError("unrecognized problem file format")
 
@@ -292,7 +296,8 @@ def load_problem(path: str | Path) -> QPProblem:
                 if x == "-inf"
                 else float(x)
                 for x in raw
-            ]
+            ],
+            dtype=np.float64,
         )
 
     return QPProblem(
@@ -303,3 +308,15 @@ def load_problem(path: str | Path) -> QPProblem:
         u=decode_bounds(doc["u"]),
         name=doc.get("name", "qp"),
     )
+
+
+def save_problem(problem: QPProblem, path: str | Path) -> Path:
+    """Serialize a QP to a JSON document (infinities encoded)."""
+    path = Path(path)
+    path.write_text(json.dumps(problem_to_dict(problem)))
+    return path
+
+
+def load_problem(path: str | Path) -> QPProblem:
+    """Load a QP saved by :func:`save_problem`."""
+    return problem_from_dict(json.loads(Path(path).read_text()))

@@ -11,7 +11,11 @@ Workers must be module-level callables (picklability) and item
 processing must not depend on cross-item state — per-pattern
 compilation state is shared through the on-disk
 :class:`~repro.compiler.ScheduleCache` instead, which is safe across
-processes (atomic writes, load-or-recompile reads).
+processes (atomic writes, load-or-recompile reads).  Suite drivers
+that fan out without an explicit ``cache_dir`` fall back to a
+temporary shared cache directory for the duration of the run
+(:func:`repro.analysis.evaluate_suite`), so sibling workers never
+recompile a pattern one of them already scheduled.
 """
 
 from __future__ import annotations

@@ -1,0 +1,45 @@
+"""``repro.serve`` — QP-as-a-service on top of the compiled backend.
+
+The paper's workload is compile-once/solve-many: one sparsity pattern,
+a stream of numeric instances (MPC loops, portfolio rebalancing,
+per-request model fits).  This package turns the repo's batch
+machinery — the pattern-keyed :class:`~repro.compiler.ScheduleCache`
+and the cheap ``update_values`` rebind — into a long-running service:
+
+* :mod:`~repro.serve.pool` — warm :class:`~repro.backends.MIBSolver`
+  instances keyed by pattern fingerprint (LRU, thread-safe);
+* :mod:`~repro.serve.queue` — bounded admission with same-pattern
+  request coalescing and per-request deadlines;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the
+  stdlib HTTP/JSON front-end and its Python client;
+* :mod:`~repro.serve.metrics` — live counters and latency histograms
+  (``/v1/metrics``).
+
+Start it with ``python -m repro serve`` or embed it::
+
+    from repro.serve import ServeClient, ServeServer
+
+    with ServeServer(port=0, workers=2, c=16) as server:
+        client = ServeClient(port=server.port)
+        response = client.solve(problem, timeout_s=10.0)
+        assert response.solved
+"""
+
+from .client import ServeClient, SolveResponse
+from .metrics import LatencyHistogram, ServeMetrics
+from .pool import PoolSolve, SolverPool
+from .queue import QueueFullError, RequestQueue, SolveRequest
+from .server import ServeServer
+
+__all__ = [
+    "LatencyHistogram",
+    "PoolSolve",
+    "QueueFullError",
+    "RequestQueue",
+    "ServeClient",
+    "ServeMetrics",
+    "ServeServer",
+    "SolveRequest",
+    "SolveResponse",
+    "SolverPool",
+]

@@ -1,0 +1,122 @@
+"""Small stdlib HTTP client for the serve API.
+
+Used by the test suite, the CI smoke job and the closed-loop load
+generator (``benchmarks/bench_serve.py``); also the reference for
+talking to the service from any other language — the whole protocol is
+three JSON endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from ..io import problem_to_dict
+from ..solver import QPProblem, SolveResult
+
+__all__ = ["ServeClient", "SolveResponse"]
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """One ``POST /v1/solve`` exchange, decoded.
+
+    ``status`` is the service-level outcome (``"ok"``, ``"timeout"``,
+    ``"rejected"``, ``"error"``); ``result`` is the decoded
+    :class:`~repro.solver.SolveResult` when the solve ran, ``None``
+    otherwise.  ``raw`` keeps the full response document.
+    """
+
+    http_status: int
+    status: str
+    raw: dict
+    result: SolveResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def solved(self) -> bool:
+        return self.result is not None and self.result.solved
+
+    @property
+    def warm(self) -> bool:
+        return bool(self.raw.get("warm", False))
+
+    @property
+    def fingerprint(self) -> str | None:
+        return self.raw.get("fingerprint")
+
+
+class ServeClient:
+    """Talk to one serve instance (``http://host:port``)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        base_url: str | None = None,
+    ) -> None:
+        self.base_url = (base_url or f"http://{host}:{port}").rstrip("/")
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        path: str,
+        *,
+        body: dict | None = None,
+        timeout: float = 60.0,
+    ) -> tuple[int, dict]:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # Structured error responses (400/503/504) carry JSON too.
+            try:
+                payload = json.loads(exc.read())
+            except Exception:
+                payload = {"status": "error", "detail": str(exc)}
+            return exc.code, payload
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, problem: QPProblem, *, timeout_s: float | None = None
+    ) -> SolveResponse:
+        """Submit one QP; blocks until the response (or its timeout)."""
+        body: dict = {"problem": problem_to_dict(problem)}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        http_status, payload = self._request(
+            "/v1/solve",
+            body=body,
+            # The socket outlives the service deadline: the server
+            # answers 504 itself; the margin only covers transport.
+            timeout=(timeout_s or 30.0) + 10.0,
+        )
+        result = None
+        if payload.get("status") == "ok" and "result" in payload:
+            result = SolveResult.from_dict(payload["result"])
+        return SolveResponse(
+            http_status=http_status,
+            status=str(payload.get("status", "error")),
+            raw=payload,
+            result=result,
+        )
+
+    def health(self) -> dict:
+        return self._request("/v1/health")[1]
+
+    def metrics(self) -> dict:
+        return self._request("/v1/metrics")[1]

@@ -1,0 +1,161 @@
+"""Live service metrics: counters and latency histograms.
+
+The serve layer's observability surface — exposed as JSON on
+``GET /v1/metrics`` while the server runs and rendered as a report
+block on shutdown.  The headline split mirrors the paper's economics:
+*compile* latency (cold pattern, full lowering + scheduling) against
+*warm-solve* latency (pattern already resident, ``update_values``
+rebind only), plus the queue/coalescing behaviour that keeps the warm
+path hot.
+
+Everything is guarded by one lock; the counters are incremented from
+HTTP handler threads and pool worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+# Counter names, in report order.  Keeping the set closed (increment
+# raises on an unknown name) catches typos at the call site instead of
+# silently forking a new series.
+COUNTERS = (
+    "requests_total",
+    "responses_ok",
+    "responses_error",
+    "rejected",        # queue-full admission failures
+    "timeouts",        # deadline expiries (queued or unread responses)
+    "pool_hits",       # request served by a resident warm solver
+    "pool_misses",     # solver constructed (cache may still have helped)
+    "pool_evictions",
+    "compile_count",   # full lowering+scheduling runs (cold compiles)
+    "warm_solve_count",  # solves on a pooled solver via update_values
+    "coalesced_batches",   # batches with >1 same-pattern request
+    "coalesced_requests",  # requests that rode along in such batches
+    "admm_iterations",
+)
+
+HISTOGRAMS = (
+    "queue_wait",   # submit -> worker pickup
+    "compile",      # solver construction on the miss path
+    "warm_solve",   # update_values + solve on the hit path
+    "solve",        # solver.solve() wall time, both paths
+    "total",        # submit -> response
+)
+
+
+class LatencyHistogram:
+    """Bounded-sample latency series with percentile summaries.
+
+    Samples are kept verbatim up to ``max_samples`` (a serve session's
+    working set, not an unbounded log).  Beyond that the series thins
+    to systematic sampling: the retention stride doubles and the
+    buffer halves, so the retained samples stay uniformly spread over
+    the *whole* stream rather than biased toward recent requests.
+    Percentiles come from the retained samples; ``count``/``total``/
+    ``max`` are exact regardless.
+    """
+
+    def __init__(self, *, max_samples: int = 65536) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skipped = 0  # samples since the last retained one
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+        self._skipped += 1
+        if self._skipped < self._stride:
+            return
+        self._skipped = 0
+        self._samples.append(seconds)
+        if len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the retained samples."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "max_s": self.max,
+        }
+
+
+class ServeMetrics:
+    """Thread-safe counter/histogram registry for one serve session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in COUNTERS}
+        self._histograms = {name: LatencyHistogram() for name in HISTOGRAMS}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._histograms[name].record(seconds)
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One consistent JSON-ready view (the /v1/metrics payload)."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {
+                name: h.snapshot() for name, h in self._histograms.items()
+            }
+        lookups = counters["pool_hits"] + counters["pool_misses"]
+        return {
+            "counters": counters,
+            "latency": latencies,
+            "pool_hit_rate": counters["pool_hits"] / lookups if lookups else 0.0,
+        }
+
+    def render(self) -> str:
+        """Human-readable shutdown report."""
+        from ..analysis import kv_block
+
+        snap = self.snapshot()
+        rows: list[tuple[str, object]] = list(snap["counters"].items())
+        rows.append(("pool_hit_rate", f"{snap['pool_hit_rate']:.1%}"))
+        for name, h in snap["latency"].items():
+            if h["count"]:
+                rows.append(
+                    (
+                        f"{name} latency (p50/p95/p99)",
+                        f"{h['p50_s'] * 1e3:.2f} / {h['p95_s'] * 1e3:.2f}"
+                        f" / {h['p99_s'] * 1e3:.2f} ms",
+                    )
+                )
+        return kv_block("serve metrics", rows)

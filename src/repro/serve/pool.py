@@ -1,0 +1,233 @@
+"""Warm solver pool keyed by sparsity-pattern fingerprint.
+
+The serve layer's core amortization structure.  A
+:class:`~repro.backends.mib.MIBSolver` is expensive to construct (full
+lowering + multi-issue scheduling of every kernel) and nearly free to
+*rebind* (``update_values`` refreshes numbers only — the paper's
+compile-once/solve-many mechanism).  The pool therefore keeps one warm
+solver per resident pattern:
+
+* **hit** — the request's fingerprint matches a resident solver; the
+  new numeric instance is bound with ``update_values`` and solved.
+  Lowering and scheduling never run.
+* **miss** — a solver is constructed through the shared
+  :class:`~repro.compiler.ScheduleCache`, so even a cold pool entry
+  skips scheduling when the pattern was ever compiled before (by this
+  process, a sibling worker, or a previous run sharing the cache
+  directory).
+
+Entries are evicted least-recently-used beyond ``capacity``.  The pool
+is thread-safe: the resident map has one lock, each entry serializes
+its own solves (a solver holds mutable iterate state), and per-key
+construction locks ensure a pattern is compiled once even when many
+threads miss on it simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..backends.mib import MIBSolveReport, MIBSolver
+from ..compiler import ScheduleCache, ScheduleOptions
+from ..solver import QPProblem, Settings
+from .metrics import ServeMetrics
+
+__all__ = ["PoolSolve", "SolverPool"]
+
+
+@dataclass
+class _PoolEntry:
+    solver: MIBSolver
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    solves: int = 0
+    # Last iterate of this pattern, for warm starting (x, y).
+    last_iterate: tuple | None = None
+
+
+@dataclass(frozen=True)
+class PoolSolve:
+    """One pool-served solve: the report plus how it was served."""
+
+    fingerprint: str
+    report: MIBSolveReport
+    warm: bool  # served by a resident solver (no construction at all)
+    cache_hit: bool  # construction (if any) restored from the cache
+    compile_seconds: float  # 0.0 on the warm path
+    solve_seconds: float
+
+
+class SolverPool:
+    """Thread-safe LRU pool of warm pattern-compiled solvers.
+
+    Parameters
+    ----------
+    capacity:
+        Resident solver budget (patterns, not bytes).  Evicting an
+        entry only drops the warm solver; its compiled artifact stays
+        in the schedule cache, so re-admission skips scheduling.
+    variant / c / settings / execution:
+        Solver configuration shared by every entry; part of the
+        pattern fingerprint, so one pool serves exactly one
+        configuration (run several pools for several).
+    cache:
+        Shared :class:`~repro.compiler.ScheduleCache`; constructed
+        internally when not given (``cache_dir`` selects the on-disk
+        location, memory-only otherwise).
+    metrics:
+        Shared :class:`~repro.serve.metrics.ServeMetrics` registry.
+    warm_start:
+        Seed each solve from the pattern's previous solution (the
+        MPC/embedded serving convention: consecutive instances of one
+        pattern are usually perturbations of each other, so the last
+        iterate is an excellent start).  Termination tolerances are
+        unchanged — only the iteration count drops.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 8,
+        variant: str = "direct",
+        c: int = 16,
+        settings: Settings | None = None,
+        execution: str = "replay",
+        cache: ScheduleCache | None = None,
+        cache_dir: str | None = None,
+        metrics: ServeMetrics | None = None,
+        warm_start: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.variant = variant
+        self.c = c
+        self.settings = settings if settings is not None else Settings()
+        self.execution = execution
+        self.cache = cache if cache is not None else ScheduleCache(cache_dir)
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.warm_start = warm_start
+        # Mirrors MIBSolver's default scheduler configuration; the
+        # fingerprint must match the key the solver computes itself.
+        self._options = ScheduleOptions()
+        self._entries: OrderedDict[str, _PoolEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._building: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, problem: QPProblem) -> str:
+        """The pattern+configuration key a request coalesces under."""
+        return self.cache.key_for(
+            problem,
+            variant=self.variant,
+            c=self.c,
+            options=self._options,
+            settings=self.settings,
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fingerprints(self) -> list[str]:
+        """Resident patterns, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: QPProblem,
+        *,
+        fingerprint: str | None = None,
+    ) -> PoolSolve:
+        """Solve one numeric instance through the pool.
+
+        ``fingerprint`` may be passed when the caller already computed
+        it (the serve queue keys requests by it); it must equal
+        :meth:`fingerprint` of the problem.
+        """
+        key = fingerprint or self.fingerprint(problem)
+        entry, warm, cache_hit, compile_seconds = self._get_or_create(
+            key, problem
+        )
+        metrics = self.metrics
+        with entry.lock:
+            t0 = time.perf_counter()
+            if warm:
+                entry.solver.update_values(problem)
+            x0 = y0 = None
+            if self.warm_start and entry.last_iterate is not None:
+                x0, y0 = entry.last_iterate
+            report = entry.solver.solve(x0=x0, y0=y0)
+            solve_seconds = time.perf_counter() - t0
+            entry.solves += 1
+            if self.warm_start:
+                entry.last_iterate = (report.result.x, report.result.y)
+        metrics.observe("solve", solve_seconds)
+        if warm:
+            metrics.inc("warm_solve_count")
+            metrics.observe("warm_solve", solve_seconds)
+        metrics.inc("admm_iterations", report.result.iterations)
+        return PoolSolve(
+            fingerprint=key,
+            report=report,
+            warm=warm,
+            cache_hit=cache_hit,
+            compile_seconds=compile_seconds,
+            solve_seconds=solve_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, key: str, problem: QPProblem
+    ) -> tuple[_PoolEntry, bool, bool, float]:
+        """Look up or build the entry for ``key``.
+
+        Returns ``(entry, warm, cache_hit, compile_seconds)``.  The
+        per-key build lock makes concurrent misses on one pattern
+        compile once: the losers block, then find the winner's entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.metrics.inc("pool_hits")
+                return entry, True, True, 0.0
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.metrics.inc("pool_hits")
+                    return entry, True, True, 0.0
+            t0 = time.perf_counter()
+            solver = MIBSolver(
+                problem,
+                variant=self.variant,
+                c=self.c,
+                settings=self.settings,
+                cache=self.cache,
+                execution=self.execution,
+            )
+            compile_seconds = time.perf_counter() - t0
+            if solver.cache_key != key:
+                raise RuntimeError(
+                    "pool fingerprint does not match the solver's cache key"
+                )
+            entry = _PoolEntry(solver=solver)
+            with self._lock:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.metrics.inc("pool_evictions")
+                self._building.pop(key, None)
+            self.metrics.inc("pool_misses")
+            if not solver.cache_hit:
+                self.metrics.inc("compile_count")
+                self.metrics.observe("compile", compile_seconds)
+            return entry, False, solver.cache_hit, compile_seconds

@@ -1,0 +1,164 @@
+"""Bounded request queue with same-pattern coalescing.
+
+Admission and dispatch policy between the HTTP front-end and the pool
+workers:
+
+* **bounded** — ``submit`` raises :class:`QueueFullError` once
+  ``maxsize`` requests are pending; the server translates that into a
+  structured ``REJECTED`` response (backpressure instead of unbounded
+  latency).
+* **coalescing** — :meth:`next_batch` pops the oldest request and
+  pulls every other pending request *sharing its pattern fingerprint*
+  (up to ``max_batch``) into the same batch.  The worker dispatches
+  the batch consecutively to one warm solver, so a burst of
+  same-pattern traffic pays construction at most once and every
+  follow-up rides the ``update_values`` rebind and the already-lowered
+  replay traces.  Requests that are not coalesced keep strict FIFO
+  order.
+* **deadlines** — each request carries an absolute monotonic deadline;
+  :meth:`SolveRequest.expired` lets workers discard requests whose
+  client has already been answered with ``TIMEOUT``.
+
+The queue itself is transport-agnostic (it stores
+:class:`SolveRequest` objects, not HTTP anything) so it is directly
+unit-testable and reusable by the load generator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..solver import QPProblem
+
+__all__ = ["QueueFullError", "RequestQueue", "SolveRequest"]
+
+_REQUEST_IDS = itertools.count(1)
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`RequestQueue.submit` under backpressure."""
+
+
+@dataclass
+class SolveRequest:
+    """One in-flight solve: payload, routing key, deadline, response.
+
+    The response slot is write-once (``respond``): whichever side wins
+    the race — a worker finishing the solve, or the waiting front-end
+    declaring a timeout — publishes, and the loser's attempt is a
+    no-op.  ``done`` is set after publication.
+    """
+
+    problem: QPProblem
+    fingerprint: str
+    deadline: float | None = None  # absolute time.monotonic() deadline
+    enqueued_at: float = field(default_factory=time.monotonic)
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+    done: threading.Event = field(default_factory=threading.Event)
+    status_code: int | None = None
+    response: dict | None = None
+    _publish_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until the deadline (``None`` when unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (now if now is not None else time.monotonic())
+
+    def respond(self, status_code: int, payload: dict) -> bool:
+        """Publish the response; ``False`` if one was already published."""
+        with self._publish_lock:
+            if self.done.is_set():
+                return False
+            self.status_code = status_code
+            self.response = payload
+            self.done.set()
+            return True
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO with fingerprint coalescing."""
+
+    def __init__(self, *, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._items: deque[SolveRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> None:
+        """Enqueue or raise :class:`QueueFullError` (admission control)."""
+        with self._cond:
+            if self._closed:
+                raise QueueFullError("queue is closed")
+            if len(self._items) >= self.maxsize:
+                raise QueueFullError(
+                    f"queue full ({self.maxsize} requests pending)"
+                )
+            self._items.append(request)
+            self._cond.notify()
+
+    def next_batch(
+        self, *, max_batch: int = 8, timeout: float | None = None
+    ) -> list[SolveRequest] | None:
+        """Dequeue the oldest request plus same-pattern riders.
+
+        Blocks until a request is available, the queue closes
+        (returns ``None``) or ``timeout`` elapses (returns ``[]``).
+        The batch is ordered oldest-first and shares one fingerprint.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return []
+            head = self._items.popleft()
+            batch = [head]
+            if len(batch) < max_batch and self._items:
+                keep: deque[SolveRequest] = deque()
+                for req in self._items:
+                    if (
+                        len(batch) < max_batch
+                        and req.fingerprint == head.fingerprint
+                    ):
+                        batch.append(req)
+                    else:
+                        keep.append(req)
+                self._items = keep
+            return batch
+
+    def close(self) -> None:
+        """Stop admissions and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list[SolveRequest]:
+        """Remove and return everything still pending (shutdown path)."""
+        with self._cond:
+            pending = list(self._items)
+            self._items.clear()
+            return pending

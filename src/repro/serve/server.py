@@ -1,0 +1,304 @@
+"""QP-as-a-service HTTP front-end (pure standard library).
+
+``ServeServer`` composes the subsystem: a ``ThreadingHTTPServer``
+accepts connections (one handler thread per request), handlers parse
+and admit requests into the :class:`~repro.serve.queue.RequestQueue`,
+and a configurable number of worker threads drain it through the
+:class:`~repro.serve.pool.SolverPool`.  The handler thread then waits
+on the request's event up to its deadline — so a slow solve never
+wedges the listener, and an expired wait yields a structured
+``TIMEOUT`` body instead of a hung socket.
+
+API (all JSON):
+
+* ``POST /v1/solve`` — body ``{"problem": <repro-qp-v1 doc>,
+  "timeout_s": <float, optional>}``; 200 with the solve payload,
+  400 on malformed input, 503 when the queue rejects (backpressure),
+  504 on deadline expiry.
+* ``GET /v1/health`` — liveness + pool occupancy.
+* ``GET /v1/metrics`` — the :class:`~repro.serve.metrics.ServeMetrics`
+  snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..io import problem_from_dict
+from ..solver import SolverStatus
+from .metrics import ServeMetrics
+from .pool import SolverPool
+from .queue import QueueFullError, RequestQueue, SolveRequest
+
+__all__ = ["ServeServer"]
+
+# Grace added to the handler's event wait beyond the request deadline:
+# the worker owns deadline bookkeeping; the handler only backstops it.
+_WAIT_GRACE_S = 0.05
+
+
+class ServeServer:
+    """The long-running solve service (embeddable and CLI-run).
+
+    Usable as a context manager::
+
+        with ServeServer(port=0, workers=2) as server:
+            client = ServeClient(port=server.port)
+            response = client.solve(problem)
+
+    ``workers=0`` starts no drain loop (test hook: requests queue up
+    and time out unless drained manually).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        pool: SolverPool | None = None,
+        queue_size: int = 64,
+        max_batch: int = 8,
+        default_timeout_s: float = 30.0,
+        **pool_kwargs,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.pool = pool if pool is not None else SolverPool(**pool_kwargs)
+        self.metrics: ServeMetrics = self.pool.metrics
+        self.queue = RequestQueue(maxsize=queue_size)
+        self.max_batch = max_batch
+        self.default_timeout_s = default_timeout_s
+        self.workers = workers
+        self.started_at = time.monotonic()
+        self._threads: list[threading.Thread] = []
+        self._http = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._http.daemon_threads = True
+        self.host = host
+        self.port = int(self._http.server_address[1])
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServeServer":
+        listener = threading.Thread(
+            target=self._http.serve_forever, name="serve-http", daemon=True
+        )
+        listener.start()
+        self._threads.append(listener)
+        for i in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+        return self
+
+    def stop(self) -> None:
+        """Shut down: stop admissions, answer stragglers, close HTTP."""
+        self.queue.close()
+        for request in self.queue.drain():
+            self._finish(
+                request,
+                503,
+                {"status": "rejected", "detail": "server shutting down"},
+            )
+        self._http.shutdown()
+        self._http.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch(max_batch=self.max_batch)
+            if batch is None:  # queue closed
+                return
+            if len(batch) > 1:
+                self.metrics.inc("coalesced_batches")
+                self.metrics.inc("coalesced_requests", len(batch) - 1)
+            for request in batch:
+                self._process(request)
+
+    def _process(self, request: SolveRequest) -> None:
+        queue_wait = time.monotonic() - request.enqueued_at
+        self.metrics.observe("queue_wait", queue_wait)
+        if request.expired():
+            self._finish(
+                request,
+                504,
+                {
+                    "status": "timeout",
+                    "detail": "deadline expired while queued",
+                    "queue_seconds": queue_wait,
+                },
+            )
+            return
+        try:
+            solved = self.pool.solve(
+                request.problem, fingerprint=request.fingerprint
+            )
+        except Exception as exc:  # a poisoned request must not kill workers
+            self._finish(
+                request,
+                500,
+                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        result = solved.report.result
+        self._finish(
+            request,
+            200,
+            {
+                "status": "ok",
+                "fingerprint": solved.fingerprint,
+                "warm": solved.warm,
+                "cache_hit": solved.cache_hit,
+                "queue_seconds": queue_wait,
+                "compile_seconds": solved.compile_seconds,
+                "solve_seconds": solved.solve_seconds,
+                "cycles": solved.report.cycles,
+                "runtime_seconds": solved.report.runtime_seconds,
+                "solved": result.status is SolverStatus.SOLVED,
+                "result": result.to_dict(),
+            },
+        )
+
+    def _finish(
+        self, request: SolveRequest, status_code: int, payload: dict
+    ) -> None:
+        """Publish a response exactly once and account it."""
+        if not request.respond(status_code, payload):
+            # The front-end already answered (deadline backstop); a
+            # completed solve arriving late is recorded as a timeout
+            # casualty, not a served response.
+            if status_code == 200:
+                self.metrics.inc("timeouts")
+            return
+        if status_code == 200:
+            self.metrics.inc("responses_ok")
+        elif status_code == 504:
+            self.metrics.inc("timeouts")
+        elif status_code == 503:
+            self.metrics.inc("rejected")
+        else:
+            self.metrics.inc("responses_error")
+        self.metrics.observe("total", time.monotonic() - request.enqueued_at)
+
+    # ------------------------------------------------------------------
+    # handler side
+    # ------------------------------------------------------------------
+    def handle_solve(self, body: dict) -> tuple[int, dict]:
+        """Admit one parsed request and wait for its response."""
+        self.metrics.inc("requests_total")
+        try:
+            problem = problem_from_dict(body["problem"])
+            fingerprint = self.pool.fingerprint(problem)
+        except Exception as exc:
+            self.metrics.inc("responses_error")
+            return 400, {
+                "status": "error",
+                "detail": f"malformed problem payload: {exc}",
+            }
+        timeout_s = float(body.get("timeout_s") or self.default_timeout_s)
+        request = SolveRequest(
+            problem=problem,
+            fingerprint=fingerprint,
+            deadline=time.monotonic() + timeout_s,
+        )
+        try:
+            self.queue.submit(request)
+        except QueueFullError as exc:
+            payload = {"status": "rejected", "detail": str(exc)}
+            request.respond(503, payload)
+            self.metrics.inc("rejected")
+            return 503, payload
+        if not request.done.wait(timeout=timeout_s + _WAIT_GRACE_S):
+            # Deadline backstop: the worker never published (still
+            # queued, or mid-solve).  Publish the timeout ourselves;
+            # the worker's eventual attempt becomes a no-op.
+            if request.respond(
+                504,
+                {
+                    "status": "timeout",
+                    "detail": f"no response within {timeout_s}s",
+                },
+            ):
+                self.metrics.inc("timeouts")
+                self.metrics.observe(
+                    "total", time.monotonic() - request.enqueued_at
+                )
+        assert request.status_code is not None and request.response is not None
+        return request.status_code, request.response
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self.started_at,
+            "pool_size": len(self.pool),
+            "pool_capacity": self.pool.capacity,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.maxsize,
+            "workers": self.workers,
+            "variant": self.pool.variant,
+            "c": self.pool.c,
+        }
+
+
+def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
+    """Bind a handler class to one ServeServer instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Keep the accept loop quiet; the metrics endpoint is the log.
+        def log_message(self, *args) -> None:
+            pass
+
+        def _send_json(self, status_code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status_code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/v1/health":
+                self._send_json(200, server.health())
+            elif self.path == "/v1/metrics":
+                self._send_json(200, server.metrics.snapshot())
+            else:
+                self._send_json(
+                    404, {"status": "error", "detail": "unknown endpoint"}
+                )
+
+        def do_POST(self) -> None:
+            if self.path != "/v1/solve":
+                self._send_json(
+                    404, {"status": "error", "detail": "unknown endpoint"}
+                )
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length))
+                if not isinstance(body, dict):
+                    raise ValueError("request body must be a JSON object")
+            except Exception as exc:
+                server.metrics.inc("responses_error")
+                self._send_json(
+                    400, {"status": "error", "detail": f"bad request: {exc}"}
+                )
+                return
+            status_code, payload = server.handle_solve(body)
+            self._send_json(status_code, payload)
+
+    return Handler

@@ -108,6 +108,28 @@ class OpTrace:
         for k, v in other.calls.items():
             self.calls[k] += v
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (primitive keys become their ``.value``)."""
+        return {
+            "total_flops": self.total_flops,
+            "by_primitive": {
+                p.value: float(v) for p, v in self.by_primitive.items()
+            },
+            "by_operation": {k: float(v) for k, v in self.by_operation.items()},
+            "calls": {k: int(v) for k, v in self.calls.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "OpTrace":
+        trace = cls()
+        for name, flops in raw.get("by_primitive", {}).items():
+            trace.by_primitive[Primitive(name)] += float(flops)
+        for name, flops in raw.get("by_operation", {}).items():
+            trace.by_operation[name] += float(flops)
+        for name, count in raw.get("calls", {}).items():
+            trace.calls[name] += int(count)
+        return trace
+
 
 @dataclass
 class SolveResult:
@@ -132,3 +154,64 @@ class SolveResult:
     @property
     def solved(self) -> bool:
         return self.status is SolverStatus.SOLVED
+
+    def to_dict(self, *, include_trace: bool = True) -> dict:
+        """JSON-ready encoding of the full result.
+
+        The wire format of ``repro.serve``: every field survives a
+        round-trip through :meth:`from_dict` (the operation trace as
+        its aggregate summary, which is all the service consumers
+        read).  ``include_trace=False`` drops the trace block for
+        callers that only need the solution triple.
+        """
+        doc = {
+            "status": self.status.value,
+            "x": self.x.tolist(),
+            "y": self.y.tolist(),
+            "z": self.z.tolist(),
+            "iterations": int(self.iterations),
+            "objective": float(self.objective),
+            "primal_residual": float(self.primal_residual),
+            "dual_residual": float(self.dual_residual),
+            "rho_updates": int(self.rho_updates),
+            "polished": bool(self.polished),
+        }
+        if include_trace:
+            doc["trace"] = self.trace.to_dict()
+        if self.primal_infeasibility_certificate is not None:
+            doc["primal_infeasibility_certificate"] = (
+                self.primal_infeasibility_certificate.tolist()
+            )
+        if self.dual_infeasibility_certificate is not None:
+            doc["dual_infeasibility_certificate"] = (
+                self.dual_infeasibility_certificate.tolist()
+            )
+        return doc
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SolveResult":
+        """Rebuild a result encoded by :meth:`to_dict`."""
+
+        def cert(name: str) -> np.ndarray | None:
+            value = raw.get(name)
+            return None if value is None else np.asarray(value, dtype=np.float64)
+
+        return cls(
+            status=SolverStatus(raw["status"]),
+            x=np.asarray(raw["x"], dtype=np.float64),
+            y=np.asarray(raw["y"], dtype=np.float64),
+            z=np.asarray(raw["z"], dtype=np.float64),
+            iterations=int(raw["iterations"]),
+            objective=float(raw["objective"]),
+            primal_residual=float(raw["primal_residual"]),
+            dual_residual=float(raw["dual_residual"]),
+            rho_updates=int(raw["rho_updates"]),
+            trace=OpTrace.from_dict(raw.get("trace", {})),
+            primal_infeasibility_certificate=cert(
+                "primal_infeasibility_certificate"
+            ),
+            dual_infeasibility_certificate=cert(
+                "dual_infeasibility_certificate"
+            ),
+            polished=bool(raw.get("polished", False)),
+        )

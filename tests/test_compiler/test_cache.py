@@ -242,3 +242,90 @@ class TestStats:
         stats.merge(other)
         assert stats.hits == 4
         assert stats.lookups == 6
+
+
+class TestThreadSafety:
+    """The cache serves the serve layer's pool from many threads at
+    once; lookups, stores, evictions and the stats must stay
+    consistent under concurrent churn."""
+
+    def _artifact(self, key):
+        return CompiledArtifact(key=key, schedules={}, vectors=[])
+
+    def _hammer(self, worker, n_threads):
+        import threading
+
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def run(tid):
+            try:
+                barrier.wait()
+                worker(tid)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+
+    def test_concurrent_churn_with_eviction_pressure(self):
+        n_threads, n_ops, n_keys = 8, 300, 10
+        cache = ScheduleCache(None, max_entries=4)  # far below n_keys
+
+        def worker(tid):
+            for i in range(n_ops):
+                key = f"k{(tid + i) % n_keys}"
+                if cache.get(key) is None:
+                    cache.put(key, self._artifact(key))
+
+        self._hammer(worker, n_threads)
+        stats = cache.stats
+        assert stats.lookups == n_threads * n_ops
+        assert stats.hits + stats.misses == stats.lookups
+        assert len(cache) <= 4
+
+    def test_concurrent_writers_same_directory(self, tmp_path):
+        """Every thread stores every key; the pid+thread-id temp names
+        keep the atomic renames from clobbering each other."""
+        n_threads, n_keys = 6, 5
+        cache = ScheduleCache(tmp_path, max_entries=n_keys)
+
+        def worker(tid):
+            for k in range(n_keys):
+                cache.put(f"k{k}", self._artifact(f"k{k}"))
+
+        self._hammer(worker, n_threads)
+        # A fresh cache (new process in real life) reads every key back.
+        fresh = ScheduleCache(tmp_path)
+        for k in range(n_keys):
+            assert fresh.get(f"k{k}") is not None
+        assert fresh.stats.disk_hits == n_keys
+
+    def test_concurrent_readers_of_a_corrupt_file_all_miss_cleanly(
+        self, tmp_path
+    ):
+        seed = ScheduleCache(tmp_path)
+        seed.put("k", self._artifact("k"))
+        seed.path_for("k").write_text("not an artifact")
+        # Memory-cold cache: every reader races to the same bad file.
+        cache = ScheduleCache(tmp_path)
+        n_threads = 8
+        results = []
+
+        def worker(tid):
+            results.append(cache.get("k"))
+
+        self._hammer(worker, n_threads)
+        assert results == [None] * n_threads
+        assert cache.stats.misses == n_threads
+        assert cache.stats.disk_errors == n_threads
+        # Recompiling (a put) repairs the disk copy for everyone.
+        cache.put("k", self._artifact("k"))
+        assert ScheduleCache(tmp_path).get("k") is not None

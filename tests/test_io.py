@@ -7,13 +7,15 @@ import pytest
 
 from repro.io import (
     load_problem,
+    problem_from_dict,
+    problem_to_dict,
     read_matrix_market,
     save_problem,
     write_matrix_market,
 )
 from repro.linalg import CSCMatrix
 from repro.problems import portfolio_problem
-from repro.solver import Settings, solve
+from repro.solver import OSQP_INFTY, QPProblem, Settings, solve
 from tests.conftest import random_sparse
 
 
@@ -102,6 +104,64 @@ class TestProblemIO:
         path.write_text('{"format": "other"}')
         with pytest.raises(ValueError):
             load_problem(path)
+
+    def test_in_memory_dict_roundtrip_survives_json(self):
+        """problem_to_dict/from_dict is the serve wire format; the
+        document must survive an actual json encode/decode cycle."""
+        import json
+
+        prob = portfolio_problem(12, seed=4)
+        doc = json.loads(json.dumps(problem_to_dict(prob)))
+        assert doc["format"] == "repro-qp-v1"
+        prob2 = problem_from_dict(doc)
+        assert prob2.name == prob.name
+        np.testing.assert_array_equal(prob2.q, prob.q)
+        np.testing.assert_array_equal(
+            prob2.p_full.to_dense(), prob.p_full.to_dense()
+        )
+        np.testing.assert_array_equal(prob2.a.to_dense(), prob.a.to_dense())
+        np.testing.assert_array_equal(prob2.l, prob.l)
+        np.testing.assert_array_equal(prob2.u, prob.u)
+
+    def test_explicit_infinite_bounds_roundtrip(self, tmp_path):
+        """Every one-sided combination of ±inf must encode and decode
+        exactly (as the strings "inf"/"-inf", not as floats)."""
+        prob = QPProblem(
+            p=CSCMatrix.from_dense(np.eye(2)),
+            q=np.array([1.0, -1.0]),
+            a=CSCMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])),
+            l=np.array([-OSQP_INFTY, 0.0, -OSQP_INFTY]),
+            u=np.array([OSQP_INFTY, OSQP_INFTY, 5.0]),
+            name="inf-bounds",
+        )
+        doc = problem_to_dict(prob)
+        assert doc["l"] == ["-inf", 0.0, "-inf"]
+        assert doc["u"] == ["inf", "inf", 5.0]
+        prob2 = load_problem(save_problem(prob, tmp_path / "inf.json"))
+        np.testing.assert_array_equal(prob2.l, prob.l)
+        np.testing.assert_array_equal(prob2.u, prob.u)
+        np.testing.assert_array_equal(
+            prob2.loose_constraint_mask(), prob.loose_constraint_mask()
+        )
+
+    def test_empty_constraint_problem_roundtrips(self, tmp_path):
+        """m = 0 (unconstrained QP) must survive save/load with the
+        bound vectors keeping float dtype despite being empty."""
+        prob = QPProblem(
+            p=CSCMatrix.from_dense(np.array([[2.0, 0.5], [0.5, 1.0]])),
+            q=np.array([1.0, -2.0]),
+            a=CSCMatrix.zeros((0, 2)),
+            l=np.zeros(0),
+            u=np.zeros(0),
+            name="unconstrained",
+        )
+        prob2 = load_problem(save_problem(prob, tmp_path / "m0.json"))
+        assert prob2.m == 0 and prob2.n == 2
+        assert prob2.l.dtype == np.float64 and prob2.u.dtype == np.float64
+        np.testing.assert_array_equal(
+            prob2.p_full.to_dense(), prob.p_full.to_dense()
+        )
+        assert prob2.a.shape == (0, 2)
 
 
 QPS_SAMPLE = """* sample QP in QPS format

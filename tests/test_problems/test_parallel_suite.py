@@ -79,6 +79,26 @@ class TestSuiteDeterminism:
         assert all(e.cache_hit for e in second)
         assert second == first
 
+    def test_parallel_default_shares_a_temp_cache(self):
+        """Without an explicit cache_dir, a jobs>1 run provisions a
+        shared temporary cache so sibling workers reuse each other's
+        compilations of a repeated pattern."""
+        specs = [ProblemSpec("portfolio", seed, 10) for seed in range(4)]
+        evaluations = evaluate_suite(
+            specs,
+            variant="indirect",
+            c=16,
+            settings=SETTINGS,
+            jobs=2,
+            cache_dir=None,
+        )
+        assert len(evaluations) == 4
+        # All four specs share one pattern; whichever worker compiles
+        # it first publishes the artifact, so at least the second spec
+        # on each worker is a cache hit.
+        assert sum(e.cache_hit for e in evaluations) >= 2
+        assert not evaluations[0].cache_hit
+
     def test_timing_fields_do_not_break_equality(self):
         a, b = _evaluate(jobs=1), _evaluate(jobs=1)
         # Wall clocks differ run to run; equality must hold regardless.

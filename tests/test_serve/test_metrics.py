@@ -1,0 +1,102 @@
+"""Unit tests for the serve metrics registry and latency histograms."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import LatencyHistogram, ServeMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_zeroed(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {
+            "count": 0,
+            "mean_s": 0.0,
+            "p50_s": 0.0,
+            "p95_s": 0.0,
+            "p99_s": 0.0,
+            "max_s": 0.0,
+        }
+
+    def test_percentiles_and_exact_aggregates(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):  # 1..100 ms
+            hist.record(ms / 1e3)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["max_s"] == pytest.approx(0.100)
+        assert snap["mean_s"] == pytest.approx(0.0505)
+        assert snap["p50_s"] == pytest.approx(0.0505, rel=0.05)
+        assert snap["p99_s"] == pytest.approx(0.099, rel=0.05)
+
+    def test_reservoir_halves_but_count_stays_exact(self):
+        hist = LatencyHistogram(max_samples=64)
+        for i in range(1000):
+            hist.record(i / 1e3)
+        assert hist.count == 1000
+        assert len(hist._samples) <= 64
+        # The retained subsample still spans the distribution.
+        assert hist.percentile(50) == pytest.approx(0.5, rel=0.15)
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_samples=1)
+
+
+class TestServeMetrics:
+    def test_unknown_counter_name_raises(self):
+        metrics = ServeMetrics()
+        with pytest.raises(KeyError):
+            metrics.inc("not_a_counter")
+        with pytest.raises(KeyError):
+            metrics.observe("not_a_histogram", 0.1)
+
+    def test_inc_and_count(self):
+        metrics = ServeMetrics()
+        metrics.inc("requests_total")
+        metrics.inc("requests_total", 4)
+        assert metrics.count("requests_total") == 5
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = ServeMetrics()
+        metrics.inc("pool_hits", 3)
+        metrics.inc("pool_misses", 1)
+        metrics.observe("warm_solve", 0.002)
+        snap = json.loads(json.dumps(metrics.snapshot()))
+        assert snap["counters"]["pool_hits"] == 3
+        assert snap["pool_hit_rate"] == pytest.approx(0.75)
+        assert snap["latency"]["warm_solve"]["count"] == 1
+
+    def test_hit_rate_with_no_lookups_is_zero(self):
+        assert ServeMetrics().snapshot()["pool_hit_rate"] == 0.0
+
+    def test_render_mentions_counters_and_latencies(self):
+        metrics = ServeMetrics()
+        metrics.inc("responses_ok", 2)
+        metrics.observe("total", 0.010)
+        text = metrics.render()
+        assert "responses_ok" in text
+        assert "total latency" in text
+
+    def test_concurrent_increments_are_exact(self):
+        metrics = ServeMetrics()
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                metrics.inc("admm_iterations")
+                metrics.observe("solve", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert metrics.count("admm_iterations") == n_threads * per_thread
+        assert metrics.snapshot()["latency"]["solve"]["count"] == (
+            n_threads * per_thread
+        )

@@ -1,0 +1,174 @@
+"""Tests for the warm solver pool: hit/miss economics, LRU eviction,
+fingerprint stability and thread-safety under concurrent misses."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiler import ScheduleCache
+from repro.problems import portfolio_problem
+from repro.serve import SolverPool
+from repro.solver import Settings
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+
+
+def _pool(**kwargs) -> SolverPool:
+    kwargs.setdefault("settings", FAST)
+    kwargs.setdefault("c", 8)
+    return SolverPool(**kwargs)
+
+
+class TestHitMiss:
+    def test_first_solve_is_cold_second_is_warm(self):
+        pool = _pool()
+        cold = pool.solve(portfolio_problem(8, seed=0))
+        assert not cold.warm
+        assert not cold.cache_hit
+        assert cold.compile_seconds > 0
+        assert cold.report.result.solved
+
+        warm = pool.solve(portfolio_problem(8, seed=1))
+        assert warm.warm
+        assert warm.cache_hit
+        assert warm.compile_seconds == 0.0
+        assert warm.report.result.solved
+        assert warm.fingerprint == cold.fingerprint
+
+        metrics = pool.metrics
+        assert metrics.count("compile_count") == 1
+        assert metrics.count("warm_solve_count") == 1
+        assert metrics.count("pool_hits") == 1
+        assert metrics.count("pool_misses") == 1
+
+    def test_warm_solve_matches_fresh_solve(self):
+        """The update_values rebind must not change the answer."""
+        problem = portfolio_problem(8, seed=3)
+        pool = _pool()
+        pool.solve(portfolio_problem(8, seed=0))  # make the pattern resident
+        warm = pool.solve(problem)
+        fresh = _pool().solve(problem)
+        # Iteration counts may differ (equilibration is computed on the
+        # resident instance's values), but both must converge to the
+        # same optimum within tolerance.
+        assert warm.report.result.solved and fresh.report.result.solved
+        assert warm.report.result.objective == pytest.approx(
+            fresh.report.result.objective, rel=1e-4, abs=1e-6
+        )
+
+    def test_fingerprint_is_pattern_keyed(self):
+        pool = _pool()
+        same_a = pool.fingerprint(portfolio_problem(8, seed=0))
+        same_b = pool.fingerprint(portfolio_problem(8, seed=9))
+        other = pool.fingerprint(portfolio_problem(12, seed=0))
+        assert same_a == same_b
+        assert same_a != other
+
+    def test_explicit_fingerprint_must_match(self):
+        pool = _pool()
+        with pytest.raises(RuntimeError):
+            pool.solve(
+                portfolio_problem(8, seed=0), fingerprint="not-a-real-key"
+            )
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_capacity(self):
+        pool = _pool(capacity=1)
+        pool.solve(portfolio_problem(8, seed=0))
+        pool.solve(portfolio_problem(12, seed=0))  # evicts the 8-pattern
+        assert len(pool) == 1
+        assert pool.metrics.count("pool_evictions") == 1
+
+    def test_evicted_pattern_readmits_from_cache_without_recompiling(self):
+        """Eviction drops the warm solver, not the compiled artifact."""
+        pool = _pool(capacity=1)
+        pool.solve(portfolio_problem(8, seed=0))
+        pool.solve(portfolio_problem(12, seed=0))
+        readmitted = pool.solve(portfolio_problem(8, seed=1))
+        assert not readmitted.warm  # the solver was rebuilt...
+        assert readmitted.cache_hit  # ...from the schedule cache
+        assert pool.metrics.count("compile_count") == 2  # only the two colds
+
+    def test_most_recently_used_survives(self):
+        pool = _pool(capacity=2)
+        key8 = pool.solve(portfolio_problem(8, seed=0)).fingerprint
+        pool.solve(portfolio_problem(12, seed=0))
+        pool.solve(portfolio_problem(8, seed=1))  # touch the 8-pattern
+        pool.solve(portfolio_problem(16, seed=0))  # evicts the 12-pattern
+        assert key8 in pool.fingerprints()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SolverPool(capacity=0)
+
+
+class TestSharing:
+    def test_shared_cache_spans_pools(self, tmp_path):
+        """A second pool (fresh process in real life) finds the first
+        pool's compiled artifact through the shared cache directory."""
+        first = _pool(cache_dir=tmp_path)
+        first.solve(portfolio_problem(8, seed=0))
+        second = _pool(cache_dir=tmp_path)
+        solve = second.solve(portfolio_problem(8, seed=1))
+        assert not solve.warm
+        assert solve.cache_hit
+        assert second.metrics.count("compile_count") == 0
+
+    def test_external_cache_instance(self):
+        cache = ScheduleCache()
+        pool = _pool(cache=cache)
+        pool.solve(portfolio_problem(8, seed=0))
+        assert cache.stats.stores == 1
+
+
+class TestConcurrency:
+    def test_concurrent_misses_compile_once(self):
+        pool = _pool()
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        results, errors = [], []
+        lock = threading.Lock()
+
+        def worker(seed: int):
+            try:
+                barrier.wait()
+                solve = pool.solve(portfolio_problem(8, seed=seed))
+                with lock:
+                    results.append(solve)
+            except Exception as exc:  # pragma: no cover - failure detail
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+
+        assert not errors
+        assert len(results) == n_threads
+        assert all(s.report.result.solved for s in results)
+        # The per-key build lock: one construction, everyone else warm.
+        assert pool.metrics.count("compile_count") == 1
+        assert sum(not s.warm for s in results) == 1
+        assert len(pool) == 1
+
+
+class TestWarmStart:
+    def test_warm_start_reuses_last_iterate(self):
+        pool = _pool(warm_start=True, settings=FAST)
+        base = portfolio_problem(8, seed=0)
+        first = pool.solve(base)
+        again = pool.solve(base)  # identical instance: start at optimum
+        assert again.report.result.solved
+        assert again.report.result.iterations <= first.report.result.iterations
+        # Agreement at the solver tolerance (both stop at eps=1e-3).
+        assert again.report.result.objective == pytest.approx(
+            first.report.result.objective, rel=1e-3
+        )

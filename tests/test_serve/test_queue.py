@@ -1,0 +1,166 @@
+"""Unit tests for the bounded coalescing request queue.
+
+The queue is transport-agnostic: these tests exercise admission
+control, same-pattern coalescing, deadlines and the write-once
+response slot without any HTTP or solver machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import QueueFullError, RequestQueue, SolveRequest
+
+
+def _request(fingerprint: str, *, deadline: float | None = None) -> SolveRequest:
+    # The queue never inspects the payload; a sentinel object suffices.
+    return SolveRequest(
+        problem=object(), fingerprint=fingerprint, deadline=deadline
+    )
+
+
+class TestCoalescing:
+    def test_same_pattern_riders_join_the_head_batch(self):
+        queue = RequestQueue(maxsize=16)
+        submitted = [_request(f) for f in ("A", "B", "A", "C", "A")]
+        for req in submitted:
+            queue.submit(req)
+
+        batch = queue.next_batch(timeout=0.1)
+        assert [r.fingerprint for r in batch] == ["A", "A", "A"]
+        # Riders are the original request objects, oldest first.
+        assert batch == [submitted[0], submitted[2], submitted[4]]
+        # Non-coalesced requests keep strict FIFO order.
+        assert [r.fingerprint for r in queue.next_batch(timeout=0.1)] == ["B"]
+        assert [r.fingerprint for r in queue.next_batch(timeout=0.1)] == ["C"]
+        assert len(queue) == 0
+
+    def test_max_batch_caps_the_ride_along(self):
+        queue = RequestQueue(maxsize=16)
+        for _ in range(5):
+            queue.submit(_request("A"))
+        batch = queue.next_batch(max_batch=3, timeout=0.1)
+        assert len(batch) == 3
+        assert len(queue) == 2
+        assert len(queue.next_batch(max_batch=3, timeout=0.1)) == 2
+
+    def test_max_batch_one_disables_coalescing(self):
+        queue = RequestQueue(maxsize=16)
+        for _ in range(3):
+            queue.submit(_request("A"))
+        assert len(queue.next_batch(max_batch=1, timeout=0.1)) == 1
+        assert len(queue) == 2
+
+    def test_invalid_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue().next_batch(max_batch=0)
+
+
+class TestAdmission:
+    def test_backpressure_raises_queue_full(self):
+        queue = RequestQueue(maxsize=2)
+        queue.submit(_request("A"))
+        queue.submit(_request("B"))
+        with pytest.raises(QueueFullError):
+            queue.submit(_request("C"))
+        # Draining one slot re-opens admission.
+        queue.next_batch(timeout=0.1)
+        queue.submit(_request("C"))
+
+    def test_submit_after_close_raises(self):
+        queue = RequestQueue()
+        queue.close()
+        with pytest.raises(QueueFullError):
+            queue.submit(_request("A"))
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+
+
+class TestBlockingAndShutdown:
+    def test_empty_wait_times_out_with_empty_batch(self):
+        queue = RequestQueue()
+        assert queue.next_batch(timeout=0.05) == []
+
+    def test_close_wakes_blocked_consumer_with_none(self):
+        queue = RequestQueue()
+        got: list = []
+        consumer = threading.Thread(
+            target=lambda: got.append(queue.next_batch(timeout=5.0))
+        )
+        consumer.start()
+        time.sleep(0.05)
+        queue.close()
+        consumer.join(timeout=2.0)
+        assert not consumer.is_alive()
+        assert got == [None]
+
+    def test_submit_wakes_blocked_consumer(self):
+        queue = RequestQueue()
+        got: list = []
+        consumer = threading.Thread(
+            target=lambda: got.append(queue.next_batch(timeout=5.0))
+        )
+        consumer.start()
+        time.sleep(0.05)
+        request = _request("A")
+        queue.submit(request)
+        consumer.join(timeout=2.0)
+        assert got == [[request]]
+
+    def test_drain_empties_pending(self):
+        queue = RequestQueue()
+        requests = [_request("A"), _request("B")]
+        for req in requests:
+            queue.submit(req)
+        assert queue.drain() == requests
+        assert len(queue) == 0
+
+
+class TestSolveRequest:
+    def test_respond_is_write_once(self):
+        request = _request("A")
+        assert request.respond(200, {"status": "ok"})
+        assert request.done.is_set()
+        # The losing side of the race is a no-op.
+        assert not request.respond(504, {"status": "timeout"})
+        assert request.status_code == 200
+        assert request.response == {"status": "ok"}
+
+    def test_concurrent_responders_publish_exactly_once(self):
+        request = _request("A")
+        barrier = threading.Barrier(8)
+        wins: list[bool] = []
+        lock = threading.Lock()
+
+        def racer(code: int):
+            barrier.wait()
+            won = request.respond(code, {"code": code})
+            with lock:
+                wins.append(won)
+
+        threads = [
+            threading.Thread(target=racer, args=(code,))
+            for code in range(200, 208)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=2.0)
+        assert sum(wins) == 1
+        assert request.response == {"code": request.status_code}
+
+    def test_deadline_accounting(self):
+        now = time.monotonic()
+        request = _request("A", deadline=now + 60.0)
+        assert not request.expired(now)
+        assert request.remaining(now) == pytest.approx(60.0)
+        assert request.expired(now + 61.0)
+        # Unbounded requests never expire.
+        unbounded = _request("B")
+        assert not unbounded.expired()
+        assert unbounded.remaining() is None

@@ -1,0 +1,167 @@
+"""End-to-end tests for the HTTP serve front-end.
+
+Everything here runs over a real socket: a :class:`ServeServer` bound
+to an ephemeral port, exercised through :class:`ServeClient`.  The
+headline test is the serving acceptance criterion — a repeat-pattern
+``POST /v1/solve`` must ride a resident solver (``compile_count``
+stays flat while ``warm_solve_count`` increments).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.problems import portfolio_problem
+from repro.serve import ServeClient, ServeServer
+from repro.solver import Settings, solve as host_solve
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServeServer(
+        port=0, workers=2, c=8, settings=FAST, capacity=4
+    ) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(port=server.port)
+
+
+class TestSolveEndpoint:
+    def test_repeat_pattern_rides_the_warm_pool(self, client):
+        """Acceptance: repeat-pattern requests never re-lower."""
+        first = client.solve(portfolio_problem(8, seed=0), timeout_s=60.0)
+        assert first.ok and first.solved
+        before = client.metrics()["counters"]
+
+        second = client.solve(portfolio_problem(8, seed=1), timeout_s=60.0)
+        assert second.ok and second.solved
+        assert second.warm
+        assert second.fingerprint == first.fingerprint
+        after = client.metrics()["counters"]
+
+        assert after["compile_count"] == before["compile_count"]
+        assert after["warm_solve_count"] == before["warm_solve_count"] + 1
+
+    def test_distinct_pattern_compiles_once(self, client):
+        before = client.metrics()["counters"]
+        response = client.solve(portfolio_problem(12, seed=0), timeout_s=60.0)
+        assert response.ok and response.solved
+        assert not response.warm
+        after = client.metrics()["counters"]
+        assert after["compile_count"] == before["compile_count"] + 1
+
+    def test_served_solution_matches_host_solver(self, client):
+        problem = portfolio_problem(8, seed=5)
+        response = client.solve(problem, timeout_s=60.0)
+        assert response.ok and response.solved
+        reference = host_solve(problem, settings=FAST)
+        assert response.result.objective == pytest.approx(
+            reference.objective, rel=1e-4, abs=1e-6
+        )
+        np.testing.assert_allclose(
+            response.result.x, reference.x, rtol=1e-3, atol=1e-4
+        )
+        # The trace summary survives the wire.
+        assert response.result.trace.total_flops > 0
+
+    def test_malformed_problem_is_a_400(self, client):
+        status, payload = client._request(
+            "/v1/solve", body={"problem": {"format": "nonsense"}}
+        )
+        assert status == 400
+        assert payload["status"] == "error"
+
+    def test_non_object_body_is_a_400(self, client):
+        status, payload = client._request("/v1/solve", body=[1, 2, 3])
+        assert status == 400
+        assert payload["status"] == "error"
+
+    def test_unknown_endpoint_is_a_404(self, client):
+        assert client._request("/v1/nope")[0] == 404
+        assert client._request("/v1/nope", body={})[0] == 404
+
+
+class TestObservability:
+    def test_health_reports_pool_and_queue(self, client, server):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["pool_capacity"] == 4
+        assert 0 <= health["pool_size"] <= 4
+        assert health["queue_capacity"] == server.queue.maxsize
+        assert health["workers"] == 2
+        assert health["uptime_s"] > 0
+
+    def test_metrics_snapshot_shape(self, client):
+        metrics = client.metrics()
+        assert set(metrics) == {"counters", "latency", "pool_hit_rate"}
+        assert metrics["counters"]["responses_ok"] >= 1
+        assert metrics["latency"]["total"]["count"] >= 1
+
+
+class TestDeadlinesAndBackpressure:
+    """Failure paths need a server whose queue never drains."""
+
+    def test_deadline_expiry_is_a_structured_timeout(self):
+        with ServeServer(port=0, workers=0, c=8, settings=FAST) as server:
+            client = ServeClient(port=server.port)
+            response = client.solve(portfolio_problem(8, seed=0), timeout_s=0.2)
+            assert response.http_status == 504
+            assert response.status == "timeout"
+            assert response.result is None
+            assert client.metrics()["counters"]["timeouts"] == 1
+
+    def test_full_queue_rejects_with_503(self):
+        with ServeServer(
+            port=0, workers=0, queue_size=1, c=8, settings=FAST
+        ) as server:
+            client = ServeClient(port=server.port)
+            occupant = threading.Thread(
+                target=client.solve,
+                args=(portfolio_problem(8, seed=0),),
+                kwargs={"timeout_s": 2.0},
+            )
+            occupant.start()
+            try:
+                # Wait until the occupant actually holds the only slot.
+                deadline_spins = 200
+                while len(server.queue) == 0 and deadline_spins:
+                    deadline_spins -= 1
+                    threading.Event().wait(0.01)
+                assert len(server.queue) == 1
+                rejected = client.solve(
+                    portfolio_problem(8, seed=1), timeout_s=2.0
+                )
+                assert rejected.http_status == 503
+                assert rejected.status == "rejected"
+                assert client.metrics()["counters"]["rejected"] >= 1
+            finally:
+                occupant.join(timeout=10.0)
+
+    def test_shutdown_answers_stragglers(self):
+        server = ServeServer(
+            port=0, workers=0, c=8, settings=FAST
+        ).start()
+        client = ServeClient(port=server.port)
+        responses: list = []
+        straggler = threading.Thread(
+            target=lambda: responses.append(
+                client.solve(portfolio_problem(8, seed=0), timeout_s=30.0)
+            )
+        )
+        straggler.start()
+        deadline_spins = 200
+        while len(server.queue) == 0 and deadline_spins:
+            deadline_spins -= 1
+            threading.Event().wait(0.01)
+        server.stop()
+        straggler.join(timeout=10.0)
+        assert not straggler.is_alive()
+        assert responses[0].status == "rejected"

@@ -1,0 +1,115 @@
+"""Round-trip tests for the SolveResult/OpTrace wire encoding.
+
+``SolveResult.to_dict``/``from_dict`` is the serve layer's response
+format: every field (including the operation-trace summary and
+infeasibility certificates) must survive a real JSON cycle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.problems import portfolio_problem
+from repro.solver import (
+    OpTrace,
+    Primitive,
+    Settings,
+    SolveResult,
+    SolverStatus,
+    solve,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return solve(
+        portfolio_problem(10),
+        settings=Settings(eps_abs=1e-4, eps_rel=1e-4),
+    )
+
+
+class TestSolveResultRoundtrip:
+    def test_full_roundtrip_through_json(self, result):
+        doc = json.loads(json.dumps(result.to_dict()))
+        back = SolveResult.from_dict(doc)
+        assert back.status is result.status
+        assert back.solved == result.solved
+        np.testing.assert_array_equal(back.x, result.x)
+        np.testing.assert_array_equal(back.y, result.y)
+        np.testing.assert_array_equal(back.z, result.z)
+        assert back.iterations == result.iterations
+        assert back.objective == result.objective
+        assert back.primal_residual == result.primal_residual
+        assert back.dual_residual == result.dual_residual
+        assert back.rho_updates == result.rho_updates
+        assert back.polished == result.polished
+        assert back.x.dtype == np.float64
+
+    def test_trace_summary_survives(self, result):
+        back = SolveResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert back.trace.total_flops == result.trace.total_flops
+        for primitive in Primitive:
+            assert back.trace.fraction(primitive) == pytest.approx(
+                result.trace.fraction(primitive)
+            )
+        assert dict(back.trace.calls) == dict(result.trace.calls)
+
+    def test_include_trace_false_drops_the_block(self, result):
+        doc = result.to_dict(include_trace=False)
+        assert "trace" not in doc
+        back = SolveResult.from_dict(doc)
+        assert back.trace.total_flops == 0.0
+        np.testing.assert_array_equal(back.x, result.x)
+
+    def test_certificates_roundtrip(self, result):
+        infeasible = SolveResult(
+            status=SolverStatus.PRIMAL_INFEASIBLE,
+            x=result.x,
+            y=result.y,
+            z=result.z,
+            iterations=7,
+            objective=0.0,
+            primal_residual=1.0,
+            dual_residual=1.0,
+            rho_updates=0,
+            trace=OpTrace(),
+            primal_infeasibility_certificate=np.array([1.0, -2.0, 0.5]),
+        )
+        back = SolveResult.from_dict(
+            json.loads(json.dumps(infeasible.to_dict()))
+        )
+        assert back.status is SolverStatus.PRIMAL_INFEASIBLE
+        assert not back.solved
+        np.testing.assert_array_equal(
+            back.primal_infeasibility_certificate,
+            infeasible.primal_infeasibility_certificate,
+        )
+        assert back.dual_infeasibility_certificate is None
+
+    def test_absent_certificates_stay_absent(self, result):
+        doc = result.to_dict()
+        assert "primal_infeasibility_certificate" not in doc
+        assert "dual_infeasibility_certificate" not in doc
+
+
+class TestOpTraceRoundtrip:
+    def test_roundtrip_preserves_accounting(self):
+        trace = OpTrace()
+        trace.add("spmv", Primitive.MAC, 120.0)
+        trace.add("spmv", Primitive.MAC, 80.0)
+        trace.add("shuffle", Primitive.PERMUTE, 30.0)
+        back = OpTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert back.total_flops == trace.total_flops
+        assert back.by_primitive[Primitive.MAC] == 200.0
+        assert back.by_operation["spmv"] == 200.0
+        assert back.calls == {"spmv": 2, "shuffle": 1}
+
+    def test_empty_trace(self):
+        back = OpTrace.from_dict(OpTrace().to_dict())
+        assert back.total_flops == 0.0
+        assert not back.by_operation
