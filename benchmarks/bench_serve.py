@@ -9,10 +9,15 @@ serving economics of the paper's compile-once/solve-many argument:
 * **cold** — the first request of each pattern pays solver
   construction (lowering + scheduling) on top of the solve;
 * **warm** — every later request of that pattern rides a resident
-  solver via ``update_values``.
+  solver via ``update_values``;
+* **batched vs unbatched** — a concurrent same-pattern burst against a
+  warm pool, with request coalescing disabled (``max_batch=1``) and
+  enabled (``max_batch=16``), reporting warm p50 side by side.  Run on
+  a separate server with warm starting off so both sides solve from
+  identical cold iterates.
 
 Writes ``BENCH_serve.json`` (repo root + ``benchmarks/results/``) with
-p50/p95/p99 latency and throughput for both phases.
+p50/p95/p99 latency and throughput for every phase.
 
 Runnable two ways:
 
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -46,6 +52,7 @@ from benchmarks.common import RESULTS_DIR
 REPO_ROOT = Path(__file__).resolve().parent.parent
 C = 8
 WARM_REQUESTS_PER_PATTERN = 12
+BATCH_BURST = 16  # concurrent same-pattern requests per burst
 REQUEST_TIMEOUT_S = 120.0
 
 # The paper's default tolerances with an embedded-style responsive
@@ -105,8 +112,95 @@ def _closed_loop(client: ServeClient, requests) -> tuple[list[float], int]:
     return latencies, solved
 
 
+def _concurrent_burst(
+    client: ServeClient, requests: list[QPProblem]
+) -> list[float]:
+    """Issue all requests at once; return per-request latencies."""
+    latencies = [0.0] * len(requests)
+
+    def issue(i: int, problem: QPProblem) -> None:
+        t0 = time.perf_counter()
+        response = client.solve(problem, timeout_s=REQUEST_TIMEOUT_S)
+        latencies[i] = time.perf_counter() - t0
+        assert response.ok and response.solved, (
+            f"burst request failed: {response.raw}"
+        )
+
+    threads = [
+        threading.Thread(target=issue, args=(i, p))
+        for i, p in enumerate(requests)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies
+
+
+def run_batched_comparison(burst: int = BATCH_BURST) -> dict:
+    """Warm p50 of a concurrent burst, coalescing off vs on.
+
+    One fresh server per comparison (warm starting off: the pool's
+    previous-solution seeding applies to solo solves only and would
+    bias the unbatched side).  For each pattern the identical burst is
+    driven twice — ``max_batch=1`` answers it as ``burst`` sequential
+    warm solves, ``max_batch=burst`` coalesces it into batched replay
+    passes.  Patterns whose solves adapt rho mid-flight fragment into
+    solo lanes (the lockstep group's correctness fallback), so the
+    per-pattern split is the honest report.
+    """
+    per_pattern: dict[str, dict] = {}
+    with ServeServer(
+        port=0,
+        workers=2,
+        capacity=len(PATTERNS),
+        queue_size=4 * burst,
+        variant="direct",
+        c=C,
+        settings=BENCH_SETTINGS,
+        warm_start=False,
+    ) as server:
+        client = ServeClient(port=server.port)
+        for name, gen in PATTERNS.items():
+            base = gen()
+            client.solve(base, timeout_s=REQUEST_TIMEOUT_S)  # warm the pool
+            requests = [
+                perturbed(base, 1000 + seed) for seed in range(burst)
+            ]
+            server.max_batch = 1
+            unbatched = _concurrent_burst(client, requests)
+            before = client.metrics()["counters"]
+            server.max_batch = burst
+            batched = _concurrent_burst(client, requests)
+            after = client.metrics()["counters"]
+            u50 = float(np.percentile(unbatched, 50))
+            b50 = float(np.percentile(batched, 50))
+            per_pattern[name] = {
+                "unbatched_p50_s": u50,
+                "batched_p50_s": b50,
+                "batched_speedup_p50": u50 / b50,
+                "batched_passes": (
+                    after["batched_solves"] - before["batched_solves"]
+                ),
+                "batched_lanes": (
+                    after["batched_lanes"] - before["batched_lanes"]
+                ),
+            }
+    return {
+        "burst": burst,
+        "unbatched_p50_s": float(np.median(
+            [p["unbatched_p50_s"] for p in per_pattern.values()]
+        )),
+        "batched_p50_s": float(np.median(
+            [p["batched_p50_s"] for p in per_pattern.values()]
+        )),
+        "patterns": per_pattern,
+    }
+
+
 def run_benchmark(
     warm_per_pattern: int = WARM_REQUESTS_PER_PATTERN,
+    batch_burst: int = BATCH_BURST,
 ) -> dict:
     with ServeServer(
         port=0,
@@ -136,7 +230,11 @@ def run_benchmark(
         warm_latencies, warm_solved = _closed_loop(client, warm_problems)
         warm_wall = time.perf_counter() - t1
 
+        # Snapshot before any later phase touches the counters: the
+        # gates below price exactly the cold/warm phases above.
         metrics = client.metrics()
+
+    batched = run_batched_comparison(batch_burst)
 
     cold = _percentiles(cold_latencies)
     warm = _percentiles(warm_latencies)
@@ -158,6 +256,7 @@ def run_benchmark(
             "throughput_rps": len(warm_latencies) / warm_wall,
         },
         "warm_speedup_p50": cold["p50_s"] / warm["p50_s"],
+        "batched": batched,
         "compile_count": counters["compile_count"],
         "warm_solve_count": counters["warm_solve_count"],
         "pool_hit_rate": metrics["pool_hit_rate"],
@@ -198,7 +297,7 @@ def check(doc: dict) -> list[str]:
 
 def test_serve_latency_split():
     """Harness entry point (pytest benchmarks/bench_serve.py)."""
-    doc = run_benchmark(warm_per_pattern=4)
+    doc = run_benchmark(warm_per_pattern=4, batch_burst=8)
     write_results(doc)
     assert not check(doc)
 
@@ -212,6 +311,14 @@ def main(argv: list[str]) -> int:
         f"speedup {doc['warm_speedup_p50']:.1f}x | "
         f"warm throughput {doc['warm']['throughput_rps']:.1f} req/s"
     )
+    for name, p in doc["batched"]["patterns"].items():
+        print(
+            f"burst x{doc['batched']['burst']} {name:<10} "
+            f"unbatched p50 {p['unbatched_p50_s'] * 1e3:.1f} ms | "
+            f"batched p50 {p['batched_p50_s'] * 1e3:.1f} ms "
+            f"({p['batched_speedup_p50']:.1f}x, "
+            f"{p['batched_lanes']} lanes / {p['batched_passes']} passes)"
+        )
     if "--check" in argv:
         failures = check(doc)
         for failure in failures:

@@ -192,12 +192,29 @@ def cmd_suite(args) -> int:
         settings=_settings(args),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        batch=args.batch,
     )
     wall = time.perf_counter() - t0
     headers, rows = suite_rows(specs, evaluations)
     print(ascii_table(headers, rows, title=f"suite sweep ({args.variant}, C={args.width})"))
     cache_hits = sum(ev.cache_hit for ev in evaluations)
     cache = process_cache(args.cache_dir) if args.jobs <= 1 else None
+    batch_rows: list[tuple[str, object]] = []
+    if args.batch > 1 and evaluations and evaluations[0].batch > 1:
+        solo = sum(ev.solve_seconds for ev in evaluations)
+        amortized = sum(
+            ev.batch_amortized_seconds for ev in evaluations
+        )
+        batch_rows = [
+            (
+                f"batched solve (B={args.batch}, amortized/lane)",
+                f"{amortized:.2f} s",
+            ),
+            (
+                "batch amortization vs solo",
+                f"{solo / amortized:.2f}x" if amortized > 0 else "n/a",
+            ),
+        ]
     print()
     print(
         suite_summary_block(
@@ -210,7 +227,8 @@ def cmd_suite(args) -> int:
             cache_misses=(
                 len(evaluations) - cache_hits if args.cache_dir else None
             ),
-            extra_rows=cache.stats.rows() if cache is not None else (),
+            extra_rows=batch_rows
+            + (cache.stats.rows() if cache is not None else []),
         )
     )
     return 0
@@ -224,6 +242,7 @@ def cmd_serve(args) -> int:
         port=args.port,
         workers=args.workers,
         queue_size=args.queue_size,
+        max_batch=args.max_batch,
         default_timeout_s=args.timeout,
         capacity=args.pool_size,
         variant=args.variant,
@@ -236,7 +255,7 @@ def cmd_serve(args) -> int:
     print(
         f"repro.serve listening on http://{server.host}:{server.port} "
         f"(variant={args.variant}, C={args.width}, pool={args.pool_size}, "
-        f"workers={args.workers})"
+        f"workers={args.workers}, max-batch={args.max_batch})"
     )
     print("endpoints: POST /v1/solve   GET /v1/health   GET /v1/metrics")
     try:
@@ -322,6 +341,13 @@ def main(argv: list[str] | None = None) -> int:
         "--domains",
         help=f"comma-separated subset of {DOMAINS} (default: all)",
     )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="also time one batched replay pass over this many lanes "
+        "per problem (direct variant; 1 = off)",
+    )
     p.set_defaults(fn=cmd_suite)
 
     p = sub.add_parser("serve", help="run the QP solve service")
@@ -338,6 +364,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument(
         "--queue-size", type=int, default=64, help="pending-request bound"
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="coalesced same-pattern requests solved per batched "
+        "replay pass (1 disables batching)",
     )
     p.add_argument(
         "--timeout",

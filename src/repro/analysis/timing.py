@@ -96,6 +96,17 @@ class ProblemEvaluation:
     compile_seconds: float = field(default=0.0, compare=False)
     solve_seconds: float = field(default=0.0, compare=False)
     cache_hit: bool = field(default=False, compare=False)
+    # Batched-replay observability (``batch > 1``): wall time of one
+    # ``solve_batch`` pass over ``batch`` lanes of this pattern.
+    batch: int = field(default=1, compare=False)
+    batch_solve_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def batch_amortized_seconds(self) -> float:
+        """Host wall seconds per solve inside the batched pass."""
+        if self.batch <= 1:
+            return self.solve_seconds
+        return self.batch_solve_seconds / self.batch
 
     def speedup_over(self, baseline: str, target: str = "mib") -> float:
         return (
@@ -132,6 +143,7 @@ def evaluate_problem(
     baselines: tuple[str, ...] | None = None,
     cache: ScheduleCache | None = None,
     execution: str = "replay",
+    batch: int = 1,
 ) -> ProblemEvaluation:
     """Evaluate one problem across the MIB prototype and baselines.
 
@@ -142,6 +154,13 @@ def evaluate_problem(
     compile/solve stage wall times and whether the cache hit.
     ``execution`` selects how any simulator-executed kernels run
     (``"replay"`` traces or the ``"interpret"`` oracle).
+
+    ``batch > 1`` (direct variant only) additionally times one
+    :meth:`~repro.backends.MIBSolver.solve_batch` pass over ``batch``
+    lanes of this pattern, recording the amortized host wall time per
+    solve — the serve layer's coalesced-batch economics measured on
+    the suite grid.  The modeled platform measurements are untouched
+    (they price one solve).
     """
     platforms = platforms or PLATFORMS
     if baselines is None:
@@ -157,6 +176,11 @@ def evaluate_problem(
     t_solve = time.perf_counter()
     report = mib.solve()
     solve_seconds = time.perf_counter() - t_solve
+    batch_solve_seconds = 0.0
+    if batch > 1 and variant == "direct":
+        t_batch = time.perf_counter()
+        mib.solve_batch([problem] * batch)
+        batch_solve_seconds = time.perf_counter() - t_batch
     result = report.result
     total_flops = result.trace.total_flops
     measurements: dict[str, PlatformMeasurement] = {}
@@ -200,6 +224,8 @@ def evaluate_problem(
         compile_seconds=mib.compile_seconds,
         solve_seconds=solve_seconds,
         cache_hit=mib.cache_hit,
+        batch=batch if variant == "direct" else 1,
+        batch_solve_seconds=batch_solve_seconds,
     )
 
 
@@ -222,7 +248,7 @@ def process_cache(cache_dir: str | Path | None) -> ScheduleCache | None:
 
 def _evaluate_spec(task) -> ProblemEvaluation:
     """Top-level worker (picklable) for the parallel suite driver."""
-    spec, variant, c, settings, seed, cache_dir, execution = task
+    spec, variant, c, settings, seed, cache_dir, execution, batch = task
     return evaluate_problem(
         spec.generate(seed),
         domain=spec.domain,
@@ -232,6 +258,7 @@ def _evaluate_spec(task) -> ProblemEvaluation:
         settings=settings,
         cache=process_cache(cache_dir),
         execution=execution,
+        batch=batch,
     )
 
 
@@ -245,6 +272,7 @@ def evaluate_suite(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     execution: str = "replay",
+    batch: int = 1,
 ) -> list[ProblemEvaluation]:
     """Evaluate a set of benchmark specs under one variant.
 
@@ -256,6 +284,8 @@ def evaluate_suite(
     sibling workers through a session-scoped temporary directory
     (worker processes have no shared memory, so without a disk cache
     every worker would recompile patterns its siblings already built).
+    ``batch`` forwards to :func:`evaluate_problem`: each cell also
+    times one batched replay pass over that many lanes.
     """
     if jobs > 1 and cache_dir is None:
         with tempfile.TemporaryDirectory(prefix="repro-suite-cache-") as tmp:
@@ -268,10 +298,12 @@ def evaluate_suite(
                 jobs=jobs,
                 cache_dir=tmp,
                 execution=execution,
+                batch=batch,
             )
     tasks = [
         (spec, variant, c, settings, seed,
-         str(cache_dir) if cache_dir is not None else None, execution)
+         str(cache_dir) if cache_dir is not None else None, execution,
+         batch)
         for spec in specs
     ]
     return parallel_map(_evaluate_spec, tasks, jobs=jobs)

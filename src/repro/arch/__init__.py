@@ -1,6 +1,7 @@
 """The Multi-Issue Butterfly architecture: topology, ISA, register
 files, HBM model, cycle-level simulator and FPGA resource model."""
 
+from .batch import BatchSimState, BatchStreamBuffers
 from .control import ControlWord, decode_modes, encode_control
 from .hbm import HBMModel, StreamBuffers
 from .isa import (
@@ -33,6 +34,8 @@ from .trace import CompiledTrace, TracePhase, compile_trace, stamp_matches
 __all__ = [
     "AlveoU50",
     "BINARY_EWISE_FNS",
+    "BatchSimState",
+    "BatchStreamBuffers",
     "Butterfly",
     "CompiledTrace",
     "TracePhase",

@@ -32,7 +32,7 @@ values (``update_values``, ρ refactorization) needs no re-validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -107,6 +107,12 @@ class CompiledTrace:
     stats: SimulationStats
     hbm_words_read: int
     hbm_words_written: int
+    # Reusable replay buffers (coeff/state/values per execution width,
+    # plus lane-offset MAC segment maps).  Pure scratch: every slot is
+    # rewritten before it is read on each replay, so reuse cannot leak
+    # values between calls.  Replays of one trace are not re-entrant —
+    # callers serialize per solver (the pool's per-entry lock).
+    _scratch: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:
@@ -124,6 +130,49 @@ class CompiledTrace:
             "hbm_words_written": int(self.hbm_words_written),
             "stats": self.stats,
         }
+
+    # ------------------------------------------------------------------
+    def _buffers(self, b: int | None) -> tuple:
+        """Per-trace scratch: (coeff, state, values) for sequential
+        replay (``b is None``) or a ``b``-lane batched replay.
+
+        Safe to reuse because a replay rewrites everything it reads:
+        the stream plan and per-phase dynamic-coefficient writes cover
+        every non-constant ``coeff`` slot, the gather covers every
+        state id (``loc_sid`` is fully enumerated into the gather
+        plans), and each value id is produced by exactly one exec
+        batch before any commit consumes it.
+        """
+        key = "seq" if b is None else ("batch", b)
+        buf = self._scratch.get(key)
+        if buf is None:
+            if b is None:
+                buf = (
+                    self.coeff_template.copy(),
+                    np.zeros(self.n_state, dtype=np.float64),
+                    np.empty(self.n_values, dtype=np.float64),
+                )
+            else:
+                buf = (
+                    np.tile(self.coeff_template, (b, 1)),
+                    np.zeros((b, self.n_state), dtype=np.float64),
+                    np.empty((b, self.n_values), dtype=np.float64),
+                )
+            self._scratch[key] = buf
+        return buf
+
+    def _lane_segments(
+        self, b: int, phase: int, batch: int, seg: np.ndarray, n_out: int
+    ) -> np.ndarray:
+        """MAC segment ids offset per lane, so one flat ``np.bincount``
+        computes all lanes while keeping each lane's left-fold order."""
+        key = ("seg", b, phase, batch)
+        out = self._scratch.get(key)
+        if out is None:
+            offsets = np.arange(b, dtype=np.int64) * n_out
+            out = (seg[None, :] + offsets[:, None]).ravel()
+            self._scratch[key] = out
+        return out
 
     # ------------------------------------------------------------------
     def replay(
@@ -150,19 +199,17 @@ class CompiledTrace:
                 f"trace {self.name!r} pipeline latency mismatch"
             )
         streams = streams or StreamBuffers()
-        coeff = self.coeff_template.copy()
+        coeff, state, values = self._buffers(None)
         for name, idx, slots, scale in self.stream_plan:
             vals = np.asarray(streams.fetch(name, idx), dtype=np.float64)
             coeff[slots] = vals * scale if scale is not None else vals
 
-        state = np.zeros(self.n_state, dtype=np.float64)
         flat = sim.rf.data.reshape(-1)
         if self.g_rf_state.size:
             state[self.g_rf_state] = flat[self.g_rf_flat]
         for loc, s in self.g_other:
             state[s] = sim.read_loc(loc)
 
-        values = np.empty(self.n_values, dtype=np.float64)
         for ph in self.phases:
             if ph.cr_state is not None:
                 coeff[ph.cr_slot] = state[ph.cr_state] * ph.cr_scale
@@ -243,6 +290,133 @@ class CompiledTrace:
                 sim.rf.write(loc, v)
         sim.hbm.record_read(self.hbm_words_read)
         sim.hbm.record_write(self.hbm_words_written)
+
+        out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
+        if collect_stats:
+            out.instructions = self.stats.instructions
+            out.bundles = self.stats.bundles
+            out.node_cycles_busy = self.stats.node_cycles_busy
+            out.issue_width_histogram = dict(self.stats.issue_width_histogram)
+        return out
+
+    # ------------------------------------------------------------------
+    def replay_batch(self, ctx, streams, *, collect_stats: bool = True):
+        """Execute the trace over a leading batch axis.
+
+        ``ctx`` is a :class:`~repro.arch.batch.BatchSimState` holding B
+        lanes of storage; ``streams`` a
+        :class:`~repro.arch.batch.BatchStreamBuffers` whose 2-D entries
+        carry per-lane values.  Every lane's arithmetic is bit-identical
+        to replaying the same trace sequentially against a simulator in
+        the same state: element-wise batches broadcast the identical
+        IEEE-754 operations row-wise, the MAC segmented sum offsets
+        segment ids per lane so ``np.bincount`` folds each lane's reads
+        left in input order, and duplicate accumulate-commits go through
+        ``np.add.at`` whose unbuffered updates visit the row-major
+        broadcast in order — per lane, the 1-D commit order.
+
+        Returns the same :class:`SimulationStats` a sequential replay
+        would: the batch executes in one pass of the (simulated)
+        machine, which is the modeled throughput win.
+        """
+        if ctx.c != self.c or ctx.depth != self.depth:
+            raise ValueError(
+                f"trace {self.name!r} compiled for C={self.c}/depth="
+                f"{self.depth}, batch state has C={ctx.c}/depth={ctx.depth}"
+            )
+        if ctx.latency != self.stats.latency:
+            raise ValueError(
+                f"trace {self.name!r} pipeline latency mismatch"
+            )
+        b = ctx.b
+        coeff, state, values = self._buffers(b)
+        for name, idx, slots, scale in self.stream_plan:
+            vals = streams.fetch(name, idx)
+            coeff[:, slots] = vals * scale if scale is not None else vals
+
+        if self.g_rf_state.size:
+            gcols = ctx.columns((self.name, id(self), "g"), self.g_rf_flat)
+            state[:, self.g_rf_state] = ctx.rf[:, gcols]
+        for loc, s in self.g_other:
+            state[:, s] = ctx.read_loc(loc)
+
+        for pi, ph in enumerate(self.phases):
+            if ph.cr_state is not None:
+                coeff[:, ph.cr_slot] = state[:, ph.cr_state] * ph.cr_scale
+            for bi, batch in enumerate(ph.batches):
+                code = batch[0]
+                if code == _MAC:
+                    _, out, ridx, seg, cidx, n_out = batch
+                    lane_seg = self._lane_segments(b, pi, bi, seg, n_out)
+                    values[:, out] = np.bincount(
+                        lane_seg,
+                        weights=(coeff[:, cidx] * state[:, ridx]).ravel(),
+                        minlength=b * n_out,
+                    ).reshape(b, n_out)
+                elif code == _SCATTER_MUL:
+                    _, out, a, cidx = batch
+                    values[:, out] = coeff[:, cidx] * state[:, a]
+                elif code == _COPY:
+                    _, out, a = batch
+                    values[:, out] = state[:, a]
+                elif code == _CONST:
+                    _, out, cidx = batch
+                    values[:, out] = coeff[:, cidx]
+                elif code == _RECIP:
+                    _, out, a = batch
+                    values[:, out] = 1.0 / state[:, a]
+                elif code == _SCALE:
+                    _, out, a, s0 = batch
+                    values[:, out] = s0 * state[:, a]
+                elif code == _STREAM_MUL:
+                    _, out, a, cidx = batch
+                    values[:, out] = state[:, a] * coeff[:, cidx]
+                elif code == _STREAM_AXPY:
+                    _, out, a, cidx, s0 = batch
+                    values[:, out] = state[:, a] + s0 * coeff[:, cidx]
+                elif code == _CLIP:
+                    _, out, a, lo, hi = batch
+                    values[:, out] = np.minimum(
+                        np.maximum(state[:, a], coeff[:, lo]), coeff[:, hi]
+                    )
+                elif code == _ADD:
+                    _, out, a, b_ = batch
+                    values[:, out] = state[:, a] + state[:, b_]
+                elif code == _SUB:
+                    _, out, a, b_ = batch
+                    values[:, out] = state[:, a] - state[:, b_]
+                elif code == _MUL:
+                    _, out, a, b_ = batch
+                    values[:, out] = state[:, a] * state[:, b_]
+                elif code == _AXPBY:
+                    _, out, a, b_, s0, s1 = batch
+                    values[:, out] = s0 * state[:, a] + s1 * state[:, b_]
+                elif code == _NEGMUL:
+                    _, out, a, b_ = batch
+                    values[:, out] = -state[:, a] * state[:, b_]
+                else:  # _FACTOR_FIN
+                    _, out1, out2, yi, di = batch
+                    y = state[:, yi]
+                    dinv = state[:, di]
+                    values[:, out1] = y * dinv
+                    values[:, out2] = -y * y * dinv
+            for acc, sids, vids, has_dups in ph.commits:
+                if acc:
+                    if has_dups:
+                        np.add.at(
+                            state, (slice(None), sids), values[:, vids]
+                        )
+                    else:
+                        state[:, sids] += values[:, vids]
+                else:
+                    state[:, sids] = values[:, vids]
+
+        if self.s_rf_state.size:
+            scols = ctx.columns((self.name, id(self), "s"), self.s_rf_flat)
+            ctx.rf[:, scols] = state[:, self.s_rf_state]
+        for loc, s in self.s_other:
+            ctx.write_loc(loc, state[:, s])
+        ctx.record_hbm(self.hbm_words_read, self.hbm_words_written)
 
         out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
         if collect_stats:

@@ -1,8 +1,18 @@
 """Execution backends: the MIB compiled solver, the host reference,
 and analytical models of the paper's baseline platforms."""
 
-from .cpu import ReferenceRun, run_reference
-from .mib import MIBNetworkSolveReport, MIBSolveReport, MIBSolver
+from .cpu import (
+    ReferenceBatchRun,
+    ReferenceRun,
+    run_reference,
+    run_reference_batch,
+)
+from .mib import (
+    MIBBatchReport,
+    MIBNetworkSolveReport,
+    MIBSolveReport,
+    MIBSolver,
+)
 from .models import (
     PLATFORMS,
     Platform,
@@ -12,14 +22,17 @@ from .models import (
 )
 
 __all__ = [
+    "MIBBatchReport",
     "MIBNetworkSolveReport",
     "MIBSolveReport",
     "MIBSolver",
     "PLATFORMS",
     "Platform",
+    "ReferenceBatchRun",
     "ReferenceRun",
     "cpu_platform_for",
     "model_runtime",
     "run_reference",
+    "run_reference_batch",
     "sample_jittered_runtimes",
 ]

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch import (
+    BatchSimState,
+    BatchStreamBuffers,
     CompiledTrace,
     NetworkSimulator,
     SimulationStats,
@@ -35,6 +37,7 @@ from ..arch import (
     stamp_matches,
 )
 from ..arch.resources import clock_frequency_hz
+from ..linalg import CSCMatrix
 from ..compiler import (
     CompiledArtifact,
     KernelBuilder,
@@ -54,12 +57,18 @@ from ..solver import (
     Settings,
     SolveResult,
     SolverStatus,
+    dual_infeasibility,
+    primal_infeasibility,
+    residuals_from_products,
 )
+from ..solver.admm import _RHO_LOOSE
+from ..solver.problem import OSQP_INFTY
 
 __all__ = [
     "MIBSolver",
     "MIBSolveReport",
     "MIBNetworkSolveReport",
+    "MIBBatchReport",
     "PCIE_BANDWIDTH",
     "PCIE_LATENCY",
 ]
@@ -101,10 +110,31 @@ class MIBNetworkSolveReport:
     dual_residual: float
     rho_updates: int
     objective: float
+    primal_infeasibility_certificate: np.ndarray | None = None
+    dual_infeasibility_certificate: np.ndarray | None = None
+    # Batch path only: the lane left the lockstep group after a ρ
+    # refactorization and finished solo.
+    solo: bool = False
 
     @property
     def solved(self) -> bool:
         return self.status is SolverStatus.SOLVED
+
+
+@dataclass
+class MIBBatchReport:
+    """Outcome of :meth:`MIBSolver.solve_batch`: B lanes solved in one
+    lockstep pass over a shared compiled pattern."""
+
+    lanes: list[MIBNetworkSolveReport]  # input order
+    batch: int
+    solo_lanes: int  # lanes that finished outside the lockstep group
+    total_cycles: int  # Σ per-lane cycles (sequential-equivalent work)
+    max_cycles: int  # slowest lane (the batch's modeled wall time)
+
+    @property
+    def solved_lanes(self) -> int:
+        return sum(r.solved for r in self.lanes)
 
 
 @dataclass
@@ -116,6 +146,118 @@ class _CompiledKernels:
 
     def __contains__(self, name: str) -> bool:
         return name in self.schedules
+
+
+@dataclass
+class _BatchMaps:
+    """Pattern-derived index maps and scaling factors for the batch
+    solve path (computed once per solver, shared by every batch).
+
+    The maps let B same-pattern instances be scaled and assembled into
+    per-lane KKT value rows with pure gathers — bitwise identical to
+    what :meth:`OSQPSolver.update_values` + the KKT backend produce for
+    each instance individually, because every derived matrix in that
+    chain (symmetrize, permute, upper-triangle) is a value-preserving
+    stable gather.
+    """
+
+    qfac: np.ndarray  # c·d (scales q)
+    a_fac: np.ndarray  # e_row · d_col per A entry
+    pu_fac: np.ndarray  # d_row · d_col per P-upper entry
+    pf_map: np.ndarray  # P-upper data -> P-full data gather
+    perm_map: np.ndarray  # KKT data -> permuted-upper data gather
+    p_positions: np.ndarray
+    p_diag_positions: np.ndarray
+    a_positions: np.ndarray
+    rho_positions: np.ndarray
+    sigma: float
+    l_nnz: int
+    n: int
+    m: int
+    a_indices: np.ndarray
+    a_entry_cols: np.ndarray
+    pf_indices: np.ndarray
+    pf_entry_cols: np.ndarray
+
+    # Per-lane mat-vecs on explicit data rows, replicating
+    # CSCMatrix.matvec/rmatvec bitwise (same bincount reductions).
+    def a_matvec(self, data: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            self.a_indices, weights=data * x[self.a_entry_cols],
+            minlength=self.m,
+        )[: self.m]
+
+    def a_rmatvec(self, data: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            self.a_entry_cols, weights=data * y[self.a_indices],
+            minlength=self.n,
+        )[: self.n]
+
+    def p_matvec(self, data: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            self.pf_indices, weights=data * x[self.pf_entry_cols],
+            minlength=self.n,
+        )[: self.n]
+
+
+class _LaneGroup:
+    """Batch lanes advancing in lockstep through the ADMM loop.
+
+    One kernel replay serves every lane in the group; per-lane numeric
+    state lives in the batched context/streams/value arrays.  Lanes
+    leave the group by early harvest (converged / infeasible) or by
+    triggering a ρ refactorization, which extracts them into a solo
+    group so the remaining lanes never execute — or wait on — a
+    factorization they did not ask for.
+    """
+
+    def __init__(
+        self,
+        *,
+        ids: np.ndarray,
+        ctx: BatchSimState,
+        streams: BatchStreamBuffers,
+        arrays: dict[str, np.ndarray],
+        rho: np.ndarray,
+        cycles: np.ndarray,
+        rho_updates: np.ndarray,
+        start_iteration: int = 0,
+        solo: bool = False,
+    ) -> None:
+        self.ids = ids
+        self.ctx = ctx
+        self.streams = streams
+        self.arrays = arrays
+        self.rho = rho
+        self.cycles = cycles
+        self.rho_updates = rho_updates
+        self.start_iteration = start_iteration
+        self.solo = solo
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.ids = self.ids[keep]
+        self.rho = self.rho[keep]
+        self.cycles = self.cycles[keep]
+        self.rho_updates = self.rho_updates[keep]
+        for name, arr in self.arrays.items():
+            self.arrays[name] = arr[keep]
+        self.ctx.compact(keep)
+        self.streams.compact(keep)
+
+    def extract(self, row: int, *, start_iteration: int) -> "_LaneGroup":
+        return _LaneGroup(
+            ids=self.ids[row : row + 1].copy(),
+            ctx=self.ctx.extract(row),
+            streams=self.streams.extract(row),
+            arrays={
+                k: v[row : row + 1].copy() for k, v in self.arrays.items()
+            },
+            rho=self.rho[row : row + 1].copy(),
+            cycles=self.cycles[row : row + 1].copy(),
+            rho_updates=self.rho_updates[row : row + 1].copy(),
+            start_iteration=start_iteration,
+            solo=True,
+        )
 
 
 class MIBSolver:
@@ -185,6 +327,7 @@ class MIBSolver:
         self._sim: NetworkSimulator | None = None
         self._traces: dict[str, CompiledTrace] = {}
         self._trace_stamps: dict[str, dict] = {}
+        self._batch_maps_cache: _BatchMaps | None = None
         self.super_pipelined = super_pipelined
         self.clock_hz = clock_frequency_hz(c)
         extra_latency = 0
@@ -673,8 +816,6 @@ class MIBSolver:
         """
         if self.variant != "direct":
             raise ValueError("solve_on_network supports the direct variant")
-        from ..solver.admm import residuals_from_products
-
         st = self.reference.settings
         sc = self.reference.scaling
         sp = sc.scaled
@@ -718,12 +859,21 @@ class MIBSolver:
 
         status = SolverStatus.MAX_ITERATIONS
         prim_res = dual_res = float("inf")
+        prim_cert: np.ndarray | None = None
+        dual_cert: np.ndarray | None = None
         iteration = 0
         for iteration in range(1, max_iter + 1):
+            check = (
+                iteration % st.check_interval == 0 or iteration == max_iter
+            )
+            if check:
+                # Previous-iteration iterates for the δx/δy certificates.
+                x_prev = sim.rf.read_vector(alloc.get("adm_x"))
+                y_prev = sim.rf.read_vector(alloc.get("adm_y"))
             for kernel in ("iter_pre", "kkt_solve", "iter_post"):
                 stats = self._run_kernel(sim, kernel, streams)
                 total_cycles += stats.cycles
-            if iteration % st.check_interval and iteration != max_iter:
+            if not check:
                 continue
             stats = self._run_kernel(sim, "residuals", streams)
             total_cycles += stats.cycles
@@ -736,6 +886,16 @@ class MIBSolver:
             )
             if prim_res <= eps_prim and dual_res <= eps_dual:
                 status = SolverStatus.SOLVED
+                break
+            dy = sim.rf.read_vector(alloc.get("adm_y")) - y_prev
+            if self.reference._primal_infeasible(dy):
+                status = SolverStatus.PRIMAL_INFEASIBLE
+                prim_cert = sc.e * dy / sc.c
+                break
+            dx = sim.rf.read_vector(alloc.get("adm_x")) - x_prev
+            if self.reference._dual_infeasible(dx):
+                status = SolverStatus.DUAL_INFEASIBLE
+                dual_cert = sc.d * dx
                 break
             if (
                 st.adaptive_rho
@@ -774,7 +934,407 @@ class MIBSolver:
             dual_residual=dual_res,
             rho_updates=rho_updates,
             objective=self.problem.objective(sc.unscale_x(x)),
+            primal_infeasibility_certificate=prim_cert,
+            dual_infeasibility_certificate=dual_cert,
         )
+
+    def bind_instance(self, problem: QPProblem) -> None:
+        """Rebind this compiled solver to a same-pattern instance and
+        reset ρ to its configured initial value.
+
+        This is the sequential equivalent of occupying one lane of
+        :meth:`solve_batch`: batch lanes all start from ``settings.rho``
+        regardless of where a previous solve's adaptation ended, so the
+        differential oracle for lane *i* is ``bind_instance(problems[i])``
+        followed by :meth:`solve_on_network` on the *same* solver (a
+        fresh solver would compute its own Ruiz scaling and diverge
+        bitwise).
+        """
+        self.update_values(problem)
+        ref = self.reference
+        ref.rho = ref.settings.rho
+        ref.rho_vec = ref._build_rho_vec(ref.rho)
+        ref.kkt_solver.update_rho(ref.rho_vec)
+
+    # ------------------------------------------------------------------
+    # batched lockstep solve
+    # ------------------------------------------------------------------
+    def _batch_maps(self) -> _BatchMaps:
+        """Pattern-derived gathers/factors for :meth:`solve_batch`.
+
+        The two data maps are built by *index probing*: run an
+        ``arange`` payload through the exact derivation chain the
+        scalar path uses (symmetrize → permute → upper-triangle, all
+        value-preserving stable gathers) and read the resulting data as
+        source positions.
+        """
+        if self._batch_maps_cache is not None:
+            return self._batch_maps_cache
+        sc = self.reference.scaling
+        sp = sc.scaled
+        ks = self.reference.kkt_solver
+        assert isinstance(ks, DirectKKTSolver)
+        kkt = ks.kkt
+        pu = sp.p_upper
+        probe = CSCMatrix(
+            pu.shape,
+            pu.indptr,
+            pu.indices,
+            np.arange(pu.nnz, dtype=np.float64),
+            check=False,
+        )
+        pf_map = probe.symmetrize_from_upper().data.astype(np.int64)
+        kmat = kkt.matrix
+        kprobe = CSCMatrix(
+            kmat.shape,
+            kmat.indptr,
+            kmat.indices,
+            np.arange(kmat.nnz, dtype=np.float64),
+            check=False,
+        )
+        permuted = ks.perm.permute_symmetric(
+            kprobe.symmetrize_from_upper()
+        ).upper_triangle()
+        if not permuted.pattern_equal(ks._permuted_upper):
+            raise AssertionError("permuted KKT probe pattern drift")
+        pu_rows, pu_cols, _ = pu.to_coo()
+        maps = _BatchMaps(
+            qfac=sc.c * sc.d,
+            a_fac=sc.e[sp.a.indices] * sc.d[sp.a._entry_cols],
+            pu_fac=sc.d[pu_rows] * sc.d[pu_cols],
+            pf_map=pf_map,
+            perm_map=permuted.data.astype(np.int64),
+            p_positions=kkt.p_positions,
+            p_diag_positions=kkt.p_positions[pu_rows == pu_cols],
+            a_positions=kkt.a_positions,
+            rho_positions=kkt.rho_positions,
+            sigma=kkt.sigma,
+            l_nnz=ks.symbolic.l_nnz,
+            n=sp.n,
+            m=sp.m,
+            a_indices=sp.a.indices,
+            a_entry_cols=sp.a._entry_cols,
+            pf_indices=sp.p_full.indices,
+            pf_entry_cols=sp.p_full._entry_cols,
+        )
+        self._batch_maps_cache = maps
+        return maps
+
+    def _lane_rho_vec(
+        self, l_s: np.ndarray, u_s: np.ndarray, rho
+    ) -> np.ndarray:
+        """Per-lane ρ vector from *scaled* bounds, replicating
+        ``OSQPSolver._build_rho_vec`` row-wise (1-D or 2-D)."""
+        st = self.reference.settings
+        rho = np.asarray(rho, dtype=np.float64)[..., None]
+        rho_vec = np.broadcast_to(rho, l_s.shape).copy()
+        eq = l_s == u_s
+        rho_vec[eq] = (rho_vec * st.rho_eq_scale)[eq]
+        loose = (l_s <= -OSQP_INFTY) & (u_s >= OSQP_INFTY)
+        rho_vec[loose] = _RHO_LOOSE
+        return np.clip(rho_vec, st.rho_min, st.rho_max)
+
+    def _apply_batch_rho(
+        self, g: _LaneGroup, row: int, new_rho: float
+    ) -> None:
+        """Install an adapted ρ on one lane (called on size-1 groups
+        only; a refactor must follow before the next KKT solve)."""
+        maps = self._batch_maps()
+        g.rho[row] = new_rho
+        rv = self._lane_rho_vec(
+            g.arrays["l"][row], g.arrays["u"][row], new_rho
+        )
+        g.arrays["rho_vec"][row] = rv
+        g.arrays["kdata"][row, maps.rho_positions] = -1.0 / rv
+        g.streams.bind("rho", g.arrays["rho_vec"])
+        g.streams.bind("rho_inv", 1.0 / g.arrays["rho_vec"])
+        g.rho_updates[row] += 1
+
+    def solve_batch(
+        self, problems: list[QPProblem], *, max_iter: int | None = None
+    ) -> MIBBatchReport:
+        """Solve B same-pattern instances in one lockstep batched pass.
+
+        Every kernel replay executes all live lanes at once over a
+        leading batch axis (:meth:`CompiledTrace.replay_batch`); per
+        lane, the arithmetic — and therefore every iterate, residual,
+        termination decision and cycle count — is bit-identical to
+        :meth:`bind_instance` + :meth:`solve_on_network` run
+        sequentially for that instance.  Lanes are harvested out of the
+        batch as they converge (or certify infeasibility), and a lane
+        whose ρ adaptation triggers a refactorization is extracted into
+        a solo group that finishes on its own — lockstep never trades
+        a lane's answer for batch shape ("no silent wrong answers").
+        """
+        if self.variant != "direct":
+            raise ValueError("solve_batch supports the direct variant")
+        if not problems:
+            raise ValueError("solve_batch needs at least one problem")
+        for pr in problems:
+            if not pr.a.pattern_equal(self.problem.a) or not (
+                pr.p_upper.pattern_equal(self.problem.p_upper)
+            ):
+                raise ValueError("solve_batch requires identical patterns")
+        st = self.reference.settings
+        sc = self.reference.scaling
+        maps = self._batch_maps()
+        b = len(problems)
+        max_iter = max_iter or st.max_iter
+
+        # Scale all lanes with the shared equilibration (one fused
+        # factor per entry, replicating update_values bitwise).
+        Q = np.stack([np.asarray(pr.q, dtype=np.float64) for pr in problems])
+        A = np.stack([pr.a.data for pr in problems])
+        PU = np.stack([pr.p_upper.data for pr in problems])
+        L = np.stack([np.asarray(pr.l, dtype=np.float64) for pr in problems])
+        U = np.stack([np.asarray(pr.u, dtype=np.float64) for pr in problems])
+        q_s = maps.qfac * Q
+        a_s = A * maps.a_fac
+        pu_s = (PU * maps.pu_fac) * sc.c
+        pf_s = pu_s[:, maps.pf_map]
+        l_s = sc.e * L
+        u_s = sc.e * U
+        rho = np.full(b, st.rho, dtype=np.float64)
+        rho_vec = self._lane_rho_vec(l_s, u_s, rho)
+
+        # Per-lane KKT values: positions not owned by P/A/ρ (the
+        # assembler's σ-only diagonal entries) are instance-independent,
+        # so the live matrix is a valid template for every lane.
+        kdata = np.tile(self.reference.kkt_solver.kkt.matrix.data, (b, 1))
+        kdata[:, maps.p_positions] = pu_s
+        kdata[:, maps.p_diag_positions] += maps.sigma
+        kdata[:, maps.a_positions] = a_s
+        kdata[:, maps.rho_positions] = -1.0 / rho_vec
+
+        sim = self._network_sim(reset=False)
+        ctx = BatchSimState(
+            b,
+            c=self.c,
+            depth=sim.rf.depth,
+            latency=sim.bf.latency + sim.extra_latency,
+        )
+        streams = BatchStreamBuffers(b)
+        streams.bind("q", q_s)
+        streams.bind("A", a_s)
+        streams.bind("P", pf_s)
+        streams.bind("bounds", np.concatenate([l_s, u_s], axis=1))
+        streams.bind("rho", rho_vec)
+        streams.bind("rho_inv", 1.0 / rho_vec)
+        group = _LaneGroup(
+            ids=np.arange(b),
+            ctx=ctx,
+            streams=streams,
+            arrays={
+                "q": q_s,
+                "a": a_s,
+                "pf": pf_s,
+                "l": l_s,
+                "u": u_s,
+                "rho_vec": rho_vec,
+                "kdata": kdata,
+            },
+            rho=rho,
+            cycles=np.full(b, self.data_load_cycles(), dtype=np.int64),
+            rho_updates=np.zeros(b, dtype=np.int64),
+        )
+        reports: dict[int, MIBNetworkSolveReport] = {}
+        pending = [group]
+        while pending:
+            self._run_batch_group(
+                pending.pop(), problems, reports, pending, sim, max_iter
+            )
+        lanes = [reports[i] for i in range(b)]
+        cycles = [r.cycles for r in lanes]
+        return MIBBatchReport(
+            lanes=lanes,
+            batch=b,
+            solo_lanes=sum(r.solo for r in lanes),
+            total_cycles=int(sum(cycles)),
+            max_cycles=int(max(cycles)),
+        )
+
+    def _run_batch_group(
+        self,
+        g: _LaneGroup,
+        problems: list[QPProblem],
+        reports: dict[int, MIBNetworkSolveReport],
+        pending: list[_LaneGroup],
+        sim: NetworkSimulator,
+        max_iter: int,
+    ) -> None:
+        """Advance one lockstep group to completion.
+
+        Mirrors :meth:`solve_on_network` per lane: same kernel order,
+        same check schedule, same convergence → primal-infeasibility →
+        dual-infeasibility → ρ-adaptation decision order, same cycle
+        accounting.
+        """
+        st = self.reference.settings
+        sc = self.reference.scaling
+        maps = self._batch_maps()
+        alloc = self.builder.alloc
+        v_x, v_y, v_z = (
+            alloc.get("adm_x"), alloc.get("adm_y"), alloc.get("adm_z")
+        )
+        v_ax, v_px, v_aty = (
+            alloc.get("res_ax"), alloc.get("res_px"), alloc.get("res_aty")
+        )
+
+        def replay(name: str) -> None:
+            stats = self._trace(name, sim).replay_batch(g.ctx, g.streams)
+            g.cycles += stats.cycles
+
+        def refactor() -> None:
+            g.streams.bind("K", g.arrays["kdata"][:, maps.perm_map])
+            replay("factor")
+            g.streams.bind("L", g.ctx.lbuf_matrix(maps.l_nnz))
+            g.streams.bind(
+                "Dinv", g.ctx.read_vector(alloc.get("factor_dinv"))
+            )
+
+        # Covers both the initial factorization (root group) and the
+        # post-split ρ refactorization (solo groups: the spawner already
+        # installed the new ρ in the value arrays).
+        refactor()
+
+        prim = dual = None
+        iteration = g.start_iteration
+        while g.ids.size and iteration < max_iter:
+            iteration += 1
+            check = (
+                iteration % st.check_interval == 0 or iteration == max_iter
+            )
+            if check:
+                x_prev = g.ctx.read_vector(v_x)
+                y_prev = g.ctx.read_vector(v_y)
+            replay("iter_pre")
+            replay("kkt_solve")
+            replay("iter_post")
+            if not check:
+                continue
+            replay("residuals")
+            ax = g.ctx.read_vector(v_ax)
+            px = g.ctx.read_vector(v_px)
+            aty = g.ctx.read_vector(v_aty)
+            z = g.ctx.read_vector(v_z)
+            prim, dual, ep, ed = residuals_from_products(
+                sc, st, ax=ax, px=px, aty=aty, z=z, q=g.arrays["q"]
+            )
+            x_now = g.ctx.read_vector(v_x)
+            y_now = g.ctx.read_vector(v_y)
+            keep = np.ones(g.ids.size, dtype=bool)
+            for r in range(g.ids.size):
+                status = cert_p = cert_d = None
+                if prim[r] <= ep[r] and dual[r] <= ed[r]:
+                    status = SolverStatus.SOLVED
+                else:
+                    dy = y_now[r] - y_prev[r]
+                    dx = x_now[r] - x_prev[r]
+                    a_row = g.arrays["a"][r]
+                    if primal_infeasibility(
+                        dy,
+                        scaling=sc,
+                        settings=st,
+                        l=g.arrays["l"][r],
+                        u=g.arrays["u"][r],
+                        a_rmatvec=lambda v, _d=a_row: maps.a_rmatvec(_d, v),
+                    ):
+                        status = SolverStatus.PRIMAL_INFEASIBLE
+                        cert_p = sc.e * dy / sc.c
+                    elif dual_infeasibility(
+                        dx,
+                        scaling=sc,
+                        settings=st,
+                        l=g.arrays["l"][r],
+                        u=g.arrays["u"][r],
+                        q=g.arrays["q"][r],
+                        p_matvec=lambda v, _d=g.arrays["pf"][r]: (
+                            maps.p_matvec(_d, v)
+                        ),
+                        a_matvec=lambda v, _d=a_row: maps.a_matvec(_d, v),
+                    ):
+                        status = SolverStatus.DUAL_INFEASIBLE
+                        cert_d = sc.d * dx
+                if status is None:
+                    continue
+                lane = int(g.ids[r])
+                xr = sc.unscale_x(x_now[r])
+                reports[lane] = MIBNetworkSolveReport(
+                    status=status,
+                    x=xr,
+                    z=sc.unscale_z(z[r]),
+                    y=sc.unscale_y(y_now[r]),
+                    iterations=iteration,
+                    cycles=int(g.cycles[r]),
+                    primal_residual=float(prim[r]),
+                    dual_residual=float(dual[r]),
+                    rho_updates=int(g.rho_updates[r]),
+                    objective=problems[lane].objective(xr),
+                    primal_infeasibility_certificate=cert_p,
+                    dual_infeasibility_certificate=cert_d,
+                    solo=g.solo,
+                )
+                keep[r] = False
+            if not np.all(keep):
+                g.compact(keep)
+                prim, dual, ep, ed = (
+                    prim[keep], dual[keep], ep[keep], ed[keep]
+                )
+                if not g.ids.size:
+                    return
+            if (
+                st.adaptive_rho
+                and iteration % st.adaptive_rho_interval == 0
+                and iteration < max_iter
+            ):
+                ratio = (prim / np.maximum(ep, 1e-12)) / np.maximum(
+                    dual / np.maximum(ed, 1e-12), 1e-12
+                )
+                new_rho = np.clip(
+                    g.rho * np.sqrt(ratio), st.rho_min, st.rho_max
+                )
+                trigger = (
+                    new_rho > g.rho * st.adaptive_rho_tolerance
+                ) | (new_rho < g.rho / st.adaptive_rho_tolerance)
+                if np.any(trigger):
+                    if g.ids.size == 1:
+                        self._apply_batch_rho(g, 0, float(new_rho[0]))
+                        refactor()
+                    else:
+                        # Refactorization drops a lane out of lockstep:
+                        # it finishes solo rather than forcing siblings
+                        # through a factor they did not trigger.
+                        for r in np.flatnonzero(trigger):
+                            child = g.extract(
+                                int(r), start_iteration=iteration
+                            )
+                            self._apply_batch_rho(
+                                child, 0, float(new_rho[r])
+                            )
+                            pending.append(child)
+                        g.compact(~trigger)
+        if g.ids.size:
+            # MAX_ITERATIONS leftovers; the forced final check assigned
+            # prim/dual for every lane still in the group.
+            x_now = g.ctx.read_vector(v_x)
+            y_now = g.ctx.read_vector(v_y)
+            z = g.ctx.read_vector(v_z)
+            for r in range(g.ids.size):
+                lane = int(g.ids[r])
+                xr = sc.unscale_x(x_now[r])
+                reports[lane] = MIBNetworkSolveReport(
+                    status=SolverStatus.MAX_ITERATIONS,
+                    x=xr,
+                    z=sc.unscale_z(z[r]),
+                    y=sc.unscale_y(y_now[r]),
+                    iterations=max_iter,
+                    cycles=int(g.cycles[r]),
+                    primal_residual=float(prim[r]),
+                    dual_residual=float(dual[r]),
+                    rho_updates=int(g.rho_updates[r]),
+                    objective=problems[lane].objective(xr),
+                    solo=g.solo,
+                )
 
     def solve_reduced_on_network(
         self,

@@ -28,10 +28,11 @@ Start it with ``python -m repro serve`` or embed it::
 from .client import ServeClient, SolveResponse
 from .metrics import LatencyHistogram, ServeMetrics
 from .pool import PoolSolve, SolverPool
-from .queue import QueueFullError, RequestQueue, SolveRequest
+from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
 from .server import ServeServer
 
 __all__ = [
+    "DispatchBatch",
     "LatencyHistogram",
     "PoolSolve",
     "QueueFullError",

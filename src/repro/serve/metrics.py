@@ -36,6 +36,9 @@ COUNTERS = (
     "warm_solve_count",  # solves on a pooled solver via update_values
     "coalesced_batches",   # batches with >1 same-pattern request
     "coalesced_requests",  # requests that rode along in such batches
+    "batched_solves",      # replay_batch passes (one per multi-lane batch)
+    "batched_lanes",       # lanes executed inside those passes
+    "expired_at_pop",      # requests already dead when dequeued (no lane)
     "admm_iterations",
 )
 
@@ -113,11 +116,20 @@ class ServeMetrics:
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in COUNTERS}
         self._histograms = {name: LatencyHistogram() for name in HISTOGRAMS}
+        # batch size -> number of batched-solve passes at that size
+        self._batch_sizes: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] += amount
+
+    def observe_batch(self, lanes: int) -> None:
+        """Record one batched solve pass of ``lanes`` lanes."""
+        with self._lock:
+            self._batch_sizes[int(lanes)] = (
+                self._batch_sizes.get(int(lanes), 0) + 1
+            )
 
     def observe(self, name: str, seconds: float) -> None:
         with self._lock:
@@ -135,10 +147,15 @@ class ServeMetrics:
             latencies = {
                 name: h.snapshot() for name, h in self._histograms.items()
             }
+            batch_sizes = {
+                str(size): count
+                for size, count in sorted(self._batch_sizes.items())
+            }
         lookups = counters["pool_hits"] + counters["pool_misses"]
         return {
             "counters": counters,
             "latency": latencies,
+            "batch_sizes": batch_sizes,
             "pool_hit_rate": counters["pool_hits"] / lookups if lookups else 0.0,
         }
 
@@ -149,6 +166,16 @@ class ServeMetrics:
         snap = self.snapshot()
         rows: list[tuple[str, object]] = list(snap["counters"].items())
         rows.append(("pool_hit_rate", f"{snap['pool_hit_rate']:.1%}"))
+        if snap["batch_sizes"]:
+            rows.append(
+                (
+                    "batch sizes (lanes x passes)",
+                    ", ".join(
+                        f"{size}x{count}"
+                        for size, count in snap["batch_sizes"].items()
+                    ),
+                )
+            )
         for name, h in snap["latency"].items():
             if h["count"]:
                 rows.append(

@@ -30,9 +30,14 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..backends.mib import MIBSolveReport, MIBSolver
+from ..backends.mib import (
+    PCIE_BANDWIDTH,
+    PCIE_LATENCY,
+    MIBSolveReport,
+    MIBSolver,
+)
 from ..compiler import ScheduleCache, ScheduleOptions
-from ..solver import QPProblem, Settings
+from ..solver import OpTrace, QPProblem, Settings, SolveResult
 from .metrics import ServeMetrics
 
 __all__ = ["PoolSolve", "SolverPool"]
@@ -179,6 +184,112 @@ class SolverPool:
             compile_seconds=compile_seconds,
             solve_seconds=solve_seconds,
         )
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        problems: list[QPProblem],
+        *,
+        fingerprint: str | None = None,
+    ) -> list[PoolSolve]:
+        """Solve B same-pattern instances in one batched replay pass.
+
+        One warm solver executes all lanes through
+        :meth:`MIBSolver.solve_batch` — a single lockstep pass of the
+        compiled traces, per-lane results bit-identical to solo solves.
+        Falls back to sequential :meth:`solve` calls when batching does
+        not apply (a single problem, or the indirect variant).
+        """
+        if not problems:
+            return []
+        key = fingerprint or self.fingerprint(problems[0])
+        if len(problems) == 1 or self.variant != "direct":
+            return [self.solve(p, fingerprint=key) for p in problems]
+        entry, warm, cache_hit, compile_seconds = self._get_or_create(
+            key, problems[0]
+        )
+        metrics = self.metrics
+        with entry.lock:
+            t0 = time.perf_counter()
+            batch = entry.solver.solve_batch(list(problems))
+            solve_seconds = time.perf_counter() - t0
+            entry.solves += len(problems)
+        metrics.inc("batched_solves")
+        metrics.inc("batched_lanes", len(problems))
+        metrics.observe_batch(len(problems))
+        # Every lane's observed latency is the shared pass duration —
+        # that is what each coalesced request actually waited for.
+        warm_lanes = len(problems) if warm else len(problems) - 1
+        metrics.inc("warm_solve_count", warm_lanes)
+        for _ in range(len(problems)):
+            metrics.observe("solve", solve_seconds)
+        for _ in range(warm_lanes):
+            metrics.observe("warm_solve", solve_seconds)
+        metrics.inc(
+            "admm_iterations", sum(r.iterations for r in batch.lanes)
+        )
+
+        solver = entry.solver
+        st = solver.reference.settings
+        transfer_bytes = 4 * (
+            problems[0].nnz + 2 * problems[0].n + 4 * problems[0].m
+        )
+        transfer = 2 * PCIE_LATENCY + transfer_bytes / PCIE_BANDWIDTH
+        kernel_cycles = {
+            k: s.cycles for k, s in solver.kernels.schedules.items()
+        }
+        solves: list[PoolSolve] = []
+        for lane in batch.lanes:
+            iters = lane.iterations
+            checks = sum(
+                1
+                for i in range(1, iters + 1)
+                if i % st.check_interval == 0 or i == iters
+            )
+            result = SolveResult(
+                status=lane.status,
+                x=lane.x,
+                y=lane.y,
+                z=lane.z,
+                iterations=iters,
+                objective=lane.objective,
+                primal_residual=lane.primal_residual,
+                dual_residual=lane.dual_residual,
+                rho_updates=lane.rho_updates,
+                trace=OpTrace(),
+                primal_infeasibility_certificate=(
+                    lane.primal_infeasibility_certificate
+                ),
+                dual_infeasibility_certificate=(
+                    lane.dual_infeasibility_certificate
+                ),
+            )
+            report = MIBSolveReport(
+                result=result,
+                cycles=lane.cycles,
+                runtime_seconds=lane.cycles / solver.clock_hz + transfer,
+                clock_hz=solver.clock_hz,
+                kernel_cycles=kernel_cycles,
+                kernel_invocations={
+                    "iter_pre": iters,
+                    "kkt_solve": iters,
+                    "iter_post": iters,
+                    "residuals": checks,
+                    "factor": 1 + lane.rho_updates,
+                },
+                transfer_seconds=transfer,
+            )
+            solves.append(
+                PoolSolve(
+                    fingerprint=key,
+                    report=report,
+                    warm=warm,
+                    cache_hit=cache_hit,
+                    compile_seconds=compile_seconds,
+                    solve_seconds=solve_seconds,
+                )
+            )
+        return solves
 
     # ------------------------------------------------------------------
     def _get_or_create(

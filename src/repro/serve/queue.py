@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 from ..solver import QPProblem
 
-__all__ = ["QueueFullError", "RequestQueue", "SolveRequest"]
+__all__ = ["DispatchBatch", "QueueFullError", "RequestQueue", "SolveRequest"]
 
 _REQUEST_IDS = itertools.count(1)
 
@@ -85,6 +85,28 @@ class SolveRequest:
             return True
 
 
+class DispatchBatch(list):
+    """A coalesced batch: the live same-fingerprint requests (as list
+    elements) plus the requests found already expired at pop time.
+
+    ``expired`` requests never occupy a solve lane — the worker answers
+    them with ``TIMEOUT`` immediately.  ``fingerprint`` is the batch's
+    common pattern key (``""`` when the sweep found only expired
+    requests and the batch is empty).
+    """
+
+    def __init__(
+        self,
+        requests: list[SolveRequest] = (),
+        *,
+        fingerprint: str = "",
+        expired: list[SolveRequest] | None = None,
+    ) -> None:
+        super().__init__(requests)
+        self.fingerprint = fingerprint
+        self.expired: list[SolveRequest] = expired or []
+
+
 class RequestQueue:
     """Thread-safe bounded FIFO with fingerprint coalescing."""
 
@@ -120,31 +142,52 @@ class RequestQueue:
 
     def next_batch(
         self, *, max_batch: int = 8, timeout: float | None = None
-    ) -> list[SolveRequest] | None:
-        """Dequeue the oldest request plus same-pattern riders.
+    ) -> DispatchBatch | None:
+        """Dequeue the oldest live request plus same-pattern riders.
 
         Blocks until a request is available, the queue closes
-        (returns ``None``) or ``timeout`` elapses (returns ``[]``).
-        The batch is ordered oldest-first and shares one fingerprint.
+        (returns ``None``) or ``timeout`` elapses (returns an empty
+        batch).  The batch is ordered oldest-first and shares one
+        fingerprint (exposed as ``batch.fingerprint``).  Requests whose
+        deadline has already passed never occupy a lane: they are swept
+        into ``batch.expired`` — both expired heads and expired riders
+        that would otherwise have coalesced — for the worker to answer
+        with ``TIMEOUT`` without displacing live work.
         """
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         with self._cond:
-            while not self._items:
+            expired: list[SolveRequest] = []
+            while True:
+                now = time.monotonic()
+                while self._items and self._items[0].expired(now):
+                    expired.append(self._items.popleft())
+                if self._items:
+                    break
+                if expired:
+                    # Nothing live, but the sweep found work to fail
+                    # fast — report it rather than blocking.
+                    return DispatchBatch(expired=expired)
                 if self._closed:
                     return None
                 if not self._cond.wait(timeout=timeout):
-                    return []
+                    return DispatchBatch()
             head = self._items.popleft()
-            batch = [head]
+            batch = DispatchBatch(
+                [head], fingerprint=head.fingerprint, expired=expired
+            )
             if len(batch) < max_batch and self._items:
+                now = time.monotonic()
                 keep: deque[SolveRequest] = deque()
                 for req in self._items:
                     if (
                         len(batch) < max_batch
                         and req.fingerprint == head.fingerprint
                     ):
-                        batch.append(req)
+                        if req.expired(now):
+                            batch.expired.append(req)
+                        else:
+                            batch.append(req)
                     else:
                         keep.append(req)
                 self._items = keep

@@ -31,7 +31,7 @@ from ..io import problem_from_dict
 from ..solver import SolverStatus
 from .metrics import ServeMetrics
 from .pool import SolverPool
-from .queue import QueueFullError, RequestQueue, SolveRequest
+from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
 
 __all__ = ["ServeServer"]
 
@@ -61,7 +61,7 @@ class ServeServer:
         workers: int = 2,
         pool: SolverPool | None = None,
         queue_size: int = 64,
-        max_batch: int = 8,
+        max_batch: int = 16,
         default_timeout_s: float = 30.0,
         **pool_kwargs,
     ) -> None:
@@ -124,11 +124,50 @@ class ServeServer:
             batch = self.queue.next_batch(max_batch=self.max_batch)
             if batch is None:  # queue closed
                 return
+            for request in batch.expired:
+                # Swept at pop time: the deadline passed while queued,
+                # so the request never occupies a solve lane.
+                self.metrics.inc("expired_at_pop")
+                self._timeout_queued(request)
             if len(batch) > 1:
                 self.metrics.inc("coalesced_batches")
                 self.metrics.inc("coalesced_requests", len(batch) - 1)
-            for request in batch:
-                self._process(request)
+                self._process_batch(batch)
+            elif batch:
+                self._process(batch[0])
+
+    def _timeout_queued(self, request: SolveRequest) -> None:
+        queue_wait = time.monotonic() - request.enqueued_at
+        self.metrics.observe("queue_wait", queue_wait)
+        self._finish(
+            request,
+            504,
+            {
+                "status": "timeout",
+                "detail": "deadline expired while queued",
+                "queue_seconds": queue_wait,
+            },
+        )
+
+    def _ok_payload(
+        self, solved, queue_wait: float, *, batched: bool, batch_lanes: int
+    ) -> dict:
+        result = solved.report.result
+        return {
+            "status": "ok",
+            "fingerprint": solved.fingerprint,
+            "warm": solved.warm,
+            "cache_hit": solved.cache_hit,
+            "batched": batched,
+            "batch_lanes": batch_lanes,
+            "queue_seconds": queue_wait,
+            "compile_seconds": solved.compile_seconds,
+            "solve_seconds": solved.solve_seconds,
+            "cycles": solved.report.cycles,
+            "runtime_seconds": solved.report.runtime_seconds,
+            "solved": result.status is SolverStatus.SOLVED,
+            "result": result.to_dict(),
+        }
 
     def _process(self, request: SolveRequest) -> None:
         queue_wait = time.monotonic() - request.enqueued_at
@@ -155,24 +194,68 @@ class ServeServer:
                 {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
             )
             return
-        result = solved.report.result
         self._finish(
             request,
             200,
-            {
-                "status": "ok",
-                "fingerprint": solved.fingerprint,
-                "warm": solved.warm,
-                "cache_hit": solved.cache_hit,
-                "queue_seconds": queue_wait,
-                "compile_seconds": solved.compile_seconds,
-                "solve_seconds": solved.solve_seconds,
-                "cycles": solved.report.cycles,
-                "runtime_seconds": solved.report.runtime_seconds,
-                "solved": result.status is SolverStatus.SOLVED,
-                "result": result.to_dict(),
-            },
+            self._ok_payload(solved, queue_wait, batched=False, batch_lanes=1),
         )
+
+    def _process_batch(self, batch: DispatchBatch) -> None:
+        """Dispatch a coalesced batch as one batched pool solve.
+
+        Per-request deadlines hold inside the batch: lanes already
+        expired at dispatch are answered 504 and dropped before the
+        solve, so they never displace or poison their siblings, and a
+        failure answers only the live lanes that were actually in the
+        pass.
+        """
+        now = time.monotonic()
+        live: list[SolveRequest] = []
+        waits: dict[int, float] = {}
+        for request in batch:
+            queue_wait = now - request.enqueued_at
+            self.metrics.observe("queue_wait", queue_wait)
+            if request.expired(now):
+                self._finish(
+                    request,
+                    504,
+                    {
+                        "status": "timeout",
+                        "detail": "deadline expired while queued",
+                        "queue_seconds": queue_wait,
+                    },
+                )
+            else:
+                live.append(request)
+                waits[request.request_id] = queue_wait
+        if not live:
+            return
+        try:
+            solves = self.pool.solve_batch(
+                [r.problem for r in live], fingerprint=batch.fingerprint
+            )
+        except Exception as exc:
+            for request in live:
+                self._finish(
+                    request,
+                    500,
+                    {
+                        "status": "error",
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            return
+        for request, solved in zip(live, solves):
+            self._finish(
+                request,
+                200,
+                self._ok_payload(
+                    solved,
+                    waits[request.request_id],
+                    batched=len(live) > 1,
+                    batch_lanes=len(live),
+                ),
+            )
 
     def _finish(
         self, request: SolveRequest, status_code: int, payload: dict

@@ -5,7 +5,13 @@ Two algorithm variants are provided, matching Section II of the paper:
 (preconditioned conjugate gradient on the reduced system).
 """
 
-from .admm import OSQPSolver, residuals_from_products, solve
+from .admm import (
+    OSQPSolver,
+    dual_infeasibility,
+    primal_infeasibility,
+    residuals_from_products,
+    solve,
+)
 from .direct import DirectKKTSolver, factorization_flops, triangular_solve_flops
 from .indirect import CGDiagnostics, IndirectKKTSolver
 from .kkt import KKTMatrix, assemble_kkt
@@ -31,8 +37,10 @@ __all__ = [
     "SolveResult",
     "SolverStatus",
     "assemble_kkt",
+    "dual_infeasibility",
     "factorization_flops",
     "identity_scaling",
+    "primal_infeasibility",
     "residuals_from_products",
     "ruiz_scale",
     "solve",

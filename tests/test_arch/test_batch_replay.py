@@ -1,0 +1,264 @@
+"""Batched replay differential tests: ``replay_batch`` vs per-lane
+sequential ``replay``.
+
+The sequential replay is itself bit-identical to the interpretive
+simulator (``test_trace.py``); these tests close the second gap — every
+lane of a :meth:`CompiledTrace.replay_batch` pass must be bit-identical
+to replaying the same trace alone against a simulator holding that
+lane's state.  Also covers the scratch-reuse contract that batching is
+built on: repeated replays of one trace share preallocated buffers and
+must stay independent call to call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    BatchSimState,
+    BatchStreamBuffers,
+    Location,
+    NetworkSimulator,
+    StreamBuffers,
+    compile_trace,
+)
+from repro.compiler import KernelBuilder, row_major_view, schedule_program
+from repro.compiler import NetworkProgram
+from repro.linalg import ldl_factor
+from tests.conftest import random_quasidefinite_upper, random_sparse
+
+C = 8
+B = 5
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    """One scheduled program over real solver kernels (SpMV, SpMV^T,
+    LDL factorization, triangular solves, permute/clip/axpby) plus the
+    views and base stream values needed to drive it."""
+    rng = np.random.default_rng(7)
+    kb = KernelBuilder(C)
+    a = random_sparse(rng, 9, 7, 0.4)
+    up = random_quasidefinite_upper(rng, 7, 5)
+    ref = ldl_factor(up)
+    n = ref.n
+    x = kb.vector("x", a.shape[1])
+    y = kb.vector("y", a.shape[0])
+    out = kb.vector("out", a.shape[1])
+    fy = kb.vector("fy", n)
+    fd = kb.vector("fd", n)
+    fdi = kb.vector("fdi", n)
+    sx = kb.vector("sx", n)
+    px = kb.vector("px", a.shape[1])
+    perm = rng.permutation(a.shape[1])
+    ops = (
+        kb.spmv(row_major_view(a), x, y, "A")
+        + kb.spmv_transpose(row_major_view(a), y, out, "A")
+        + kb.factorization(ref.symbolic, up, y=fy, d=fd, dinv=fdi)
+        + kb.load_vector(sx, "B")
+        + kb.lsolve_columns(ref.symbolic, sx, "Lh")
+        + kb.dsolve(sx, "Dinvh")
+        + kb.ltsolve(ref.symbolic, sx, "Lh")
+        + kb.permute_vector(x, px, perm)
+        + kb.ew_add(out, out, px)
+        + kb.axpby(out, out, px, 0.5, 2.0)
+        + kb.clip(y, y, "bounds", length=a.shape[0])
+        + kb.store_vector(out, hbm_base=50)
+    )
+    schedule = schedule_program(NetworkProgram("batch-kernel", ops), C)
+    hfac = ldl_factor(up)
+    lo = np.sort(rng.standard_normal(a.shape[0]) * 2) - 1.0
+    shared = {
+        "K": up.data,
+        "Lh": hfac.l_data,
+        "Dinvh": 1.0 / hfac.d,
+    }
+    views = {"x": x, "y": y, "out": out, "fy": fy, "fdi": fdi, "sx": sx}
+    return {
+        "slots": schedule.slots,
+        "a_data": a.data,
+        "m": a.shape[0],
+        "n_x": a.shape[1],
+        "n_f": n,
+        "lo": lo,
+        "shared": shared,
+        "views": views,
+    }
+
+
+@pytest.fixture(scope="module")
+def trace(kernel):
+    depth = NetworkSimulator(C).rf.depth
+    return compile_trace(kernel["slots"], c=C, depth=depth, name="bk")
+
+
+def lane_values(kernel, seed: int) -> dict:
+    """Per-lane numeric instance: same pattern, fresh values."""
+    rng = np.random.default_rng(seed)
+    factor = np.exp(0.3 * rng.standard_normal(kernel["a_data"].size))
+    return {
+        "A": kernel["a_data"] * factor,
+        "B": rng.standard_normal(kernel["n_f"]),
+        "bounds": np.concatenate(
+            [kernel["lo"] - seed, kernel["lo"] + 2.0 + seed]
+        ),
+        "x": rng.standard_normal(kernel["n_x"]),
+        "y": rng.standard_normal(kernel["m"]),
+    }
+
+
+def replay_solo(kernel, trace, vals) -> NetworkSimulator:
+    sim = NetworkSimulator(C)
+    sim.rf.load_vector(kernel["views"]["x"], vals["x"])
+    sim.rf.load_vector(kernel["views"]["y"], vals["y"])
+    streams = StreamBuffers()
+    for name, data in kernel["shared"].items():
+        streams.bind(name, data)
+    for name in ("A", "B", "bounds"):
+        streams.bind(name, vals[name])
+    sim.replay(trace, streams)
+    return sim
+
+
+def make_batch(kernel, trace, lanes) -> tuple:
+    ctx = BatchSimState(
+        len(lanes), c=C, depth=trace.depth, latency=trace.stats.latency
+    )
+    streams = BatchStreamBuffers(len(lanes))
+    for name, data in kernel["shared"].items():
+        streams.bind(name, data)  # 1-D: shared across lanes
+    for name in ("A", "B", "bounds"):
+        streams.bind(name, np.stack([v[name] for v in lanes]))
+    ctx.load_vector(
+        kernel["views"]["x"], np.stack([v["x"] for v in lanes])
+    )
+    ctx.load_vector(
+        kernel["views"]["y"], np.stack([v["y"] for v in lanes])
+    )
+    return ctx, streams
+
+
+def assert_lane_matches(kernel, ctx, row, solo) -> None:
+    """Lane ``row`` of the batch state vs a solo simulator, bitwise."""
+    for name, view in kernel["views"].items():
+        batch_vec = ctx.read_vector(view)[row]
+        solo_vec = solo.rf.read_vector(view)
+        assert np.array_equal(batch_vec, solo_vec), name
+    for addr, value in solo.hbm_out.items():
+        got = ctx.read_loc(Location("hbm", 0, addr))[row]
+        assert got == value, f"hbm[{addr}]"
+
+
+class TestReplayBatchDifferential:
+    def test_every_lane_bit_identical_to_solo_replay(self, kernel, trace):
+        lanes = [lane_values(kernel, seed) for seed in range(B)]
+        ctx, streams = make_batch(kernel, trace, lanes)
+        stats = trace.replay_batch(ctx, streams)
+        solo_sims = [replay_solo(kernel, trace, v) for v in lanes]
+        for row, solo in enumerate(solo_sims):
+            assert_lane_matches(kernel, ctx, row, solo)
+        # One batched pass reports the cycles of one sequential pass
+        # (the lanes share the machine), while HBM traffic is per-lane.
+        assert stats.cycles == trace.stats.cycles
+        assert ctx.hbm_words_read == B * solo_sims[0].hbm.words_read
+        assert ctx.hbm_words_written == B * solo_sims[0].hbm.words_written
+
+    def test_repeated_batch_replays_are_independent(self, kernel, trace):
+        first = [lane_values(kernel, seed) for seed in range(B)]
+        second = [lane_values(kernel, 100 + seed) for seed in range(B)]
+        ctx1, streams1 = make_batch(kernel, trace, first)
+        trace.replay_batch(ctx1, streams1)
+        # Same trace, same scratch buffers, different values: nothing
+        # may leak from the first pass into the second.
+        ctx2, streams2 = make_batch(kernel, trace, second)
+        trace.replay_batch(ctx2, streams2)
+        for row, vals in enumerate(second):
+            assert_lane_matches(
+                kernel, ctx2, row, replay_solo(kernel, trace, vals)
+            )
+
+    def test_extracted_lane_continues_bit_identically(self, kernel, trace):
+        lanes = [lane_values(kernel, seed) for seed in range(B)]
+        ctx, streams = make_batch(kernel, trace, lanes)
+        trace.replay_batch(ctx, streams)
+        row = 2
+        solo_ctx = ctx.extract(row)
+        solo_streams = streams.extract(row)
+        # Second pass: the extracted lane alone vs the full batch.
+        trace.replay_batch(ctx, streams)
+        trace.replay_batch(solo_ctx, solo_streams)
+        for name, view in kernel["views"].items():
+            assert np.array_equal(
+                solo_ctx.read_vector(view)[0], ctx.read_vector(view)[row]
+            ), name
+
+    def test_compact_keeps_surviving_lane_state(self, kernel, trace):
+        lanes = [lane_values(kernel, seed) for seed in range(B)]
+        ctx, streams = make_batch(kernel, trace, lanes)
+        trace.replay_batch(ctx, streams)
+        keep = np.array([False, True, False, True, True])
+        expected = {
+            name: ctx.read_vector(view)[keep]
+            for name, view in kernel["views"].items()
+        }
+        ctx.compact(keep)
+        streams.compact(keep)
+        assert ctx.b == streams.b == 3
+        for name, view in kernel["views"].items():
+            assert np.array_equal(ctx.read_vector(view), expected[name])
+        # The surviving lanes keep replaying against cached plans.
+        trace.replay_batch(ctx, streams)
+
+    def test_configuration_mismatches_rejected(self, kernel, trace):
+        ctx = BatchSimState(
+            2, c=C * 2, depth=trace.depth, latency=trace.stats.latency
+        )
+        with pytest.raises(ValueError, match="compiled for"):
+            trace.replay_batch(ctx, BatchStreamBuffers(2))
+        ctx = BatchSimState(
+            2, c=C, depth=trace.depth, latency=trace.stats.latency + 1
+        )
+        with pytest.raises(ValueError, match="latency"):
+            trace.replay_batch(ctx, BatchStreamBuffers(2))
+
+
+class TestSequentialScratchReuse:
+    def test_repeated_replays_reuse_buffers_and_stay_correct(
+        self, kernel, trace
+    ):
+        vals = lane_values(kernel, 31)
+        first = replay_solo(kernel, trace, vals)
+        assert ("seq" in trace._scratch) or trace._scratch
+        scratch_ids = {
+            k: tuple(id(a) for a in v)
+            for k, v in trace._scratch.items()
+            if k == "seq"
+        }
+        again = replay_solo(kernel, trace, vals)
+        # Same buffers, same results: reuse must not leak state.
+        assert scratch_ids == {
+            k: tuple(id(a) for a in v)
+            for k, v in trace._scratch.items()
+            if k == "seq"
+        }
+        for view in kernel["views"].values():
+            assert np.array_equal(
+                first.rf.read_vector(view), again.rf.read_vector(view)
+            )
+
+    def test_different_values_do_not_leak_through_scratch(
+        self, kernel, trace
+    ):
+        a = replay_solo(kernel, trace, lane_values(kernel, 41))
+        b_vals = lane_values(kernel, 42)
+        b1 = replay_solo(kernel, trace, b_vals)
+        # A fresh trace (cold scratch) must agree with the reused one.
+        depth = NetworkSimulator(C).rf.depth
+        cold = compile_trace(kernel["slots"], c=C, depth=depth, name="bk2")
+        b2 = replay_solo(kernel, cold, b_vals)
+        for view in kernel["views"].values():
+            assert np.array_equal(
+                b1.rf.read_vector(view), b2.rf.read_vector(view)
+            )
+        del a

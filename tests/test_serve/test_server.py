@@ -101,7 +101,9 @@ class TestObservability:
 
     def test_metrics_snapshot_shape(self, client):
         metrics = client.metrics()
-        assert set(metrics) == {"counters", "latency", "pool_hit_rate"}
+        assert set(metrics) == {
+            "counters", "latency", "batch_sizes", "pool_hit_rate"
+        }
         assert metrics["counters"]["responses_ok"] >= 1
         assert metrics["latency"]["total"]["count"] >= 1
 
