@@ -1,20 +1,24 @@
 """Closed-loop load generation against the serve layer.
 
 Drives a live :class:`~repro.serve.ServeServer` (real HTTP, real
-threads) with a mixed request stream over four sparsity patterns
-(lasso / mpc / portfolio / svm), perturbing the numeric values of
-every request (fresh seed, same pattern).  The measurement is the
+threads) with a mixed request stream over five sparsity patterns
+(lasso / mpc / portfolio / svm / huber), perturbing the numeric values
+of every request (fresh seed, same pattern).  The measurement is the
 serving economics of the paper's compile-once/solve-many argument:
 
 * **cold** — the first request of each pattern pays solver
   construction (lowering + scheduling) on top of the solve;
 * **warm** — every later request of that pattern rides a resident
   solver via ``update_values``;
-* **batched vs unbatched** — a concurrent same-pattern burst against a
-  warm pool, with request coalescing disabled (``max_batch=1``) and
-  enabled (``max_batch=16``), reporting warm p50 side by side.  Run on
-  a separate server with warm starting off so both sides solve from
-  identical cold iterates.
+* **policy comparison** — the same concurrent same-pattern burst
+  driven under each batching policy (``off`` — every request a solo
+  warm solve; ``greedy`` — coalesce everything waiting; ``adaptive``
+  — the learned controller with per-pattern caps, value bucketing,
+  early per-lane responses and mid-flight bail-out), reporting p50
+  latency and burst throughput side by side.  Run on a separate
+  server with warm starting off so every policy solves from identical
+  cold iterates; the controller warms up on unmeasured bursts first,
+  the way a live service would have history.
 
 Writes ``BENCH_serve.json`` (repo root + ``benchmarks/results/``) with
 p50/p95/p99 latency and throughput for every phase.
@@ -24,8 +28,11 @@ Runnable two ways:
 * ``pytest benchmarks/bench_serve.py`` — harness run;
 * ``python benchmarks/bench_serve.py [--check]`` — CI smoke entry
   point; ``--check`` exits non-zero unless every request solved, the
-  pattern count matches the cold-compile count, and warm p50 latency
-  is at least 5x below cold p50.
+  pattern count matches the cold-compile count, warm p50 latency is
+  at least 5x below cold p50, the adaptive policy's burst p50 is no
+  worse than unbatched on every pattern, and its aggregate burst
+  throughput is at least 2x unbatched.  ``--policy-only`` runs just
+  the policy-comparison phase (the perf-smoke entry point).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.problems import (
+    huber_problem,
     lasso_problem,
     mpc_problem,
     portfolio_problem,
@@ -53,6 +61,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 C = 8
 WARM_REQUESTS_PER_PATTERN = 12
 BATCH_BURST = 16  # concurrent same-pattern requests per burst
+MEASURED_BURSTS = 2  # measured bursts per policy phase (pooled)
 REQUEST_TIMEOUT_S = 120.0
 
 # The paper's default tolerances with an embedded-style responsive
@@ -67,11 +76,18 @@ BENCH_SETTINGS = Settings(
 # for the regime the serve layer exists for — patterns whose
 # lowering+scheduling cost dominates a single solve.
 PATTERNS = {
-    "lasso": lambda: lasso_problem(10, n_samples=40, seed=0),
-    "mpc": lambda: mpc_problem(4, seed=0),
-    "portfolio": lambda: portfolio_problem(32, seed=0),
-    "svm": lambda: svm_problem(6, n_samples=24, seed=0),
+    # Sized so a warm solo solve costs ~15-35 ms: the regime the serve
+    # tier exists for, where solve cost dominates the ~1 ms/request
+    # HTTP overhead and batching economics are measurable rather than
+    # noise.
+    "lasso": lambda: lasso_problem(16, n_samples=64, seed=0),
+    "mpc": lambda: mpc_problem(6, seed=0),
+    "portfolio": lambda: portfolio_problem(48, seed=0),
+    "svm": lambda: svm_problem(10, n_samples=40, seed=0),
+    "huber": lambda: huber_problem(10, n_samples=30, seed=0),
 }
+
+POLICY_PHASES = ("off", "greedy", "adaptive")
 
 
 def perturbed(base: QPProblem, seed: int, scale: float = 0.05) -> QPProblem:
@@ -137,17 +153,27 @@ def _concurrent_burst(
     return latencies
 
 
-def run_batched_comparison(burst: int = BATCH_BURST) -> dict:
-    """Warm p50 of a concurrent burst, coalescing off vs on.
+def run_policy_comparison(burst: int = BATCH_BURST) -> dict:
+    """One identical concurrent burst per pattern under each policy.
 
-    One fresh server per comparison (warm starting off: the pool's
-    previous-solution seeding applies to solo solves only and would
-    bias the unbatched side).  For each pattern the identical burst is
-    driven twice — ``max_batch=1`` answers it as ``burst`` sequential
-    warm solves, ``max_batch=burst`` coalesces it into batched replay
-    passes.  Patterns whose solves adapt rho mid-flight fragment into
-    solo lanes (the lockstep group's correctness fallback), so the
-    per-pattern split is the honest report.
+    One fresh server for the whole comparison (warm starting off: the
+    pool's previous-solution seeding applies to solo solves only and
+    would bias the unbatched side).  Per pattern the same perturbed
+    burst is driven under ``off`` (every request a solo warm solve —
+    the unbatched baseline), ``greedy`` (coalesce everything waiting —
+    the pre-controller behaviour) and ``adaptive`` (learned caps,
+    bucketing, early responses, bail-out).  The controller carries its
+    learned state across phases exactly as a live service would: the
+    ``off`` burst feeds its solo cost model, the ``greedy`` burst its
+    pass model, and two unmeasured adaptive bursts let the cap
+    decisions settle (including the explore escape from any stale solo
+    verdict the fragmented greedy passes left) before the measured
+    ones; each policy is then measured over ``MEASURED_BURSTS`` bursts
+    with pooled latencies to damp scheduler noise.
+
+    Patterns whose lanes keep leaving lockstep (rho refactorization)
+    learn a solo cap under ``adaptive`` — the honest outcome is a
+    ~1x ratio over ``off``, not a win.
     """
     per_pattern: dict[str, dict] = {}
     with ServeServer(
@@ -155,6 +181,8 @@ def run_batched_comparison(burst: int = BATCH_BURST) -> dict:
         workers=2,
         capacity=len(PATTERNS),
         queue_size=4 * burst,
+        max_batch=burst,
+        batch_policy="off",
         variant="direct",
         c=C,
         settings=BENCH_SETTINGS,
@@ -163,39 +191,76 @@ def run_batched_comparison(burst: int = BATCH_BURST) -> dict:
         client = ServeClient(port=server.port)
         for name, gen in PATTERNS.items():
             base = gen()
-            client.solve(base, timeout_s=REQUEST_TIMEOUT_S)  # warm the pool
+            client.solve(base, timeout_s=REQUEST_TIMEOUT_S)  # cold compile
             requests = [
                 perturbed(base, 1000 + seed) for seed in range(burst)
             ]
-            server.max_batch = 1
-            unbatched = _concurrent_burst(client, requests)
-            before = client.metrics()["counters"]
-            server.max_batch = burst
-            batched = _concurrent_burst(client, requests)
-            after = client.metrics()["counters"]
-            u50 = float(np.percentile(unbatched, 50))
-            b50 = float(np.percentile(batched, 50))
+            # Unmeasured warm-up: stabilizes timings and feeds the
+            # controller's solo cost model (warm solo observations).
+            server.controller.policy = "off"
+            _concurrent_burst(client, requests)
+            measured: dict[str, dict] = {}
+            for policy in POLICY_PHASES:
+                server.controller.policy = policy
+                if policy == "adaptive":
+                    # Explore bursts: the cap decision needs pass
+                    # history at full size — the greedy phase's
+                    # fragmented passes alone can leave a stale solo
+                    # verdict that only the explore escape revises.
+                    _concurrent_burst(client, requests)
+                    _concurrent_burst(client, requests)
+                before = client.metrics()["counters"]
+                latencies = []
+                t0 = time.perf_counter()
+                for _ in range(MEASURED_BURSTS):
+                    latencies.extend(_concurrent_burst(client, requests))
+                wall = time.perf_counter() - t0
+                after = client.metrics()["counters"]
+                measured[policy] = {
+                    "p50_s": float(np.percentile(latencies, 50)),
+                    "p95_s": float(np.percentile(latencies, 95)),
+                    "wall_s": wall,
+                    "throughput_rps": MEASURED_BURSTS * burst / wall,
+                    "batched_passes": (
+                        after["batched_solves"] - before["batched_solves"]
+                    ),
+                    "batched_lanes": (
+                        after["batched_lanes"] - before["batched_lanes"]
+                    ),
+                    "bailout_lanes": (
+                        after["bailout_lanes"] - before["bailout_lanes"]
+                    ),
+                    "early_responses": (
+                        after["early_responses"] - before["early_responses"]
+                    ),
+                }
             per_pattern[name] = {
-                "unbatched_p50_s": u50,
-                "batched_p50_s": b50,
-                "batched_speedup_p50": u50 / b50,
-                "batched_passes": (
-                    after["batched_solves"] - before["batched_solves"]
+                **measured,
+                "adaptive_speedup_p50": (
+                    measured["off"]["p50_s"] / measured["adaptive"]["p50_s"]
                 ),
-                "batched_lanes": (
-                    after["batched_lanes"] - before["batched_lanes"]
+                "adaptive_speedup_throughput": (
+                    measured["adaptive"]["throughput_rps"]
+                    / measured["off"]["throughput_rps"]
                 ),
             }
-    return {
-        "burst": burst,
-        "unbatched_p50_s": float(np.median(
-            [p["unbatched_p50_s"] for p in per_pattern.values()]
-        )),
-        "batched_p50_s": float(np.median(
-            [p["batched_p50_s"] for p in per_pattern.values()]
-        )),
-        "patterns": per_pattern,
+    aggregate = {
+        policy: {
+            "wall_s": sum(p[policy]["wall_s"] for p in per_pattern.values()),
+            "throughput_rps": (
+                len(per_pattern)
+                * MEASURED_BURSTS
+                * burst
+                / sum(p[policy]["wall_s"] for p in per_pattern.values())
+            ),
+        }
+        for policy in POLICY_PHASES
     }
+    aggregate["adaptive_speedup_throughput"] = (
+        aggregate["adaptive"]["throughput_rps"]
+        / aggregate["off"]["throughput_rps"]
+    )
+    return {"burst": burst, "patterns": per_pattern, "aggregate": aggregate}
 
 
 def run_benchmark(
@@ -234,7 +299,7 @@ def run_benchmark(
         # gates below price exactly the cold/warm phases above.
         metrics = client.metrics()
 
-    batched = run_batched_comparison(batch_burst)
+    policy = run_policy_comparison(batch_burst)
 
     cold = _percentiles(cold_latencies)
     warm = _percentiles(warm_latencies)
@@ -256,7 +321,7 @@ def run_benchmark(
             "throughput_rps": len(warm_latencies) / warm_wall,
         },
         "warm_speedup_p50": cold["p50_s"] / warm["p50_s"],
-        "batched": batched,
+        "policy": policy,
         "compile_count": counters["compile_count"],
         "warm_solve_count": counters["warm_solve_count"],
         "pool_hit_rate": metrics["pool_hit_rate"],
@@ -292,6 +357,31 @@ def check(doc: dict) -> list[str]:
             f"warm p50 must be >= 5x below cold p50, got "
             f"{doc['warm_speedup_p50']:.1f}x"
         )
+    failures.extend(check_policy(doc["policy"]))
+    return failures
+
+
+def check_policy(policy: dict) -> list[str]:
+    """CI gate: the adaptive policy must win the burst, not lose it.
+
+    Per pattern the adaptive p50 must be no worse than the unbatched
+    baseline (0.9x floor absorbs scheduler jitter on a ~1x pattern —
+    one that correctly degenerated to solo), and aggregate burst
+    throughput must be at least 2x unbatched.
+    """
+    failures = []
+    for name, p in policy["patterns"].items():
+        if p["adaptive_speedup_p50"] < 0.9:
+            failures.append(
+                f"{name}: adaptive burst p50 must be >= ~1x unbatched, "
+                f"got {p['adaptive_speedup_p50']:.2f}x"
+            )
+    agg = policy["aggregate"]["adaptive_speedup_throughput"]
+    if agg < 2.0:
+        failures.append(
+            "aggregate adaptive burst throughput must be >= 2x "
+            f"unbatched, got {agg:.2f}x"
+        )
     return failures
 
 
@@ -302,7 +392,43 @@ def test_serve_latency_split():
     assert not check(doc)
 
 
+def _print_policy(policy: dict) -> None:
+    for name, p in policy["patterns"].items():
+        adaptive = p["adaptive"]
+        print(
+            f"burst x{policy['burst']} {name:<10} "
+            f"off p50 {p['off']['p50_s'] * 1e3:.1f} ms | "
+            f"greedy p50 {p['greedy']['p50_s'] * 1e3:.1f} ms | "
+            f"adaptive p50 {adaptive['p50_s'] * 1e3:.1f} ms "
+            f"({p['adaptive_speedup_p50']:.2f}x p50, "
+            f"{p['adaptive_speedup_throughput']:.1f}x rps, "
+            f"{adaptive['batched_lanes']} lanes / "
+            f"{adaptive['batched_passes']} passes, "
+            f"{adaptive['early_responses']} early, "
+            f"{adaptive['bailout_lanes']} bailed)"
+        )
+    agg = policy["aggregate"]
+    print(
+        f"aggregate burst throughput: off "
+        f"{agg['off']['throughput_rps']:.1f} req/s | greedy "
+        f"{agg['greedy']['throughput_rps']:.1f} req/s | adaptive "
+        f"{agg['adaptive']['throughput_rps']:.1f} req/s "
+        f"({agg['adaptive_speedup_throughput']:.1f}x)"
+    )
+
+
 def main(argv: list[str]) -> int:
+    if "--policy-only" in argv:
+        # Perf-smoke entry: just the policy comparison, no cold/warm
+        # phases, gated on the policy gates alone.
+        policy = run_policy_comparison()
+        _print_policy(policy)
+        if "--check" in argv:
+            failures = check_policy(policy)
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1 if failures else 0
+        return 0
     doc = run_benchmark()
     write_results(doc)
     print(
@@ -311,14 +437,7 @@ def main(argv: list[str]) -> int:
         f"speedup {doc['warm_speedup_p50']:.1f}x | "
         f"warm throughput {doc['warm']['throughput_rps']:.1f} req/s"
     )
-    for name, p in doc["batched"]["patterns"].items():
-        print(
-            f"burst x{doc['batched']['burst']} {name:<10} "
-            f"unbatched p50 {p['unbatched_p50_s'] * 1e3:.1f} ms | "
-            f"batched p50 {p['batched_p50_s'] * 1e3:.1f} ms "
-            f"({p['batched_speedup_p50']:.1f}x, "
-            f"{p['batched_lanes']} lanes / {p['batched_passes']} passes)"
-        )
+    _print_policy(doc["policy"])
     if "--check" in argv:
         failures = check(doc)
         for failure in failures:

@@ -243,6 +243,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         queue_size=args.queue_size,
         max_batch=args.max_batch,
+        batch_policy=args.batch_policy,
         default_timeout_s=args.timeout,
         capacity=args.pool_size,
         variant=args.variant,
@@ -255,7 +256,8 @@ def cmd_serve(args) -> int:
     print(
         f"repro.serve listening on http://{server.host}:{server.port} "
         f"(variant={args.variant}, C={args.width}, pool={args.pool_size}, "
-        f"workers={args.workers}, max-batch={args.max_batch})"
+        f"workers={args.workers}, max-batch={args.max_batch}, "
+        f"policy={args.batch_policy})"
     )
     print("endpoints: POST /v1/solve   GET /v1/health   GET /v1/metrics")
     try:
@@ -371,6 +373,15 @@ def main(argv: list[str] | None = None) -> int:
         default=16,
         help="coalesced same-pattern requests solved per batched "
         "replay pass (1 disables batching)",
+    )
+    p.add_argument(
+        "--batch-policy",
+        choices=("adaptive", "greedy", "off"),
+        default="adaptive",
+        help="batching policy: 'adaptive' learns per-pattern batch "
+        "caps, value buckets and mid-flight bail-out online; "
+        "'greedy' always coalesces up to --max-batch; 'off' "
+        "disables coalescing",
     )
     p.add_argument(
         "--timeout",

@@ -65,6 +65,7 @@ from ..solver.admm import _RHO_LOOSE
 from ..solver.problem import OSQP_INFTY
 
 __all__ = [
+    "BatchProgress",
     "MIBSolver",
     "MIBSolveReport",
     "MIBNetworkSolveReport",
@@ -112,9 +113,12 @@ class MIBNetworkSolveReport:
     objective: float
     primal_infeasibility_certificate: np.ndarray | None = None
     dual_infeasibility_certificate: np.ndarray | None = None
-    # Batch path only: the lane left the lockstep group after a ρ
-    # refactorization and finished solo.
+    # Batch path only: the lane left the lockstep group (ρ
+    # refactorization or bail-out split) and finished solo.
     solo: bool = False
+    # Batch path only: the lane was split out by a ``progress``
+    # callback's bail-out decision rather than by ρ adaptation.
+    bailed: bool = False
 
     @property
     def solved(self) -> bool:
@@ -131,10 +135,34 @@ class MIBBatchReport:
     solo_lanes: int  # lanes that finished outside the lockstep group
     total_cycles: int  # Σ per-lane cycles (sequential-equivalent work)
     max_cycles: int  # slowest lane (the batch's modeled wall time)
+    bailout_lanes: int = 0  # solo lanes split out by a bail-out decision
+    rho0: float | None = None  # initial ρ the lanes started from
 
     @property
     def solved_lanes(self) -> int:
         return sum(r.solved for r in self.lanes)
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """Live lockstep snapshot handed to the ``progress`` callback of
+    :meth:`MIBSolver.solve_batch` at every residual check of a
+    multi-lane group.
+
+    ``primal_ratio``/``dual_ratio`` are each live lane's residual over
+    its termination tolerance (``<= 1`` on both means the lane is about
+    to harvest); their spread across ``ids`` is the live convergence
+    heterogeneity a batching policy bails out on.  The callback returns
+    an iterable of lane ids (original batch indices) to split out of
+    lockstep into solo groups — each split lane continues from exactly
+    this iteration with unchanged state, so its results stay
+    bit-identical to a solo solve.
+    """
+
+    iteration: int
+    ids: np.ndarray
+    primal_ratio: np.ndarray
+    dual_ratio: np.ndarray
 
 
 @dataclass
@@ -223,6 +251,8 @@ class _LaneGroup:
         rho_updates: np.ndarray,
         start_iteration: int = 0,
         solo: bool = False,
+        needs_refactor: bool = True,
+        bailed: bool = False,
     ) -> None:
         self.ids = ids
         self.ctx = ctx
@@ -233,6 +263,14 @@ class _LaneGroup:
         self.rho_updates = rho_updates
         self.start_iteration = start_iteration
         self.solo = solo
+        # Whether the group must run the factor kernel before its first
+        # KKT solve.  True for the root group (initial factorization)
+        # and ρ-split children (the spawner installed a new ρ); False
+        # for bail-out children, whose extracted streams already carry
+        # the lane's live L/Dinv rows — rerunning factor would charge
+        # cycles a solo solve never pays.
+        self.needs_refactor = needs_refactor
+        self.bailed = bailed
 
     def compact(self, keep: np.ndarray) -> None:
         self.ids = self.ids[keep]
@@ -244,7 +282,14 @@ class _LaneGroup:
         self.ctx.compact(keep)
         self.streams.compact(keep)
 
-    def extract(self, row: int, *, start_iteration: int) -> "_LaneGroup":
+    def extract(
+        self,
+        row: int,
+        *,
+        start_iteration: int,
+        needs_refactor: bool = True,
+        bailed: bool = False,
+    ) -> "_LaneGroup":
         return _LaneGroup(
             ids=self.ids[row : row + 1].copy(),
             ctx=self.ctx.extract(row),
@@ -257,6 +302,8 @@ class _LaneGroup:
             rho_updates=self.rho_updates[row : row + 1].copy(),
             start_iteration=start_iteration,
             solo=True,
+            needs_refactor=needs_refactor,
+            bailed=bailed or self.bailed,
         )
 
 
@@ -938,21 +985,24 @@ class MIBSolver:
             dual_infeasibility_certificate=dual_cert,
         )
 
-    def bind_instance(self, problem: QPProblem) -> None:
+    def bind_instance(
+        self, problem: QPProblem, *, rho0: float | None = None
+    ) -> None:
         """Rebind this compiled solver to a same-pattern instance and
-        reset ρ to its configured initial value.
+        reset ρ to ``rho0`` (default: the configured initial value).
 
         This is the sequential equivalent of occupying one lane of
-        :meth:`solve_batch`: batch lanes all start from ``settings.rho``
-        regardless of where a previous solve's adaptation ended, so the
-        differential oracle for lane *i* is ``bind_instance(problems[i])``
-        followed by :meth:`solve_on_network` on the *same* solver (a
-        fresh solver would compute its own Ruiz scaling and diverge
-        bitwise).
+        :meth:`solve_batch`: batch lanes all start from the pass's
+        ``rho0`` regardless of where a previous solve's adaptation
+        ended, so the differential oracle for lane *i* is
+        ``bind_instance(problems[i], rho0=...)`` with the pass's
+        ``rho0`` followed by :meth:`solve_on_network` on the *same*
+        solver (a fresh solver would compute its own Ruiz scaling and
+        diverge bitwise).
         """
         self.update_values(problem)
         ref = self.reference
-        ref.rho = ref.settings.rho
+        ref.rho = ref.settings.rho if rho0 is None else float(rho0)
         ref.rho_vec = ref._build_rho_vec(ref.rho)
         ref.kkt_solver.update_rho(ref.rho_vec)
 
@@ -1051,7 +1101,13 @@ class MIBSolver:
         g.rho_updates[row] += 1
 
     def solve_batch(
-        self, problems: list[QPProblem], *, max_iter: int | None = None
+        self,
+        problems: list[QPProblem],
+        *,
+        max_iter: int | None = None,
+        rho0: float | None = None,
+        progress=None,
+        on_lane=None,
     ) -> MIBBatchReport:
         """Solve B same-pattern instances in one lockstep batched pass.
 
@@ -1065,6 +1121,29 @@ class MIBSolver:
         whose ρ adaptation triggers a refactorization is extracted into
         a solo group that finishes on its own — lockstep never trades
         a lane's answer for batch shape ("no silent wrong answers").
+
+        ``rho0`` is the ρ every lane starts from (default
+        ``settings.rho``).  A serving layer passes its warm solver's
+        adapted ρ here: the default initial ρ is usually wrong for a
+        pattern and forces one adaptation — and therefore one solo
+        extraction — per lane, while the adapted value lets lanes
+        terminate before the ρ check ever fires, exactly like the warm
+        solo path whose ρ persists across ``update_values``.  The
+        differential oracle is :meth:`bind_instance` with the same
+        ``rho0``.
+
+        ``progress``, when given, is called with a
+        :class:`BatchProgress` snapshot at every residual check of a
+        multi-lane group (after harvest and ρ handling, so splits land
+        at an iteration boundary); it may return lane ids to bail out
+        of lockstep into solo groups.  Because the split happens at the
+        same point a ρ extraction would, and carries the lane's live
+        factorization streams, a bailed lane's iterates *and cycles*
+        remain bit-identical to its solo solve.  ``on_lane`` is called
+        as ``on_lane(lane_index, report)`` the moment each lane's
+        :class:`MIBNetworkSolveReport` is finalized — before slower
+        lanes finish — so a serving layer can answer early lanes
+        without waiting for the whole pass.
         """
         if self.variant != "direct":
             raise ValueError("solve_batch supports the direct variant")
@@ -1094,7 +1173,9 @@ class MIBSolver:
         pf_s = pu_s[:, maps.pf_map]
         l_s = sc.e * L
         u_s = sc.e * U
-        rho = np.full(b, st.rho, dtype=np.float64)
+        rho = np.full(
+            b, st.rho if rho0 is None else float(rho0), dtype=np.float64
+        )
         rho_vec = self._lane_rho_vec(l_s, u_s, rho)
 
         # Per-lane KKT values: positions not owned by P/A/ρ (the
@@ -1141,7 +1222,14 @@ class MIBSolver:
         pending = [group]
         while pending:
             self._run_batch_group(
-                pending.pop(), problems, reports, pending, sim, max_iter
+                pending.pop(),
+                problems,
+                reports,
+                pending,
+                sim,
+                max_iter,
+                progress=progress,
+                on_lane=on_lane,
             )
         lanes = [reports[i] for i in range(b)]
         cycles = [r.cycles for r in lanes]
@@ -1151,6 +1239,8 @@ class MIBSolver:
             solo_lanes=sum(r.solo for r in lanes),
             total_cycles=int(sum(cycles)),
             max_cycles=int(max(cycles)),
+            bailout_lanes=sum(r.bailed for r in lanes),
+            rho0=st.rho if rho0 is None else float(rho0),
         )
 
     def _run_batch_group(
@@ -1161,6 +1251,9 @@ class MIBSolver:
         pending: list[_LaneGroup],
         sim: NetworkSimulator,
         max_iter: int,
+        *,
+        progress=None,
+        on_lane=None,
     ) -> None:
         """Advance one lockstep group to completion.
 
@@ -1192,10 +1285,17 @@ class MIBSolver:
                 "Dinv", g.ctx.read_vector(alloc.get("factor_dinv"))
             )
 
+        def emit(lane: int, report: MIBNetworkSolveReport) -> None:
+            reports[lane] = report
+            if on_lane is not None:
+                on_lane(lane, report)
+
         # Covers both the initial factorization (root group) and the
         # post-split ρ refactorization (solo groups: the spawner already
-        # installed the new ρ in the value arrays).
-        refactor()
+        # installed the new ρ in the value arrays).  Bail-out children
+        # skip it: their extracted streams carry the live L/Dinv rows.
+        if g.needs_refactor:
+            refactor()
 
         prim = dual = None
         iteration = g.start_iteration
@@ -1259,7 +1359,7 @@ class MIBSolver:
                     continue
                 lane = int(g.ids[r])
                 xr = sc.unscale_x(x_now[r])
-                reports[lane] = MIBNetworkSolveReport(
+                emit(lane, MIBNetworkSolveReport(
                     status=status,
                     x=xr,
                     z=sc.unscale_z(z[r]),
@@ -1273,7 +1373,8 @@ class MIBSolver:
                     primal_infeasibility_certificate=cert_p,
                     dual_infeasibility_certificate=cert_d,
                     solo=g.solo,
-                )
+                    bailed=g.bailed,
+                ))
                 keep[r] = False
             if not np.all(keep):
                 g.compact(keep)
@@ -1313,6 +1414,45 @@ class MIBSolver:
                             )
                             pending.append(child)
                         g.compact(~trigger)
+                        prim, dual, ep, ed = (
+                            prim[~trigger], dual[~trigger],
+                            ep[~trigger], ed[~trigger],
+                        )
+            if (
+                progress is not None
+                and g.ids.size > 1
+                and iteration < max_iter
+            ):
+                # Bail-out decision point: after harvest and ρ handling
+                # so a split lane resumes at a clean iteration boundary
+                # with the exact control flow a solo solve would run
+                # (splitting before the ρ block would skip this
+                # iteration's adaptation check and diverge bitwise).
+                tiny = 1e-300
+                requested = progress(BatchProgress(
+                    iteration=iteration,
+                    ids=g.ids.copy(),
+                    primal_ratio=prim / np.maximum(ep, tiny),
+                    dual_ratio=dual / np.maximum(ed, tiny),
+                ))
+                if requested:
+                    wanted = {int(i) for i in requested}
+                    split = np.array(
+                        [int(i) in wanted for i in g.ids], dtype=bool
+                    )
+                    if np.any(split):
+                        for r in np.flatnonzero(split):
+                            pending.append(g.extract(
+                                int(r),
+                                start_iteration=iteration,
+                                needs_refactor=False,
+                                bailed=True,
+                            ))
+                        g.compact(~split)
+                        prim, dual, ep, ed = (
+                            prim[~split], dual[~split],
+                            ep[~split], ed[~split],
+                        )
         if g.ids.size:
             # MAX_ITERATIONS leftovers; the forced final check assigned
             # prim/dual for every lane still in the group.
@@ -1322,7 +1462,7 @@ class MIBSolver:
             for r in range(g.ids.size):
                 lane = int(g.ids[r])
                 xr = sc.unscale_x(x_now[r])
-                reports[lane] = MIBNetworkSolveReport(
+                emit(lane, MIBNetworkSolveReport(
                     status=SolverStatus.MAX_ITERATIONS,
                     x=xr,
                     z=sc.unscale_z(z[r]),
@@ -1334,7 +1474,8 @@ class MIBSolver:
                     rho_updates=int(g.rho_updates[r]),
                     objective=problems[lane].objective(xr),
                     solo=g.solo,
-                )
+                    bailed=g.bailed,
+                ))
 
     def solve_reduced_on_network(
         self,

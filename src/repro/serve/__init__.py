@@ -10,6 +10,9 @@ and the cheap ``update_values`` rebind — into a long-running service:
   instances keyed by pattern fingerprint (LRU, thread-safe);
 * :mod:`~repro.serve.queue` — bounded admission with same-pattern
   request coalescing and per-request deadlines;
+* :mod:`~repro.serve.controller` — the adaptive batching policy: a
+  per-pattern cost model learned online decides batch caps, who rides
+  together (value bucketing) and mid-flight bail-out;
 * :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the
   stdlib HTTP/JSON front-end and its Python client;
 * :mod:`~repro.serve.metrics` — live counters and latency histograms
@@ -26,14 +29,18 @@ Start it with ``python -m repro serve`` or embed it::
 """
 
 from .client import ServeClient, SolveResponse
+from .controller import POLICIES, BatchController, PatternStats, value_distance
 from .metrics import LatencyHistogram, ServeMetrics
 from .pool import PoolSolve, SolverPool
 from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
 from .server import ServeServer
 
 __all__ = [
+    "BatchController",
     "DispatchBatch",
     "LatencyHistogram",
+    "PatternStats",
+    "POLICIES",
     "PoolSolve",
     "QueueFullError",
     "RequestQueue",
@@ -43,4 +50,5 @@ __all__ = [
     "SolveRequest",
     "SolveResponse",
     "SolverPool",
+    "value_distance",
 ]

@@ -1,0 +1,538 @@
+"""Adaptive batching controller: policy over the batching mechanism.
+
+Offline, batched trace replay wins ~10x aggregate throughput; at the
+serve tier a greedy "coalesce whatever is waiting" policy loses at p50
+on most patterns, because lockstep ADMM runs every lane to the slowest
+lane's convergence and per-instance iteration counts vary widely
+(warm-start distance, rho adaptation).  The controller closes that
+policy gap.  It never touches results: batching stays bit-identical
+per lane, the controller only chooses *which* lanes share a batch and
+when a batch gives up on lockstep.
+
+Decisions, all learned online per pattern fingerprint from served
+traffic (no offline profiles):
+
+* **batch or not / how many** — :meth:`BatchController.max_batch_for`
+  caps each pattern's batch size from an EWMA cost model: expected
+  iterations, warm solo seconds, an affine pass-cost fit
+  (``fixed + marginal * lanes``, from decayed regression over observed
+  passes), the solo-fallback rate (lanes leaving lockstep for a rho
+  refactorization) and the per-pass iteration spread.  A pattern whose
+  lanes keep falling out of lockstep, or whose batched passes are
+  slower per lane than solo solves, degenerates to solo dispatch —
+  the honest outcome when batching cannot pay.
+* **who rides together** — :meth:`BatchController.rider` is the
+  :meth:`~repro.serve.queue.RequestQueue.next_batch` hook: a candidate
+  joins the head's batch only when its values are close to the head's
+  (relative L1 over ``q``/``l``/``u``).  Value distance is the serve
+  tier's observable proxy for warm-start distance: instances close in
+  data converge in similar iteration counts, so buckets stay
+  iteration-homogeneous and lockstep wastes less work on stragglers.
+* **bail out mid-flight** — :meth:`BatchController.make_progress`
+  builds the ``progress`` callback for
+  :meth:`~repro.backends.mib.MIBSolver.solve_batch`: once a pass runs
+  past its iteration budget (learned expectation times a headroom
+  factor, tightened by the slowest lane's deadline) and the live
+  convergence spread says stragglers are holding the group, the
+  stragglers are split back to solo lanes.  Splits reuse the lockstep
+  loop's extraction mechanism, so bailed lanes stay bit-identical to
+  solo solves.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solver import QPProblem
+from .metrics import ServeMetrics
+from .queue import SolveRequest
+
+__all__ = ["BatchController", "PatternStats", "POLICIES"]
+
+POLICIES = ("adaptive", "greedy", "off")
+
+# EWMA smoothing for every learned series: high enough to track a
+# pattern's regime within a handful of passes, low enough not to
+# thrash on one outlier.
+DEFAULT_ALPHA = 0.35
+
+
+def _ewma(old: float | None, new: float, alpha: float) -> float:
+    if old is None:
+        return new
+    return (1.0 - alpha) * old + alpha * new
+
+
+@dataclass
+class PatternStats:
+    """Per-fingerprint cost model, updated online from served traffic.
+
+    ``None`` means "never observed" — decisions fall back to
+    optimistic exploration until the first real observation lands.
+    """
+
+    # "Seconds" below are whatever the caller prices work in; the
+    # server feeds worker-thread CPU seconds, which stay comparable
+    # between the solo and batched paths when handler threads contend
+    # for the interpreter during a pass (wall time would charge the
+    # pass for its own early responses being serialized concurrently).
+    ewma_iterations: float | None = None  # mean lane iterations
+    ewma_spread: float | None = None  # (max-min)/max lane iterations
+    ewma_solo_seconds: float | None = None  # warm solo solve cost
+    ewma_lane_seconds: float | None = None  # pass cost / lanes
+    ewma_pass_seconds: float | None = None  # batched pass cost
+    ewma_pass_iterations: float | None = None  # slowest-lane iterations
+    solo_fallback_rate: float | None = None  # lanes leaving lockstep via rho
+    # Decayed first/second moments of (lanes, pass seconds) pairs, for
+    # the affine pass-cost fit ``seconds ~= fixed + marginal * lanes``.
+    # Per-lane averages (``ewma_lane_seconds``) conflate the two terms:
+    # a fragmented 4-lane pass looks nearly as expensive per lane as a
+    # solo solve even when the marginal lane is cheap, which would park
+    # patterns solo on fragmentation noise.  The regression separates
+    # them once pass sizes vary.
+    m_lanes: float | None = None  # EWMA of lanes
+    m_lanes_sq: float | None = None  # EWMA of lanes^2
+    m_cross: float | None = None  # EWMA of lanes * seconds
+    solo_solves: int = 0
+    passes: int = 0
+    lanes: int = 0
+    bailed_lanes: int = 0
+    # Exploration pressure: solo solves since the last batched pass.
+    # A pattern parked at a solo cap stops producing passes, so its
+    # cost model would never see fresher evidence without this.
+    solo_since_pass: int = 0
+
+    @property
+    def seconds_per_iteration(self) -> float | None:
+        """Observed wall seconds per lockstep iteration of one pass."""
+        if not self.ewma_pass_seconds or not self.ewma_pass_iterations:
+            return None
+        return self.ewma_pass_seconds / self.ewma_pass_iterations
+
+    @property
+    def marginal_lane_seconds(self) -> float | None:
+        """Slope of the affine pass-cost fit: cost of one *extra* lane.
+
+        ``None`` until pass sizes have varied enough for the decayed
+        regression to be well-conditioned (or when noise drives the
+        slope non-positive); callers fall back to the per-lane average
+        then.
+        """
+        if (
+            self.m_lanes is None
+            or self.m_lanes_sq is None
+            or self.m_cross is None
+            or self.ewma_pass_seconds is None
+        ):
+            return None
+        var = self.m_lanes_sq - self.m_lanes * self.m_lanes
+        if var <= 1e-6:
+            return None
+        slope = (
+            self.m_cross - self.m_lanes * self.ewma_pass_seconds
+        ) / var
+        if slope <= 0.0:
+            return None
+        return slope
+
+    @property
+    def fixed_pass_seconds(self) -> float | None:
+        """Intercept of the affine pass-cost fit (per-pass overhead:
+        rebind, trace replay warm-up, harvest) — clamped at zero."""
+        marginal = self.marginal_lane_seconds
+        if marginal is None:
+            return None
+        return max(
+            0.0, self.ewma_pass_seconds - marginal * self.m_lanes
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "ewma_iterations": self.ewma_iterations,
+            "ewma_spread": self.ewma_spread,
+            "ewma_solo_seconds": self.ewma_solo_seconds,
+            "ewma_lane_seconds": self.ewma_lane_seconds,
+            "ewma_pass_seconds": self.ewma_pass_seconds,
+            "marginal_lane_seconds": self.marginal_lane_seconds,
+            "fixed_pass_seconds": self.fixed_pass_seconds,
+            "solo_fallback_rate": self.solo_fallback_rate,
+            "solo_solves": self.solo_solves,
+            "passes": self.passes,
+            "lanes": self.lanes,
+            "bailed_lanes": self.bailed_lanes,
+            "solo_since_pass": self.solo_since_pass,
+        }
+
+
+def value_distance(head: QPProblem, candidate: QPProblem) -> float:
+    """Relative L1 distance between two same-pattern instances.
+
+    Sums the relative change of ``q``, ``l`` and ``u`` — the vectors
+    parametric serve traffic actually moves.  Infinite bounds compare
+    structurally: matching infinities contribute zero, a finite bound
+    against an infinite one makes the instances maximally far apart
+    (their active sets cannot be assumed close).
+    """
+    total = 0.0
+    for a, b in ((head.q, candidate.q), (head.l, candidate.l), (head.u, candidate.u)):
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        finite = np.isfinite(a) & np.isfinite(b)
+        if not np.array_equal(np.isfinite(a), np.isfinite(b)):
+            return math.inf
+        diff = float(np.abs(a[finite] - b[finite]).sum())
+        scale = 1.0 + float(np.abs(a[finite]).sum())
+        total += diff / scale
+    return total
+
+
+class BatchController:
+    """Per-pattern adaptive batching policy (see module docstring).
+
+    Parameters
+    ----------
+    policy:
+        ``"adaptive"`` (learned caps, bucketing, bail-out),
+        ``"greedy"`` (coalesce up to the server's max batch — the
+        pre-controller behaviour) or ``"off"`` (never coalesce).
+        Mutable at runtime; the policy-comparison benchmark flips it
+        between phases.
+    latency_budget:
+        How many solo-solve durations a batched pass is allowed to
+        cost before the cap shrinks.  The learned cap is roughly
+        ``(latency_budget * solo_seconds - fixed) / marginal`` — "batch
+        no more lanes than the latency budget buys at the fitted
+        pass-cost rate".  The budget bounds the *pass*, which is an
+        upper bound on any lane's latency: early publication harvests
+        each lane at its own convergence, so the typical lane pays
+        well under the budget.
+    bucket_width:
+        Maximum :func:`value_distance` between a batch head and a
+        rider under the adaptive policy.
+    fallback_threshold:
+        Solo-fallback rate above which a pattern stops batching
+        entirely (its lanes keep leaving lockstep for rho
+        refactorizations, so lockstep only adds overhead).
+    bailout_headroom:
+        Iteration budget of a pass, as a multiple of the learned
+        expected iterations; past it the progress callback starts
+        splitting stragglers.
+    spread_threshold:
+        How many times worse than the group's best lane a lane's
+        convergence ratio must be (log-scaled residual ratio) to count
+        as a straggler at bail-out time.
+    explore_interval:
+        Solo solves of a pattern tolerated without a single batched
+        pass before the cap decision forces an exploration pass at
+        the hard cap.  A pattern parked solo never produces the pass
+        observations that could revise its verdict; this bounds how
+        stale that verdict may grow.
+    default_window / max_window:
+        Dispatch-window bounds (seconds) for
+        :meth:`dispatch_window`: ``default_window`` applies while the
+        pattern's solo cost is still unobserved, ``max_window`` caps
+        the hold absolutely.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: str = "adaptive",
+        alpha: float = DEFAULT_ALPHA,
+        latency_budget: float = 6.0,
+        bucket_width: float = 0.35,
+        fallback_threshold: float = 0.4,
+        bailout_headroom: float = 3.0,
+        spread_threshold: float = 10.0,
+        min_explore_passes: int = 2,
+        explore_interval: int = 16,
+        default_window: float = 0.01,
+        max_window: float = 0.05,
+        metrics: ServeMetrics | None = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.policy = policy
+        self.alpha = alpha
+        self.latency_budget = latency_budget
+        self.bucket_width = bucket_width
+        self.fallback_threshold = fallback_threshold
+        self.bailout_headroom = bailout_headroom
+        self.spread_threshold = spread_threshold
+        self.min_explore_passes = min_explore_passes
+        self.explore_interval = explore_interval
+        self.default_window = default_window
+        self.max_window = max_window
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._stats: dict[str, PatternStats] = {}
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def stats_for(self, fingerprint: str) -> PatternStats:
+        with self._lock:
+            return self._stats.setdefault(fingerprint, PatternStats())
+
+    def observe_solo(
+        self, fingerprint: str, *, seconds: float, iterations: int
+    ) -> None:
+        """Account one warm solo solve of this pattern."""
+        with self._lock:
+            s = self._stats.setdefault(fingerprint, PatternStats())
+            s.ewma_solo_seconds = _ewma(
+                s.ewma_solo_seconds, float(seconds), self.alpha
+            )
+            s.ewma_iterations = _ewma(
+                s.ewma_iterations, float(iterations), self.alpha
+            )
+            s.solo_solves += 1
+            s.solo_since_pass += 1
+
+    def observe_pass(
+        self,
+        fingerprint: str,
+        *,
+        lanes: int,
+        seconds: float,
+        lane_iterations: list[int],
+        solo_lanes: int,
+        bailed_lanes: int = 0,
+    ) -> None:
+        """Account one batched pass: timing, spread, fallback rate.
+
+        ``solo_lanes`` counts lanes that left lockstep for a rho
+        refactorization (the mechanism's correctness fallback);
+        bail-out splits are tracked separately and do *not* raise the
+        fallback rate — they are the controller's own doing.
+        """
+        if lanes < 1:
+            return
+        iters = [int(i) for i in lane_iterations]
+        top = max(iters)
+        spread = (top - min(iters)) / top if top else 0.0
+        rho_solo = max(0, int(solo_lanes) - int(bailed_lanes))
+        with self._lock:
+            s = self._stats.setdefault(fingerprint, PatternStats())
+            s.ewma_pass_seconds = _ewma(
+                s.ewma_pass_seconds, float(seconds), self.alpha
+            )
+            s.ewma_lane_seconds = _ewma(
+                s.ewma_lane_seconds, float(seconds) / lanes, self.alpha
+            )
+            s.ewma_pass_iterations = _ewma(
+                s.ewma_pass_iterations, float(top), self.alpha
+            )
+            s.ewma_iterations = _ewma(
+                s.ewma_iterations, float(np.mean(iters)), self.alpha
+            )
+            s.ewma_spread = _ewma(s.ewma_spread, spread, self.alpha)
+            s.m_lanes = _ewma(s.m_lanes, float(lanes), self.alpha)
+            s.m_lanes_sq = _ewma(
+                s.m_lanes_sq, float(lanes) ** 2, self.alpha
+            )
+            s.m_cross = _ewma(
+                s.m_cross, float(lanes) * float(seconds), self.alpha
+            )
+            s.solo_fallback_rate = _ewma(
+                s.solo_fallback_rate, rho_solo / lanes, self.alpha
+            )
+            s.passes += 1
+            s.lanes += lanes
+            s.bailed_lanes += int(bailed_lanes)
+            s.solo_since_pass = 0
+
+    # ------------------------------------------------------------------
+    # dispatch decisions
+    # ------------------------------------------------------------------
+    def max_batch_for(self, fingerprint: str, hard_cap: int) -> int:
+        """The pattern's batch-size cap under the current policy.
+
+        Adaptive reasoning, in decision order:
+
+        1. no pass history yet → explore at the hard cap (the first
+           pass is the only way to learn whether batching pays);
+        2. the pattern has gone ``explore_interval`` solo solves
+           without a pass → explore again: a solo verdict must be
+           re-earned, not held forever on stale evidence;
+        3. rho-heavy pattern (fallback rate past the threshold) →
+           solo: its lanes keep leaving lockstep anyway;
+        4. batched lanes not cheaper than solo solves → solo: batching
+           loses throughput *and* latency.  "Lane cost" is the affine
+           fit's *marginal* lane cost when available
+           (:attr:`PatternStats.marginal_lane_seconds`), else the
+           per-lane average — the average conflates the fixed per-pass
+           cost with the marginal lane, so fragmented small passes
+           would otherwise park a pattern solo on amortization noise;
+        5. otherwise cap at what the latency budget buys.  The budget
+           reads as "the head may pay up to ``latency_budget`` times
+           its solo latency for the pass": a pass of ``cap`` lanes
+           costs ``fixed + cap * marginal`` seconds, so
+           ``cap = (latency_budget * solo - fixed) / marginal`` (or
+           ``latency_budget * solo / lane`` under the average-cost
+           fallback).  Iteration spread deliberately does *not* shrink
+           the cap: lanes publish at their own harvest boundary (early
+           publication), so a fast lane in a heterogeneous pass pays
+           its own convergence time, not the slowest lane's — spread
+           is handled mid-flight by the bail-out split instead
+           (:meth:`make_progress`).
+        """
+        if hard_cap < 1:
+            return 1
+        if self.policy == "off":
+            return 1
+        if self.policy == "greedy":
+            return hard_cap
+        s = self.stats_for(fingerprint)
+        with self._lock:
+            if s.passes < self.min_explore_passes:
+                return hard_cap
+            if s.solo_since_pass >= self.explore_interval:
+                return hard_cap
+            if (
+                s.solo_fallback_rate is not None
+                and s.solo_fallback_rate > self.fallback_threshold
+            ):
+                return 1
+            solo = s.ewma_solo_seconds
+            lane = s.ewma_lane_seconds
+            if solo is None or lane is None or lane <= 0.0:
+                return hard_cap
+            marginal = s.marginal_lane_seconds
+            if marginal is not None:
+                if marginal >= solo:
+                    return 1
+                fixed = s.fixed_pass_seconds or 0.0
+                cap = (self.latency_budget * solo - fixed) / marginal
+            else:
+                if lane >= solo:
+                    return 1
+                cap = self.latency_budget * solo / lane
+            return int(max(1, min(hard_cap, math.floor(cap))))
+
+    def dispatch_window(self, head: SolveRequest) -> float:
+        """How long the dequeuing worker may hold ``head``'s batch
+        open to gather same-pattern arrivals, in seconds.
+
+        Concurrent bursts trickle into the queue request by request
+        (admission is its own bottleneck), so dispatching the instant
+        a head appears fragments a burst into small passes that pay
+        the fixed pass cost many times.  When the learned model says
+        batching pays (cap above 1), waiting roughly one solo-solve
+        duration buys a much larger pass; the window is capped
+        absolutely and by a fraction of the head's remaining deadline.
+        Greedy/off policies never hold (the pre-controller
+        behaviour).
+        """
+        if self.policy != "adaptive":
+            return 0.0
+        if self.max_batch_for(head.fingerprint, 1 << 30) <= 1:
+            return 0.0
+        s = self.stats_for(head.fingerprint)
+        with self._lock:
+            solo = s.ewma_solo_seconds
+        window = (
+            2.0 * solo if solo is not None else self.default_window
+        )
+        window = min(window, self.max_window)
+        remaining = head.remaining()
+        if remaining is not None:
+            window = min(window, 0.25 * remaining)
+        return max(window, 0.0)
+
+    def rider(
+        self, head: SolveRequest, candidate: SolveRequest, size: int
+    ) -> bool:
+        """Queue hook: may ``candidate`` join ``head``'s batch?
+
+        Called by :meth:`~repro.serve.queue.RequestQueue.next_batch`
+        for same-fingerprint candidates only; ``size`` is the batch
+        size so far (head included).
+        """
+        if self.policy == "off":
+            return False
+        if self.policy == "greedy":
+            return True
+        cap = self.max_batch_for(head.fingerprint, hard_cap=1 << 30)
+        if size >= cap:
+            if self.metrics is not None:
+                self.metrics.inc("rider_rejects_cap")
+            return False
+        if (
+            value_distance(head.problem, candidate.problem)
+            > self.bucket_width
+        ):
+            if self.metrics is not None:
+                self.metrics.inc("rider_rejects_distance")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # mid-flight bail-out
+    # ------------------------------------------------------------------
+    def make_progress(
+        self,
+        fingerprint: str,
+        *,
+        deadline_remaining: float | None = None,
+    ):
+        """The ``progress`` callback for one batched pass, or ``None``.
+
+        The returned closure splits stragglers out of lockstep once
+        the pass runs past its iteration budget: the learned expected
+        iteration count times ``bailout_headroom``, tightened to what
+        the slowest lane's remaining deadline can still afford at the
+        observed per-iteration rate.  A lane counts as a straggler
+        when its convergence ratio is ``spread_threshold`` times the
+        group's best on a log scale — the "live convergence spread"
+        signal.  Greedy/off policies run without a callback.
+        """
+        if self.policy != "adaptive":
+            return None
+        s = self.stats_for(fingerprint)
+        with self._lock:
+            expected = s.ewma_iterations
+            sec_per_iter = s.seconds_per_iteration
+        if expected is None:
+            return None  # nothing learned yet; let the pass run
+        budget = self.bailout_headroom * expected
+        if deadline_remaining is not None and sec_per_iter:
+            budget = min(budget, deadline_remaining / sec_per_iter)
+        budget = max(budget, 1.0)
+        metrics = self.metrics
+        threshold = self.spread_threshold
+
+        def progress(p) -> list[int]:
+            if p.iteration <= budget:
+                return []
+            conv = np.maximum(p.primal_ratio, p.dual_ratio)
+            best = float(conv.min())
+            stragglers = conv > threshold * max(best, 1e-12)
+            if not stragglers.any() or stragglers.all():
+                # No spread to exploit: either the group converges
+                # together (keep lockstep) or *everyone* is a
+                # straggler (splitting buys nothing but overhead).
+                return []
+            ids = [int(i) for i in p.ids[stragglers]]
+            if metrics is not None:
+                metrics.inc("bailout_lanes", len(ids))
+            return ids
+
+        return progress
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of every pattern's learned model."""
+        with self._lock:
+            return {
+                "policy": self.policy,
+                "patterns": {
+                    fp: s.snapshot() for fp, s in self._stats.items()
+                },
+            }

@@ -40,6 +40,11 @@ COUNTERS = (
     "batched_lanes",       # lanes executed inside those passes
     "expired_at_pop",      # requests already dead when dequeued (no lane)
     "admm_iterations",
+    # Adaptive batching controller (see repro.serve.controller):
+    "rider_rejects_cap",       # ride-alongs refused by the learned cap
+    "rider_rejects_distance",  # ride-alongs refused by value bucketing
+    "bailout_lanes",           # lanes split out of lockstep mid-flight
+    "early_responses",         # lanes answered before their pass ended
 )
 
 HISTOGRAMS = (

@@ -62,6 +62,10 @@ class PoolSolve:
     cache_hit: bool  # construction (if any) restored from the cache
     compile_seconds: float  # 0.0 on the warm path
     solve_seconds: float
+    # Batched path only: the lane left lockstep (rho refactorization
+    # or controller bail-out); ``bailed_lane`` isolates the latter.
+    solo_lane: bool = False
+    bailed_lane: bool = False
 
 
 class SolverPool:
@@ -191,6 +195,8 @@ class SolverPool:
         problems: list[QPProblem],
         *,
         fingerprint: str | None = None,
+        progress=None,
+        on_lane=None,
     ) -> list[PoolSolve]:
         """Solve B same-pattern instances in one batched replay pass.
 
@@ -199,36 +205,38 @@ class SolverPool:
         compiled traces, per-lane results bit-identical to solo solves.
         Falls back to sequential :meth:`solve` calls when batching does
         not apply (a single problem, or the indirect variant).
+
+        ``progress`` is forwarded to the lockstep loop (the adaptive
+        controller's bail-out hook).  ``on_lane`` is called as
+        ``on_lane(index, PoolSolve)`` the moment each lane finishes —
+        early lanes before slow ones — so the server can answer a
+        request without waiting for the whole pass.  The callback runs
+        with the pool entry's lock held: it must not re-enter the
+        pool.  Each lane's ``solve_seconds`` is its own elapsed time
+        in the pass — what that request actually waited.
+
+        The pass starts every lane from the warm solver's current ρ
+        (``rho0``), matching the solo path whose adapted ρ persists
+        across ``update_values``: without it every lane re-learns ρ
+        from the configured default, and the resulting refactorization
+        extracts the whole batch out of lockstep one lane at a time.
+        Lane results stay bit-identical to
+        ``bind_instance(problem, rho0=...)`` + ``solve_on_network()``
+        at that ρ.
         """
         if not problems:
             return []
         key = fingerprint or self.fingerprint(problems[0])
         if len(problems) == 1 or self.variant != "direct":
-            return [self.solve(p, fingerprint=key) for p in problems]
+            solves = [self.solve(p, fingerprint=key) for p in problems]
+            if on_lane is not None:
+                for i, solved in enumerate(solves):
+                    on_lane(i, solved)
+            return solves
         entry, warm, cache_hit, compile_seconds = self._get_or_create(
             key, problems[0]
         )
         metrics = self.metrics
-        with entry.lock:
-            t0 = time.perf_counter()
-            batch = entry.solver.solve_batch(list(problems))
-            solve_seconds = time.perf_counter() - t0
-            entry.solves += len(problems)
-        metrics.inc("batched_solves")
-        metrics.inc("batched_lanes", len(problems))
-        metrics.observe_batch(len(problems))
-        # Every lane's observed latency is the shared pass duration —
-        # that is what each coalesced request actually waited for.
-        warm_lanes = len(problems) if warm else len(problems) - 1
-        metrics.inc("warm_solve_count", warm_lanes)
-        for _ in range(len(problems)):
-            metrics.observe("solve", solve_seconds)
-        for _ in range(warm_lanes):
-            metrics.observe("warm_solve", solve_seconds)
-        metrics.inc(
-            "admm_iterations", sum(r.iterations for r in batch.lanes)
-        )
-
         solver = entry.solver
         st = solver.reference.settings
         transfer_bytes = 4 * (
@@ -238,58 +246,113 @@ class SolverPool:
         kernel_cycles = {
             k: s.cycles for k, s in solver.kernels.schedules.items()
         }
-        solves: list[PoolSolve] = []
-        for lane in batch.lanes:
-            iters = lane.iterations
-            checks = sum(
-                1
-                for i in range(1, iters + 1)
-                if i % st.check_interval == 0 or i == iters
-            )
-            result = SolveResult(
-                status=lane.status,
-                x=lane.x,
-                y=lane.y,
-                z=lane.z,
-                iterations=iters,
-                objective=lane.objective,
-                primal_residual=lane.primal_residual,
-                dual_residual=lane.dual_residual,
-                rho_updates=lane.rho_updates,
-                trace=OpTrace(),
-                primal_infeasibility_certificate=(
-                    lane.primal_infeasibility_certificate
-                ),
-                dual_infeasibility_certificate=(
-                    lane.dual_infeasibility_certificate
-                ),
-            )
-            report = MIBSolveReport(
-                result=result,
-                cycles=lane.cycles,
-                runtime_seconds=lane.cycles / solver.clock_hz + transfer,
-                clock_hz=solver.clock_hz,
-                kernel_cycles=kernel_cycles,
-                kernel_invocations={
-                    "iter_pre": iters,
-                    "kkt_solve": iters,
-                    "iter_post": iters,
-                    "residuals": checks,
-                    "factor": 1 + lane.rho_updates,
-                },
-                transfer_seconds=transfer,
-            )
-            solves.append(
-                PoolSolve(
-                    fingerprint=key,
-                    report=report,
+        built: dict[int, PoolSolve] = {}
+        with entry.lock:
+            t0 = time.perf_counter()
+
+            def lane_done(index: int, lane) -> None:
+                solved = self._wrap_lane(
+                    lane,
+                    key=key,
                     warm=warm,
                     cache_hit=cache_hit,
                     compile_seconds=compile_seconds,
-                    solve_seconds=solve_seconds,
+                    solve_seconds=time.perf_counter() - t0,
+                    solver=solver,
+                    st=st,
+                    transfer=transfer,
+                    kernel_cycles=kernel_cycles,
                 )
+                built[index] = solved
+                if on_lane is not None:
+                    on_lane(index, solved)
+
+            batch = entry.solver.solve_batch(
+                list(problems),
+                rho0=float(solver.reference.rho),
+                progress=progress,
+                on_lane=lane_done,
             )
+            entry.solves += len(problems)
+        metrics.inc("batched_solves")
+        metrics.inc("batched_lanes", len(problems))
+        metrics.observe_batch(len(problems))
+        warm_lanes = len(problems) if warm else len(problems) - 1
+        metrics.inc("warm_solve_count", warm_lanes)
+        solves = [built[i] for i in range(len(problems))]
+        for i, solved in enumerate(solves):
+            metrics.observe("solve", solved.solve_seconds)
+            if i < warm_lanes:
+                metrics.observe("warm_solve", solved.solve_seconds)
+        metrics.inc(
+            "admm_iterations", sum(r.iterations for r in batch.lanes)
+        )
         return solves
+
+    def _wrap_lane(
+        self,
+        lane,
+        *,
+        key: str,
+        warm: bool,
+        cache_hit: bool,
+        compile_seconds: float,
+        solve_seconds: float,
+        solver: MIBSolver,
+        st,
+        transfer: float,
+        kernel_cycles: dict[str, int],
+    ) -> PoolSolve:
+        """One batched lane's report, wrapped as a pool solve."""
+        iters = lane.iterations
+        checks = sum(
+            1
+            for i in range(1, iters + 1)
+            if i % st.check_interval == 0 or i == iters
+        )
+        result = SolveResult(
+            status=lane.status,
+            x=lane.x,
+            y=lane.y,
+            z=lane.z,
+            iterations=iters,
+            objective=lane.objective,
+            primal_residual=lane.primal_residual,
+            dual_residual=lane.dual_residual,
+            rho_updates=lane.rho_updates,
+            trace=OpTrace(),
+            primal_infeasibility_certificate=(
+                lane.primal_infeasibility_certificate
+            ),
+            dual_infeasibility_certificate=(
+                lane.dual_infeasibility_certificate
+            ),
+        )
+        report = MIBSolveReport(
+            result=result,
+            cycles=lane.cycles,
+            runtime_seconds=lane.cycles / solver.clock_hz + transfer,
+            clock_hz=solver.clock_hz,
+            kernel_cycles=kernel_cycles,
+            kernel_invocations={
+                "iter_pre": iters,
+                "kkt_solve": iters,
+                "iter_post": iters,
+                "residuals": checks,
+                "factor": 1 + lane.rho_updates,
+            },
+            transfer_seconds=transfer,
+        )
+        return PoolSolve(
+            fingerprint=key,
+            report=report,
+            warm=warm,
+            cache_hit=cache_hit,
+            compile_seconds=compile_seconds,
+            solve_seconds=solve_seconds,
+            solo_lane=lane.solo,
+            bailed_lane=lane.bailed,
+        )
 
     # ------------------------------------------------------------------
     def _get_or_create(

@@ -14,7 +14,9 @@ workers:
   same-pattern traffic pays construction at most once and every
   follow-up rides the ``update_values`` rebind and the already-lowered
   replay traces.  Requests that are not coalesced keep strict FIFO
-  order.
+  order.  An optional ``rider`` hook (the adaptive batching
+  controller's bucketing policy) can veto individual ride-alongs;
+  vetoed requests stay queued in order and head their own batches.
 * **deadlines** — each request carries an absolute monotonic deadline;
   :meth:`SolveRequest.expired` lets workers discard requests whose
   client has already been answered with ``TIMEOUT``.
@@ -117,6 +119,11 @@ class RequestQueue:
         self._items: deque[SolveRequest] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        # Fingerprints a consumer is currently holding a dispatch
+        # window open for; other consumers skip them when picking a
+        # head so one worker gathers the whole burst instead of two
+        # workers splitting it into fragmented passes.
+        self._gathering: set[str] = set()
 
     def __len__(self) -> int:
         with self._cond:
@@ -141,7 +148,13 @@ class RequestQueue:
             self._cond.notify()
 
     def next_batch(
-        self, *, max_batch: int = 8, timeout: float | None = None
+        self,
+        *,
+        max_batch: int = 8,
+        timeout: float | None = None,
+        rider=None,
+        window=None,
+        cap=None,
     ) -> DispatchBatch | None:
         """Dequeue the oldest live request plus same-pattern riders.
 
@@ -151,18 +164,61 @@ class RequestQueue:
         fingerprint (exposed as ``batch.fingerprint``).  Requests whose
         deadline has already passed never occupy a lane: they are swept
         into ``batch.expired`` — both expired heads and expired riders
-        that would otherwise have coalesced — for the worker to answer
-        with ``TIMEOUT`` without displacing live work.
+        of the head's fingerprint — for the worker to answer with
+        ``TIMEOUT`` without displacing live work.
+
+        ``rider``, when given, is the batching policy's bucketing
+        hook: called as ``rider(head, candidate, size)`` for each live
+        same-fingerprint candidate (``size`` = batch size so far,
+        head included); a falsy return leaves the candidate queued, in
+        order, to head its own later batch.  The head itself is never
+        subject to the hook, so the oldest live request always
+        dispatches first — bucketing can reorder riders, not starve
+        heads.
+
+        ``cap``, when given, is called as ``cap(head)`` once after the
+        head is chosen and returns the batching policy's per-pattern
+        batch-size limit; the effective limit is
+        ``min(max_batch, cap(head))``.  Making the limit visible to
+        the queue matters for the dispatch window: a rider hook that
+        silently rejects at the policy's cap would leave the batch
+        forever "unfilled" relative to ``max_batch``, so the gathering
+        worker would stall out its entire window even though no rider
+        can ever join.
+
+        ``window``, when given, is called as ``window(head)`` and may
+        return a dispatch window in seconds: how long this consumer
+        holds the still-unfilled batch open, gathering same-pattern
+        arrivals, before dispatching (the policy's latency-for-
+        throughput trade on a pattern whose batches are known to pay).
+        While the window is open the head's fingerprint is marked as
+        *gathering*: concurrent consumers skip those requests when
+        picking their own head — without the mark, two workers split
+        one burst into fragmented passes — and are woken when the
+        window closes.  A zero/None window dispatches immediately
+        (the pre-window behaviour, and always the case for a batch
+        already at the effective limit).
         """
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        wait_deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
         with self._cond:
             expired: list[SolveRequest] = []
+            head: SolveRequest | None = None
             while True:
                 now = time.monotonic()
                 while self._items and self._items[0].expired(now):
                     expired.append(self._items.popleft())
-                if self._items:
+                for i, req in enumerate(self._items):
+                    # Oldest request not claimed by another consumer's
+                    # open dispatch window.
+                    if req.fingerprint not in self._gathering:
+                        head = req
+                        del self._items[i]
+                        break
+                if head is not None:
                     break
                 if expired:
                     # Nothing live, but the sweep found work to fail
@@ -170,28 +226,62 @@ class RequestQueue:
                     return DispatchBatch(expired=expired)
                 if self._closed:
                     return None
-                if not self._cond.wait(timeout=timeout):
+                remaining = None
+                if wait_deadline is not None:
+                    remaining = wait_deadline - time.monotonic()
+                    if remaining <= 0:
+                        return DispatchBatch()
+                if not self._cond.wait(timeout=remaining) and (
+                    wait_deadline is not None
+                ):
                     return DispatchBatch()
-            head = self._items.popleft()
+            limit = max_batch
+            if cap is not None:
+                limit = max(1, min(max_batch, int(cap(head))))
             batch = DispatchBatch(
                 [head], fingerprint=head.fingerprint, expired=expired
             )
-            if len(batch) < max_batch and self._items:
-                now = time.monotonic()
-                keep: deque[SolveRequest] = deque()
-                for req in self._items:
-                    if (
-                        len(batch) < max_batch
-                        and req.fingerprint == head.fingerprint
-                    ):
-                        if req.expired(now):
-                            batch.expired.append(req)
-                        else:
-                            batch.append(req)
-                    else:
-                        keep.append(req)
-                self._items = keep
+            self._collect_riders(batch, head, limit, rider)
+            hold = float(window(head) or 0.0) if window is not None else 0.0
+            if hold > 0.0 and len(batch) < limit:
+                self._gathering.add(head.fingerprint)
+                try:
+                    hold_deadline = time.monotonic() + hold
+                    while len(batch) < limit and not self._closed:
+                        remaining = hold_deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(timeout=remaining)
+                        self._collect_riders(batch, head, limit, rider)
+                finally:
+                    self._gathering.discard(head.fingerprint)
+                    self._cond.notify_all()
             return batch
+
+    def _collect_riders(
+        self, batch: DispatchBatch, head: SolveRequest, max_batch: int, rider
+    ) -> None:
+        """Pull the head's live same-fingerprint riders from the queue
+        (caller holds the lock)."""
+        if not self._items:
+            return
+        now = time.monotonic()
+        keep: deque[SolveRequest] = deque()
+        for req in self._items:
+            if req.fingerprint != head.fingerprint:
+                keep.append(req)
+            elif req.expired(now):
+                # Same-pattern and already dead: sweep it even when
+                # the batch is full or the policy would reject it — it
+                # can only ever be answered TIMEOUT, so fail it fast.
+                batch.expired.append(req)
+            elif len(batch) < max_batch and (
+                rider is None or rider(head, req, len(batch))
+            ):
+                batch.append(req)
+            else:
+                keep.append(req)
+        self._items = keep
 
     def close(self) -> None:
         """Stop admissions and wake every blocked consumer."""

@@ -29,6 +29,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..io import problem_from_dict
 from ..solver import SolverStatus
+from .controller import BatchController
 from .metrics import ServeMetrics
 from .pool import SolverPool
 from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
@@ -38,6 +39,15 @@ __all__ = ["ServeServer"]
 # Grace added to the handler's event wait beyond the request deadline:
 # the worker owns deadline bookkeeping; the handler only backstops it.
 _WAIT_GRACE_S = 0.05
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    # The stdlib default listen backlog of 5 drops SYNs under a
+    # concurrent burst; the kernel's 1-second retransmit then shows up
+    # as a bimodal ~1s latency tail that has nothing to do with
+    # solving.  Size the backlog to the admission bound instead.
+    request_queue_size = 128
+    daemon_threads = True
 
 
 class ServeServer:
@@ -62,6 +72,8 @@ class ServeServer:
         pool: SolverPool | None = None,
         queue_size: int = 64,
         max_batch: int = 16,
+        batch_policy: str = "greedy",
+        controller: BatchController | None = None,
         default_timeout_s: float = 30.0,
         **pool_kwargs,
     ) -> None:
@@ -71,12 +83,20 @@ class ServeServer:
         self.metrics: ServeMetrics = self.pool.metrics
         self.queue = RequestQueue(maxsize=queue_size)
         self.max_batch = max_batch
+        # The batching policy layer: decides which lanes share a batch
+        # (``max_batch`` stays the hard cap) and when a pass bails out
+        # of lockstep.  ``batch_policy="greedy"`` reproduces the
+        # pre-controller behaviour exactly.
+        self.controller = (
+            controller
+            if controller is not None
+            else BatchController(policy=batch_policy, metrics=self.metrics)
+        )
         self.default_timeout_s = default_timeout_s
         self.workers = workers
         self.started_at = time.monotonic()
         self._threads: list[threading.Thread] = []
-        self._http = ThreadingHTTPServer((host, port), _make_handler(self))
-        self._http.daemon_threads = True
+        self._http = _HTTPServer((host, port), _make_handler(self))
         self.host = host
         self.port = int(self._http.server_address[1])
 
@@ -121,7 +141,14 @@ class ServeServer:
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
-            batch = self.queue.next_batch(max_batch=self.max_batch)
+            batch = self.queue.next_batch(
+                max_batch=self.max_batch,
+                rider=self.controller.rider,
+                window=self.controller.dispatch_window,
+                cap=lambda head: self.controller.max_batch_for(
+                    head.fingerprint, self.max_batch
+                ),
+            )
             if batch is None:  # queue closed
                 return
             for request in batch.expired:
@@ -183,6 +210,10 @@ class ServeServer:
                 },
             )
             return
+        self._solve_solo(request, queue_wait)
+
+    def _solve_solo(self, request: SolveRequest, queue_wait: float) -> None:
+        cpu_t0 = time.thread_time()
         try:
             solved = self.pool.solve(
                 request.problem, fingerprint=request.fingerprint
@@ -194,6 +225,17 @@ class ServeServer:
                 {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
             )
             return
+        if solved.warm:
+            # Only warm solves inform the cost model: a cold solve's
+            # cost is dominated by construction, not the pattern's
+            # per-instance solve economics.  Priced in this worker
+            # thread's CPU time so concurrent handler threads don't
+            # charge their interpreter contention to the solve.
+            self.controller.observe_solo(
+                request.fingerprint,
+                seconds=time.thread_time() - cpu_t0,
+                iterations=solved.report.result.iterations,
+            )
         self._finish(
             request,
             200,
@@ -230,31 +272,96 @@ class ServeServer:
                 waits[request.request_id] = queue_wait
         if not live:
             return
-        try:
-            solves = self.pool.solve_batch(
-                [r.problem for r in live], fingerprint=batch.fingerprint
-            )
-        except Exception as exc:
-            for request in live:
-                self._finish(
-                    request,
-                    500,
-                    {
-                        "status": "error",
-                        "detail": f"{type(exc).__name__}: {exc}",
-                    },
-                )
+        if len(live) == 1:
+            request = live[0]
+            self._solve_solo(request, waits[request.request_id])
             return
-        for request, solved in zip(live, solves):
+        # Bail-out budget: the tightest live deadline bounds how long a
+        # pass may chase stragglers before splitting them out.
+        remaining = [
+            r for r in (req.remaining(now) for req in live) if r is not None
+        ]
+        progress = self.controller.make_progress(
+            batch.fingerprint,
+            deadline_remaining=min(remaining) if remaining else None,
+        )
+        published: set[int] = set()
+        pass_t0 = time.perf_counter()
+        pass_cpu_t0 = time.thread_time()
+
+        def lane_done(index: int, solved) -> None:
+            # Called at harvest time (fast lanes before slow ones, under
+            # the pool entry's lock): answer the request now instead of
+            # at the end of the pass — the controller's p50 lever.
+            published.add(index)
+            request = live[index]
             self._finish(
                 request,
                 200,
                 self._ok_payload(
                     solved,
                     waits[request.request_id],
-                    batched=len(live) > 1,
+                    batched=True,
                     batch_lanes=len(live),
                 ),
+            )
+
+        try:
+            solves = self.pool.solve_batch(
+                [r.problem for r in live],
+                fingerprint=batch.fingerprint,
+                progress=progress,
+                on_lane=lane_done,
+            )
+        except Exception as exc:
+            for index, request in enumerate(live):
+                if index not in published:
+                    self._finish(
+                        request,
+                        500,
+                        {
+                            "status": "error",
+                            "detail": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+            return
+        pass_seconds = time.perf_counter() - pass_t0
+        pass_cpu = time.thread_time() - pass_cpu_t0
+        # Lanes answered before the slowest lane finished — the wait
+        # the old publish-at-pass-end behaviour would have added.
+        slowest = max(s.solve_seconds for s in solves)
+        early = sum(1 for s in solves if s.solve_seconds < slowest)
+        if early:
+            self.metrics.inc("early_responses", early)
+        # Backstop: publish any lane the callback missed (sequential
+        # fallback paths always invoke it, but stay defensive).
+        for index, (request, solved) in enumerate(zip(live, solves)):
+            if index not in published:
+                self._finish(
+                    request,
+                    200,
+                    self._ok_payload(
+                        solved,
+                        waits[request.request_id],
+                        batched=True,
+                        batch_lanes=len(live),
+                    ),
+                )
+        if self.pool.variant == "direct":
+            # Feed the cost model: per-lane iterations, pass cost in
+            # this worker's CPU time (comparable to the solo pricing —
+            # wall time would bill the pass for the handler threads it
+            # wakes with its own early responses), rho fallbacks vs
+            # controller bail-outs.
+            self.controller.observe_pass(
+                batch.fingerprint,
+                lanes=len(live),
+                seconds=pass_cpu,
+                lane_iterations=[
+                    s.report.result.iterations for s in solves
+                ],
+                solo_lanes=sum(s.solo_lane for s in solves),
+                bailed_lanes=sum(s.bailed_lane for s in solves),
             )
 
     def _finish(
@@ -335,6 +442,7 @@ class ServeServer:
             "workers": self.workers,
             "variant": self.pool.variant,
             "c": self.pool.c,
+            "batch_policy": self.controller.policy,
         }
 
 
@@ -358,7 +466,9 @@ def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
             if self.path == "/v1/health":
                 self._send_json(200, server.health())
             elif self.path == "/v1/metrics":
-                self._send_json(200, server.metrics.snapshot())
+                snap = server.metrics.snapshot()
+                snap["controller"] = server.controller.snapshot()
+                self._send_json(200, snap)
             else:
                 self._send_json(
                     404, {"status": "error", "detail": "unknown endpoint"}

@@ -89,6 +89,7 @@ class TestFlopsProfile:
         fr = profile.fractions()
         assert fr["mac"] > fr["permute"]
 
+    @pytest.mark.slow
     def test_profile_suite_covers_grid(self):
         specs = benchmark_suite(domains=("mpc",), n_scales=2)
         profiles = profile_suite(specs, settings=FAST)

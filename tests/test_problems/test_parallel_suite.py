@@ -106,6 +106,7 @@ class TestSuiteDeterminism:
         assert any(e.compile_seconds > 0 for e in a)
 
 
+@pytest.mark.slow
 class TestCLISmoke:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_suite_jobs_flag(self, capsys, jobs, tmp_path):

@@ -217,6 +217,7 @@ def _drain_once(server: ServeServer, max_batch: int) -> None:
         server._process(batch[0])
 
 
+@pytest.mark.serve_e2e
 class TestServerBatchedEndToEnd:
     def test_sixteen_requests_one_replay_pass(self):
         """16 coalesced same-pattern requests → one batched solve with

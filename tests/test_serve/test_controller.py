@@ -1,0 +1,586 @@
+"""Adaptive batching controller: cost-model units and differential
+bitwise tests.
+
+Two layers:
+
+* **Cost model** — deterministic, no HTTP and no solver: EWMA updates,
+  the affine pass-cost fit (fixed + marginal * lanes), cap decisions in
+  their documented order (explore, fallback-parking, marginal-vs-solo,
+  latency budget), the explore escape, dispatch windows, bucketing
+  distance and the bail-out closure over a synthetic progress state.
+
+* **Differential** — the controller's one hard contract: it only
+  chooses *which* lanes share a batch and when a pass gives up on
+  lockstep; every lane's result stays bit-identical to a solo
+  ``bind_instance(problem, rho0) + solve_on_network()`` at the warm
+  solver's rho — including lanes the bail-out split back out of
+  lockstep mid-pass.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.backends.mib import MIBSolver
+from repro.problems import lasso_problem, mpc_problem
+from repro.serve import (
+    BatchController,
+    ServeClient,
+    ServeServer,
+    SolverPool,
+    value_distance,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import SolveRequest
+from repro.solver import QPProblem, Settings
+
+C = 8
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=2000, check_interval=5)
+
+
+def perturbed(base: QPProblem, seed: int, scale: float = 0.05) -> QPProblem:
+    rng = np.random.default_rng(seed)
+    q = base.q * (1.0 + scale * rng.standard_normal(base.n))
+    return QPProblem(
+        p=base.p, q=q, a=base.a, l=base.l, u=base.u, name=base.name
+    )
+
+
+def _request(problem: QPProblem, fingerprint: str = "fp") -> SolveRequest:
+    return SolveRequest(problem=problem, fingerprint=fingerprint)
+
+
+# ----------------------------------------------------------------------
+# cost model: EWMA and the affine pass-cost fit
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_first_observation_seeds_the_ewma(self):
+        ctrl = BatchController()
+        ctrl.observe_solo("fp", seconds=0.02, iterations=40)
+        s = ctrl.stats_for("fp")
+        assert s.ewma_solo_seconds == pytest.approx(0.02)
+        assert s.ewma_iterations == pytest.approx(40.0)
+        assert s.solo_solves == 1
+
+    def test_solo_ewma_follows_the_documented_recurrence(self):
+        ctrl = BatchController(alpha=0.5)
+        ctrl.observe_solo("fp", seconds=0.02, iterations=40)
+        ctrl.observe_solo("fp", seconds=0.04, iterations=20)
+        s = ctrl.stats_for("fp")
+        assert s.ewma_solo_seconds == pytest.approx(0.5 * 0.02 + 0.5 * 0.04)
+        assert s.ewma_iterations == pytest.approx(0.5 * 40 + 0.5 * 20)
+
+    def test_affine_fit_recovers_fixed_and_marginal_exactly(self):
+        """Exact affine observations => the decayed regression returns
+        the generating coefficients, independent of the EWMA weights."""
+        fixed, marginal = 0.050, 0.002
+        ctrl = BatchController()
+        for lanes in (4, 16, 8, 12):
+            ctrl.observe_pass(
+                "fp",
+                lanes=lanes,
+                seconds=fixed + marginal * lanes,
+                lane_iterations=[30] * lanes,
+                solo_lanes=0,
+            )
+        s = ctrl.stats_for("fp")
+        assert s.marginal_lane_seconds == pytest.approx(marginal)
+        assert s.fixed_pass_seconds == pytest.approx(fixed)
+
+    def test_affine_fit_degenerates_to_none_without_size_variance(self):
+        ctrl = BatchController()
+        for _ in range(3):
+            ctrl.observe_pass(
+                "fp",
+                lanes=8,
+                seconds=0.1,
+                lane_iterations=[30] * 8,
+                solo_lanes=0,
+            )
+        s = ctrl.stats_for("fp")
+        assert s.marginal_lane_seconds is None  # var(lanes) == 0
+        assert s.ewma_lane_seconds == pytest.approx(0.1 / 8)
+
+    def test_fallback_rate_counts_rho_exits_not_bailouts(self):
+        ctrl = BatchController()
+        ctrl.observe_pass(
+            "fp",
+            lanes=8,
+            seconds=0.1,
+            lane_iterations=[30] * 8,
+            solo_lanes=4,
+            bailed_lanes=3,  # controller's own splits are not fallback
+        )
+        s = ctrl.stats_for("fp")
+        assert s.solo_fallback_rate == pytest.approx(1 / 8)
+        assert s.bailed_lanes == 3
+
+    def test_pass_resets_the_explore_pressure_counter(self):
+        ctrl = BatchController()
+        for _ in range(5):
+            ctrl.observe_solo("fp", seconds=0.02, iterations=30)
+        assert ctrl.stats_for("fp").solo_since_pass == 5
+        ctrl.observe_pass(
+            "fp", lanes=4, seconds=0.05, lane_iterations=[30] * 4,
+            solo_lanes=0,
+        )
+        assert ctrl.stats_for("fp").solo_since_pass == 0
+
+
+def _learned(
+    ctrl: BatchController,
+    fp: str = "fp",
+    *,
+    solo: float = 0.020,
+    fixed: float = 0.010,
+    marginal: float = 0.002,
+    iterations: int = 30,
+) -> None:
+    """Feed ``ctrl`` enough exact observations that the pattern's model
+    is fully determined: solo cost, affine pass cost, iterations."""
+    for _ in range(2):
+        ctrl.observe_solo(fp, seconds=solo, iterations=iterations)
+    for lanes in (4, 8, 16):
+        ctrl.observe_pass(
+            fp,
+            lanes=lanes,
+            seconds=fixed + marginal * lanes,
+            lane_iterations=[iterations] * lanes,
+            solo_lanes=0,
+        )
+
+
+# ----------------------------------------------------------------------
+# cap decisions
+# ----------------------------------------------------------------------
+class TestMaxBatchFor:
+    def test_off_policy_never_batches(self):
+        ctrl = BatchController(policy="off")
+        _learned(ctrl)
+        assert ctrl.max_batch_for("fp", 16) == 1
+
+    def test_greedy_policy_always_takes_the_hard_cap(self):
+        ctrl = BatchController(policy="greedy")
+        assert ctrl.max_batch_for("anything", 16) == 16
+
+    def test_unexplored_pattern_explores_at_the_hard_cap(self):
+        ctrl = BatchController(min_explore_passes=2)
+        assert ctrl.max_batch_for("fp", 16) == 16
+        ctrl.observe_pass(
+            "fp", lanes=4, seconds=1.0, lane_iterations=[30] * 4,
+            solo_lanes=0,
+        )
+        # One pass is still below min_explore_passes.
+        assert ctrl.max_batch_for("fp", 16) == 16
+
+    def test_latency_budget_caps_via_the_affine_fit(self):
+        ctrl = BatchController(latency_budget=6.0)
+        _learned(ctrl, solo=0.020, fixed=0.010, marginal=0.002)
+        # cap = (budget * solo - fixed) / marginal = (0.12 - 0.01) / 0.002
+        # = 55 lanes, give or take one ulp at the floor boundary.
+        assert ctrl.max_batch_for("fp", 1 << 30) in (54, 55)
+        assert ctrl.max_batch_for("fp", 16) == 16  # clamped to hard cap
+
+    def test_marginal_lane_dearer_than_solo_parks_the_pattern(self):
+        ctrl = BatchController()
+        _learned(ctrl, solo=0.001, marginal=0.002)
+        assert ctrl.max_batch_for("fp", 16) == 1
+
+    def test_rho_heavy_pattern_parks_solo(self):
+        ctrl = BatchController(fallback_threshold=0.4)
+        _learned(ctrl)
+        for _ in range(6):
+            ctrl.observe_pass(
+                "fp", lanes=4, seconds=0.018, lane_iterations=[30] * 4,
+                solo_lanes=4,
+            )
+        assert ctrl.stats_for("fp").solo_fallback_rate > 0.4
+        assert ctrl.max_batch_for("fp", 16) == 1
+
+    def test_explore_escape_revises_a_stale_solo_verdict(self):
+        """A parked pattern re-earns exploration after explore_interval
+        solo solves: verdicts are re-tested, never held forever."""
+        ctrl = BatchController(explore_interval=16)
+        _learned(ctrl, solo=0.001, marginal=0.002)  # parked: solo cheaper
+        assert ctrl.max_batch_for("fp", 16) == 1
+        for _ in range(16):
+            ctrl.observe_solo("fp", seconds=0.001, iterations=30)
+        assert ctrl.max_batch_for("fp", 16) == 16
+
+    def test_average_cost_fallback_without_size_variance(self):
+        ctrl = BatchController(latency_budget=6.0)
+        for _ in range(2):
+            ctrl.observe_solo("fp", seconds=0.020, iterations=30)
+        for _ in range(3):  # constant size: no affine fit
+            ctrl.observe_pass(
+                "fp", lanes=8, seconds=0.040, lane_iterations=[30] * 8,
+                solo_lanes=0,
+            )
+        # cap = budget * solo / lane = 6 * 0.020 / 0.005
+        assert ctrl.max_batch_for("fp", 1 << 30) == 24
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BatchController(policy="clever")
+
+
+# ----------------------------------------------------------------------
+# dispatch window and rider bucketing
+# ----------------------------------------------------------------------
+class TestDispatchWindow:
+    def test_non_adaptive_policies_never_hold(self):
+        base = lasso_problem(4, n_samples=8, seed=0)
+        for policy in ("greedy", "off"):
+            ctrl = BatchController(policy=policy)
+            assert ctrl.dispatch_window(_request(base)) == 0.0
+
+    def test_parked_pattern_dispatches_immediately(self):
+        ctrl = BatchController()
+        _learned(ctrl, solo=0.001, marginal=0.002)  # cap == 1
+        base = lasso_problem(4, n_samples=8, seed=0)
+        assert ctrl.dispatch_window(_request(base)) == 0.0
+
+    def test_window_is_twice_solo_capped_by_max_window(self):
+        ctrl = BatchController(max_window=0.05)
+        _learned(ctrl, solo=0.010)
+        base = lasso_problem(4, n_samples=8, seed=0)
+        assert ctrl.dispatch_window(_request(base)) == pytest.approx(0.020)
+        _learned(ctrl, fp="fp2", solo=0.040)
+        req = SolveRequest(problem=base, fingerprint="fp2")
+        assert ctrl.dispatch_window(req) == pytest.approx(0.05)
+
+    def test_deadline_tightens_the_window(self):
+        import time
+
+        ctrl = BatchController()
+        _learned(ctrl, solo=0.020)
+        base = lasso_problem(4, n_samples=8, seed=0)
+        req = SolveRequest(
+            problem=base,
+            fingerprint="fp",
+            deadline=time.monotonic() + 0.040,
+        )
+        # min(2 * solo, 0.25 * remaining) ~= 0.25 * 0.040
+        assert ctrl.dispatch_window(req) <= 0.25 * 0.040 + 1e-6
+
+
+class TestRider:
+    def _pair(self, scale: float = 0.0):
+        base = lasso_problem(4, n_samples=8, seed=0)
+        head = _request(base)
+        candidate = _request(
+            perturbed(base, 7, scale=scale) if scale else base
+        )
+        return head, candidate
+
+    def test_off_rejects_and_greedy_accepts_everything(self):
+        head, candidate = self._pair()
+        assert not BatchController(policy="off").rider(head, candidate, 1)
+        assert BatchController(policy="greedy").rider(head, candidate, 1)
+
+    def test_cap_reject_is_counted(self):
+        metrics = ServeMetrics()
+        ctrl = BatchController(metrics=metrics, latency_budget=6.0)
+        _learned(ctrl, solo=0.020, fixed=0.010, marginal=0.002)
+        cap = ctrl.max_batch_for("fp", 1 << 30)
+        head, candidate = self._pair()
+        assert ctrl.rider(head, candidate, cap - 1)
+        assert not ctrl.rider(head, candidate, cap)
+        assert metrics.count("rider_rejects_cap") == 1
+
+    def test_distant_candidate_heads_its_own_batch(self):
+        metrics = ServeMetrics()
+        ctrl = BatchController(metrics=metrics, bucket_width=0.35)
+        head, near = self._pair(scale=0.01)
+        _, far = self._pair(scale=10.0)
+        assert ctrl.rider(head, near, 1)
+        assert not ctrl.rider(head, far, 1)
+        assert metrics.count("rider_rejects_distance") == 1
+
+
+class TestValueDistance:
+    def test_identical_instances_are_at_distance_zero(self):
+        base = lasso_problem(4, n_samples=8, seed=0)
+        assert value_distance(base, base) == 0.0
+
+    def test_distance_grows_with_perturbation_scale(self):
+        base = lasso_problem(4, n_samples=8, seed=0)
+        near = value_distance(base, perturbed(base, 3, scale=0.01))
+        far = value_distance(base, perturbed(base, 3, scale=1.0))
+        assert 0.0 < near < far
+
+    def test_infinity_structure_mismatch_is_maximally_far(self):
+        base = lasso_problem(4, n_samples=8, seed=0)
+        other = QPProblem(
+            p=base.p,
+            q=base.q,
+            a=base.a,
+            l=np.where(np.isinf(base.l), -1e3, base.l),
+            u=base.u,
+            name=base.name,
+        )
+        if np.isinf(base.l).any():
+            assert value_distance(base, other) == math.inf
+        else:  # pattern has finite bounds: force a mismatch instead
+            other = QPProblem(
+                p=base.p,
+                q=base.q,
+                a=base.a,
+                l=np.full_like(base.l, -np.inf),
+                u=base.u,
+                name=base.name,
+            )
+            assert value_distance(base, other) == math.inf
+
+
+# ----------------------------------------------------------------------
+# bail-out closure over a synthetic progress state
+# ----------------------------------------------------------------------
+def _progress_state(iteration, primal, dual, ids=None):
+    primal = np.asarray(primal, dtype=np.float64)
+    return SimpleNamespace(
+        iteration=iteration,
+        primal_ratio=primal,
+        dual_ratio=np.asarray(dual, dtype=np.float64),
+        ids=np.asarray(
+            ids if ids is not None else np.arange(primal.size)
+        ),
+    )
+
+
+class TestMakeProgress:
+    def test_non_adaptive_and_unlearned_patterns_run_uninstrumented(self):
+        assert BatchController(policy="greedy").make_progress("fp") is None
+        assert BatchController().make_progress("never-seen") is None
+
+    def test_within_budget_keeps_lockstep(self):
+        ctrl = BatchController(bailout_headroom=3.0)
+        _learned(ctrl, iterations=30)
+        progress = ctrl.make_progress("fp")
+        state = _progress_state(50, [1.0, 1e4], [1.0, 1e4])
+        assert progress(state) == []  # 50 <= 3 * 30
+
+    def test_past_budget_splits_stragglers_only(self):
+        metrics = ServeMetrics()
+        ctrl = BatchController(
+            bailout_headroom=1.0, spread_threshold=10.0, metrics=metrics
+        )
+        _learned(ctrl, iterations=30)
+        progress = ctrl.make_progress("fp")
+        state = _progress_state(
+            40,
+            primal=[1.0, 1.0, 5e3],
+            dual=[1.0, 1.0, 1e3],
+            ids=[7, 8, 9],
+        )
+        assert progress(state) == [9]
+        assert metrics.count("bailout_lanes") == 1
+
+    def test_group_converging_together_never_splits(self):
+        ctrl = BatchController(bailout_headroom=1.0, spread_threshold=10.0)
+        _learned(ctrl, iterations=30)
+        progress = ctrl.make_progress("fp")
+        # No lane is spread_threshold times worse than the best: the
+        # group is converging together, keep lockstep.
+        assert progress(_progress_state(40, [1.0, 1.1], [1.0, 1.1])) == []
+        assert progress(_progress_state(40, [1.0, 9.0], [1.0, 2.0])) == []
+
+    def test_deadline_tightens_the_iteration_budget(self):
+        ctrl = BatchController(bailout_headroom=3.0, spread_threshold=2.0)
+        _learned(ctrl, iterations=30, fixed=0.0, marginal=0.001)
+        # seconds_per_iteration is learned from pass observations; a
+        # short deadline shrinks the budget below headroom * expected.
+        tight = ctrl.make_progress("fp", deadline_remaining=1e-6)
+        state = _progress_state(5, [1.0, 1e4], [1.0, 1.0])
+        assert tight(state) == [1]
+        relaxed = ctrl.make_progress("fp", deadline_remaining=1e3)
+        assert relaxed(state) == []
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        ctrl = BatchController()
+        _learned(ctrl)
+        doc = ctrl.snapshot()
+        json.dumps(doc)  # must not raise
+        assert doc["policy"] == "adaptive"
+        stats = doc["patterns"]["fp"]
+        assert stats["passes"] == 3
+        assert stats["marginal_lane_seconds"] == pytest.approx(0.002)
+
+
+# ----------------------------------------------------------------------
+# thread-safety smoke: concurrent observers and deciders
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_observation_and_decision(self):
+        ctrl = BatchController()
+        errors: list[Exception] = []
+
+        def observer():
+            try:
+                for i in range(200):
+                    ctrl.observe_solo("fp", seconds=0.01, iterations=30)
+                    ctrl.observe_pass(
+                        "fp",
+                        lanes=4 + i % 8,
+                        seconds=0.02,
+                        lane_iterations=[30] * (4 + i % 8),
+                        solo_lanes=0,
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def decider():
+            try:
+                for _ in range(200):
+                    ctrl.max_batch_for("fp", 16)
+                    ctrl.snapshot()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=f)
+            for f in (observer, decider, observer, decider)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        assert 1 <= ctrl.max_batch_for("fp", 16) <= 16
+
+
+# ----------------------------------------------------------------------
+# differential: adaptive batching is bit-identical to solo solves
+# ----------------------------------------------------------------------
+class TestDifferentialBitwise:
+    def test_randomized_mix_with_forced_bailouts_stays_bitwise(self):
+        """A heterogeneous batch under an aggressive bail-out policy:
+        every lane — including the ones split back to solo mid-pass —
+        equals ``bind_instance(problem, rho0) + solve_on_network()``
+        on a twin solver with the same warm history."""
+        base = lasso_problem(6, n_samples=16, seed=0)
+        pool = SolverPool(capacity=2, variant="direct", c=C, settings=SETTINGS)
+        twin = MIBSolver(base, variant="direct", c=C, settings=SETTINGS)
+
+        # Identical warm histories: cold solve + three warm solos, so
+        # the adapted rho matches between pool entry and twin.
+        pool.solve(base)
+        twin.solve()
+        for seed in range(3):
+            p = perturbed(base, seed)
+            pool.solve(p)
+            twin.update_values(p)
+            twin.solve()
+        rho0 = float(twin.reference.rho)
+
+        fp = pool.fingerprint(base)
+        ctrl = BatchController(
+            policy="adaptive",
+            bailout_headroom=1.0,
+            spread_threshold=1.2,
+            metrics=ServeMetrics(),
+        )
+        # Learn a deliberately low iteration expectation so the pass
+        # overruns its budget and the bail-out actually fires.
+        ctrl.observe_solo(fp, seconds=0.01, iterations=4)
+
+        # Small scales stay near the warm start; the huge ones are
+        # semantically different instances whose lanes converge on a
+        # different schedule — the iteration spread the bail-out needs.
+        rng_scales = [0.01, 0.02, 50.0, 0.01, 200.0, 0.02, 100.0, 0.01]
+        problems = [
+            perturbed(base, 100 + i, scale=s)
+            for i, s in enumerate(rng_scales)
+        ]
+        solves = pool.solve_batch(
+            problems, progress=ctrl.make_progress(fp)
+        )
+
+        assert any(s.bailed_lane for s in solves), (
+            "bail-out policy was tuned to fire; no lane split"
+        )
+        for lane, problem in zip(solves, problems):
+            twin.bind_instance(problem, rho0=rho0)
+            net = twin.solve_on_network()
+            lane_r = lane.report.result
+            assert lane_r.iterations == net.iterations
+            assert lane_r.x.tobytes() == net.x.tobytes()
+            assert lane_r.y.tobytes() == net.y.tobytes()
+            assert lane.report.cycles == net.cycles
+
+    @pytest.mark.serve_e2e
+    def test_adaptive_server_burst_is_bitwise_incl_bailouts(self):
+        """Full stack: 8 concurrent requests with mixed warm-start
+        distance, drained through the controller's rider/window/cap
+        hooks under the adaptive policy, answered bit-identically to
+        the solo network oracle."""
+        from tests.test_serve.test_batch_serve import (
+            _post_concurrently,
+            _wait_for_queue,
+        )
+
+        burst = 8
+        base = mpc_problem(2, horizon=3, seed=5)  # rho-stable pattern
+        controller = BatchController(
+            policy="adaptive",
+            bailout_headroom=1.0,
+            spread_threshold=1.2,
+            bucket_width=1e9,  # isolate bail-out: admit every rider
+            metrics=ServeMetrics(),
+        )
+        with ServeServer(
+            port=0,
+            workers=0,
+            queue_size=2 * burst,
+            max_batch=burst,
+            variant="direct",
+            c=C,
+            settings=SETTINGS,
+            warm_start=False,
+            controller=controller,
+        ) as server:
+            server.pool.solve(base)
+            fp = server.pool.fingerprint(base)
+            controller.observe_solo(fp, seconds=0.01, iterations=4)
+            client = ServeClient(port=server.port)
+            scales = [0.01, 50.0, 0.01, 200.0, 0.02, 100.0, 0.01, 50.0]
+            problems = [
+                perturbed(base, 300 + i, scale=s)
+                for i, s in enumerate(scales)
+            ]
+            responses, threads = _post_concurrently(
+                client, problems, [30.0] * burst
+            )
+            _wait_for_queue(server, burst)
+            batch = server.queue.next_batch(
+                max_batch=server.max_batch,
+                timeout=1.0,
+                rider=controller.rider,
+                window=controller.dispatch_window,
+                cap=lambda head: controller.max_batch_for(
+                    head.fingerprint, server.max_batch
+                ),
+            )
+            assert len(batch) == burst
+            server._process_batch(batch)
+            for t in threads:
+                t.join(timeout=10.0)
+            assert not any(t.is_alive() for t in threads)
+            assert controller.metrics.count("bailout_lanes") >= 1
+
+            oracle = MIBSolver(base, variant="direct", c=C, settings=SETTINGS)
+            for response, problem in zip(responses, problems):
+                assert response.ok and response.solved, response.raw
+                assert response.raw["batched"] is True
+                oracle.bind_instance(problem)
+                net = oracle.solve_on_network()
+                assert response.result.x.tobytes() == net.x.tobytes()
+                assert response.result.iterations == net.iterations
+                assert response.raw["cycles"] == net.cycles

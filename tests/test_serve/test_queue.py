@@ -164,3 +164,203 @@ class TestSolveRequest:
         unbounded = _request("B")
         assert not unbounded.expired()
         assert unbounded.remaining() is None
+
+
+# ----------------------------------------------------------------------
+# property/fuzz: drain invariants under arbitrary traffic shapes
+# ----------------------------------------------------------------------
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+# (fingerprint, already-expired) pairs: the queue only ever sees the
+# routing key and the deadline, so this is the whole input space shape.
+TRAFFIC = st.lists(
+    st.tuples(st.sampled_from("ABC"), st.booleans()), max_size=30
+)
+
+
+def _submit_traffic(traffic) -> tuple[RequestQueue, list[SolveRequest]]:
+    queue = RequestQueue(maxsize=max(1, len(traffic)))
+    past = time.monotonic() - 60.0
+    submitted = []
+    for fingerprint, expired in traffic:
+        req = _request(fingerprint, deadline=past if expired else None)
+        queue.submit(req)
+        submitted.append(req)
+    return queue, submitted
+
+
+def _drain(queue, *, max_batch=8, rider=None, cap=None):
+    """Pop batches until the queue is empty; returns (batches, expired)."""
+    batches, expired = [], []
+    while len(queue):
+        batch = queue.next_batch(
+            max_batch=max_batch, timeout=0.05, rider=rider, cap=cap
+        )
+        expired.extend(batch.expired)
+        if batch:
+            batches.append(batch)
+    return batches, expired
+
+
+class TestQueueProperties:
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC, max_batch=st.integers(1, 8))
+    def test_every_request_served_exactly_once(self, traffic, max_batch):
+        """Conservation: batches ∪ expired is a partition of the
+        submitted set — nothing dropped, nothing answered twice."""
+        queue, submitted = _submit_traffic(traffic)
+        batches, expired = _drain(queue, max_batch=max_batch)
+        served = [req for batch in batches for req in batch] + expired
+        assert sorted(id(r) for r in served) == sorted(
+            id(r) for r in submitted
+        )
+
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC, max_batch=st.integers(1, 8))
+    def test_expired_requests_never_occupy_a_live_lane(
+        self, traffic, max_batch
+    ):
+        queue, _ = _submit_traffic(traffic)
+        batches, expired = _drain(queue, max_batch=max_batch)
+        now = time.monotonic()
+        for batch in batches:
+            assert not any(req.expired(now) for req in batch)
+        assert all(req.expired(now) for req in expired)
+
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC, max_batch=st.integers(1, 8))
+    def test_batches_are_fingerprint_homogeneous_and_capped(
+        self, traffic, max_batch
+    ):
+        queue, _ = _submit_traffic(traffic)
+        batches, _ = _drain(queue, max_batch=max_batch)
+        for batch in batches:
+            assert len(batch) <= max_batch
+            assert {req.fingerprint for req in batch} == {batch.fingerprint}
+
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC, max_batch=st.integers(1, 8))
+    def test_fifo_order_within_every_fingerprint(self, traffic, max_batch):
+        """Live requests of one pattern are served oldest-first, both
+        within a batch and across consecutive batches."""
+        queue, submitted = _submit_traffic(traffic)
+        batches, _ = _drain(queue, max_batch=max_batch)
+        for fingerprint in "ABC":
+            served = [
+                req
+                for batch in batches
+                for req in batch
+                if req.fingerprint == fingerprint
+            ]
+            expected = [
+                req
+                for req in submitted
+                if req.fingerprint == fingerprint and req.deadline is None
+            ]
+            assert served == expected
+
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC, cap=st.integers(1, 4))
+    def test_policy_cap_bounds_batches_without_starving_anyone(
+        self, traffic, cap
+    ):
+        """A cap hook (the adaptive controller's per-pattern limit)
+        bounds every batch; vetoed riders still drain in FIFO order."""
+        queue, submitted = _submit_traffic(traffic)
+        batches, expired = _drain(queue, max_batch=8, cap=lambda head: cap)
+        for batch in batches:
+            assert len(batch) <= cap
+        served = [req for batch in batches for req in batch] + expired
+        assert len(served) == len(submitted)
+
+    @hyp_settings(max_examples=60, deadline=None)
+    @given(traffic=TRAFFIC)
+    def test_rider_veto_leaves_requests_queued_not_lost(self, traffic):
+        """A rider hook that rejects every ride-along degenerates the
+        queue to solo FIFO dispatch — nothing starves, order holds."""
+        queue, submitted = _submit_traffic(traffic)
+        batches, expired = _drain(
+            queue, max_batch=8, rider=lambda head, req, size: False
+        )
+        assert all(len(batch) == 1 for batch in batches)
+        live = [req for batch in batches for req in batch]
+        assert live == [r for r in submitted if r.deadline is None]
+        assert len(live) + len(expired) == len(submitted)
+
+    @hyp_settings(max_examples=30, deadline=None)
+    @given(traffic=TRAFFIC)
+    def test_coalesced_duplicates_answered_exactly_once(self, traffic):
+        """Each request's response slot publishes once even when the
+        worker answers a whole batch at a time."""
+        queue, submitted = _submit_traffic(traffic)
+        batches, expired = _drain(queue)
+        wins = 0
+        for batch in batches:
+            for req in batch:
+                wins += req.respond(200, {"status": "ok"})
+        for req in expired:
+            wins += req.respond(504, {"status": "timeout"})
+        # A second sweep over everything is a no-op.
+        for req in submitted:
+            assert not req.respond(500, {"status": "error"})
+        assert wins == len(submitted)
+
+
+class TestDispatchWindow:
+    def test_window_gathers_late_arrivals_into_one_batch(self):
+        queue = RequestQueue(maxsize=8)
+        queue.submit(_request("A"))
+        got: list = []
+        consumer = threading.Thread(
+            target=lambda: got.append(
+                queue.next_batch(
+                    max_batch=4, timeout=1.0, window=lambda head: 0.5
+                )
+            )
+        )
+        consumer.start()
+        time.sleep(0.05)  # consumer now holds the window open
+        for _ in range(3):
+            queue.submit(_request("A"))
+        consumer.join(timeout=2.0)
+        assert not consumer.is_alive()
+        assert [r.fingerprint for r in got[0]] == ["A"] * 4
+
+    def test_window_closes_at_the_effective_cap_not_max_batch(self):
+        """A policy cap below max_batch must close the window: riders
+        past the cap can never join, so holding longer buys nothing."""
+        queue = RequestQueue(maxsize=8)
+        for _ in range(4):
+            queue.submit(_request("A"))
+        t0 = time.monotonic()
+        batch = queue.next_batch(
+            max_batch=8,
+            timeout=1.0,
+            window=lambda head: 5.0,
+            cap=lambda head: 4,
+        )
+        assert len(batch) == 4
+        assert time.monotonic() - t0 < 1.0  # no pointless 5 s stall
+
+    def test_gathering_pattern_is_skipped_by_other_consumers(self):
+        """While one consumer holds a window open for pattern A, a
+        second consumer picks pattern B instead of splitting A."""
+        queue = RequestQueue(maxsize=8)
+        queue.submit(_request("A"))
+        first: list = []
+        gatherer = threading.Thread(
+            target=lambda: first.append(
+                queue.next_batch(
+                    max_batch=4, timeout=2.0, window=lambda head: 0.4
+                )
+            )
+        )
+        gatherer.start()
+        time.sleep(0.05)
+        queue.submit(_request("A"))  # should join the gatherer's batch
+        queue.submit(_request("B"))
+        second = queue.next_batch(max_batch=4, timeout=1.0)
+        assert [r.fingerprint for r in second] == ["B"]
+        gatherer.join(timeout=2.0)
+        assert not gatherer.is_alive()
+        assert [r.fingerprint for r in first[0]] == ["A", "A"]

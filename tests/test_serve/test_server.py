@@ -14,9 +14,17 @@ import threading
 import numpy as np
 import pytest
 
-from repro.problems import portfolio_problem
+from repro.problems import (
+    huber_problem,
+    lasso_problem,
+    mpc_problem,
+    portfolio_problem,
+    svm_problem,
+)
 from repro.serve import ServeClient, ServeServer
 from repro.solver import Settings, solve as host_solve
+
+pytestmark = pytest.mark.serve_e2e
 
 FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
 
@@ -102,10 +110,42 @@ class TestObservability:
     def test_metrics_snapshot_shape(self, client):
         metrics = client.metrics()
         assert set(metrics) == {
-            "counters", "latency", "batch_sizes", "pool_hit_rate"
+            "counters", "latency", "batch_sizes", "pool_hit_rate",
+            "controller",
         }
+        assert metrics["controller"]["policy"] in ("adaptive", "greedy", "off")
         assert metrics["counters"]["responses_ok"] >= 1
         assert metrics["latency"]["total"]["count"] >= 1
+
+
+class TestFiveDomainSmoke:
+    """Every benchmark domain round-trips ``POST /v1/solve`` — huber
+    included, which had no serve-tier coverage before this suite."""
+
+    def test_all_five_domains_round_trip(self):
+        problems = {
+            "lasso": lasso_problem(6, n_samples=16, seed=0),
+            "mpc": mpc_problem(2, horizon=3, seed=0),
+            "portfolio": portfolio_problem(8, seed=0),
+            "svm": svm_problem(4, n_samples=12, seed=0),
+            "huber": huber_problem(4, n_samples=10, seed=0),
+        }
+        with ServeServer(
+            port=0, workers=2, c=8, settings=FAST, capacity=len(problems)
+        ) as server:
+            client = ServeClient(port=server.port)
+            fingerprints = set()
+            for name, problem in problems.items():
+                response = client.solve(problem, timeout_s=120.0)
+                assert response.ok and response.solved, (name, response.raw)
+                fingerprints.add(response.fingerprint)
+                reference = host_solve(problem, settings=FAST)
+                assert response.result.objective == pytest.approx(
+                    reference.objective, rel=1e-4, abs=1e-6
+                ), name
+            # Five distinct patterns, each resident after its solve.
+            assert len(fingerprints) == len(problems)
+            assert len(server.pool.fingerprints()) == len(problems)
 
 
 class TestDeadlinesAndBackpressure:
