@@ -33,12 +33,8 @@ Runnable two ways:
 
 from __future__ import annotations
 
-import json
 import sys
 import time
-from pathlib import Path
-
-import numpy as np
 
 from repro.backends import MIBSolver
 from repro.problems import (
@@ -49,9 +45,8 @@ from repro.problems import (
 )
 from repro.solver import QPProblem, Settings
 
-from benchmarks.common import RESULTS_DIR
+from benchmarks.common import perturbed, print_check_failures, write_json
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 C = 8
 ITERS = 16          # fixed lockstep depth: identical arithmetic per B
 GATE_BATCH = 16     # the width the CI gate prices
@@ -80,15 +75,6 @@ PATTERNS = {
 
 FULL_SWEEP = (1, 4, 16, 64)
 QUICK_SWEEP = (1, GATE_BATCH)
-
-
-def perturbed(base: QPProblem, seed: int, scale: float = 0.05) -> QPProblem:
-    """A fresh numeric instance of ``base``'s pattern (MPC-style)."""
-    rng = np.random.default_rng(seed)
-    q = base.q * (1.0 + scale * rng.standard_normal(base.n))
-    return QPProblem(
-        p=base.p, q=q, a=base.a, l=base.l, u=base.u, name=base.name
-    )
 
 
 def _time_batch(
@@ -185,13 +171,6 @@ def run_benchmark(*, quick: bool = False) -> dict:
     }
 
 
-def write_results(doc: dict) -> None:
-    payload = json.dumps(doc, indent=2, sort_keys=True)
-    (REPO_ROOT / "BENCH_batch.json").write_text(payload + "\n")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_batch.json").write_text(payload + "\n")
-
-
 def check(doc: dict) -> list[str]:
     """CI gate: batching must amortize and must not change the math."""
     failures = []
@@ -219,13 +198,13 @@ def check(doc: dict) -> list[str]:
 def test_batch_throughput_gate():
     """Harness entry point (pytest benchmarks/bench_batch.py)."""
     doc = run_benchmark(quick=True)
-    write_results(doc)
+    write_json("BENCH_batch.json", doc)
     assert not check(doc)
 
 
 def main(argv: list[str]) -> int:
     doc = run_benchmark(quick="--quick" in argv)
-    write_results(doc)
+    write_json("BENCH_batch.json", doc)
     for name, d in doc["domains"].items():
         per_b = " | ".join(
             f"B={b['lanes']}: {b['agg_iters_per_s']:.0f} it/s"
@@ -242,10 +221,7 @@ def main(argv: list[str]) -> int:
         f"{'pass' if gate['pass'] else 'FAIL'}"
     )
     if "--check" in argv:
-        failures = check(doc)
-        for failure in failures:
-            print(f"CHECK FAILED: {failure}", file=sys.stderr)
-        return 1 if failures else 0
+        return print_check_failures(check(doc))
     return 0
 
 

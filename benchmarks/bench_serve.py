@@ -37,11 +37,9 @@ Runnable two ways:
 
 from __future__ import annotations
 
-import json
 import sys
 import threading
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -55,9 +53,13 @@ from repro.problems import (
 from repro.serve import ServeClient, ServeServer
 from repro.solver import QPProblem, Settings
 
-from benchmarks.common import RESULTS_DIR
+from benchmarks.common import (
+    percentiles,
+    perturbed,
+    print_check_failures,
+    write_json,
+)
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 C = 8
 WARM_REQUESTS_PER_PATTERN = 12
 BATCH_BURST = 16  # concurrent same-pattern requests per burst
@@ -88,31 +90,6 @@ PATTERNS = {
 }
 
 POLICY_PHASES = ("off", "greedy", "adaptive")
-
-
-def perturbed(base: QPProblem, seed: int, scale: float = 0.05) -> QPProblem:
-    """A fresh numeric instance of ``base``'s pattern (MPC-style).
-
-    Perturbs the linear objective multiplicatively — the parametric
-    update of tracking problems: constraints and curvature persist,
-    the target moves every request.  Feasibility is untouched.
-    """
-    rng = np.random.default_rng(seed)
-    q = base.q * (1.0 + scale * rng.standard_normal(base.n))
-    return QPProblem(
-        p=base.p, q=q, a=base.a, l=base.l, u=base.u, name=base.name
-    )
-
-
-def _percentiles(latencies: list[float]) -> dict:
-    arr = np.asarray(latencies)
-    return {
-        "count": len(latencies),
-        "p50_s": float(np.percentile(arr, 50)),
-        "p95_s": float(np.percentile(arr, 95)),
-        "p99_s": float(np.percentile(arr, 99)),
-        "mean_s": float(arr.mean()),
-    }
 
 
 def _closed_loop(client: ServeClient, requests) -> tuple[list[float], int]:
@@ -301,8 +278,8 @@ def run_benchmark(
 
     policy = run_policy_comparison(batch_burst)
 
-    cold = _percentiles(cold_latencies)
-    warm = _percentiles(warm_latencies)
+    cold = percentiles(cold_latencies)
+    warm = percentiles(warm_latencies)
     counters = metrics["counters"]
     return {
         "benchmark": "serve_closed_loop_latency",
@@ -327,13 +304,6 @@ def run_benchmark(
         "pool_hit_rate": metrics["pool_hit_rate"],
         "server_latency": metrics["latency"],
     }
-
-
-def write_results(doc: dict) -> None:
-    payload = json.dumps(doc, indent=2, sort_keys=True)
-    (REPO_ROOT / "BENCH_serve.json").write_text(payload + "\n")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serve.json").write_text(payload + "\n")
 
 
 def check(doc: dict) -> list[str]:
@@ -388,7 +358,7 @@ def check_policy(policy: dict) -> list[str]:
 def test_serve_latency_split():
     """Harness entry point (pytest benchmarks/bench_serve.py)."""
     doc = run_benchmark(warm_per_pattern=4, batch_burst=8)
-    write_results(doc)
+    write_json("BENCH_serve.json", doc)
     assert not check(doc)
 
 
@@ -424,13 +394,10 @@ def main(argv: list[str]) -> int:
         policy = run_policy_comparison()
         _print_policy(policy)
         if "--check" in argv:
-            failures = check_policy(policy)
-            for failure in failures:
-                print(f"CHECK FAILED: {failure}", file=sys.stderr)
-            return 1 if failures else 0
+            return print_check_failures(check_policy(policy))
         return 0
     doc = run_benchmark()
-    write_results(doc)
+    write_json("BENCH_serve.json", doc)
     print(
         f"cold p50 {doc['cold']['p50_s'] * 1e3:.1f} ms | "
         f"warm p50 {doc['warm']['p50_s'] * 1e3:.1f} ms | "
@@ -439,10 +406,7 @@ def main(argv: list[str]) -> int:
     )
     _print_policy(doc["policy"])
     if "--check" in argv:
-        failures = check(doc)
-        for failure in failures:
-            print(f"CHECK FAILED: {failure}", file=sys.stderr)
-        return 1 if failures else 0
+        return print_check_failures(check(doc))
     return 0
 
 

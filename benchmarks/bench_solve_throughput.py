@@ -1,45 +1,67 @@
-"""ADMM iteration-loop throughput: interpretive vs trace replay.
+"""ADMM iteration-loop throughput: interpret vs replay vs fused.
 
-The motivating profile for trace compilation: a fully network-executed
-solve spends essentially all of its wall time inside the per-iteration
-kernel loop of :meth:`MIBSolver.solve_on_network`, interpreted one
-``NetOp`` at a time.  This benchmark times that loop under both
-execution modes on representative suite entries, verifies the replay
-results are bit-identical to the oracle, and writes ``BENCH_solve.json``
-(repo root + ``benchmarks/results/``).
+The motivating profile for trace compilation and whole-iteration
+fusion: a fully network-executed solve spends essentially all of its
+wall time inside the per-iteration kernel loop of
+:meth:`MIBSolver.solve_on_network`.  This benchmark times that loop
+under all three execution modes on one representative of each of the
+five problem domains, verifies replay and fused results are
+bit-identical to the interpretive oracle, and writes
+``BENCH_solve.json`` (repo root + ``benchmarks/results/``).
 
 Runnable two ways:
 
 * ``pytest benchmarks/bench_solve_throughput.py`` — harness run;
 * ``python benchmarks/bench_solve_throughput.py [--check]`` — CI
-  perf-smoke entry point; ``--check`` exits non-zero if replay is not
-  faster than the interpreter anywhere (or results diverge).
+  perf-smoke entry point; ``--check`` exits non-zero unless replay
+  beats the interpreter everywhere, fused replays at least
+  ``FUSED_GATE``x fewer seconds/iteration than per-kernel replay on at
+  least ``FUSED_GATE_DOMAINS`` of the five domains, and all three
+  modes agree bit for bit on every domain.
 
-The per-iteration cost is isolated as ``(t(N iters) - t(1 iter)) /
-(N - 1)``: the one-time factorization, data load and final residual
-check cancel in the difference, leaving exactly the ADMM loop.
+Timing protocol (see :func:`benchmarks.common.seconds_per_iteration`):
+fixed-length runs with checks deferred past the horizon, per-iteration
+cost isolated as ``(t(N) - t(1)) / (N - 1)``, endpoints min-of-repeats
+and interleaved across modes.  The replay/fused loops cost hundreds of
+*micro*seconds per iteration, so they are timed over long runs; the
+interpreter costs three orders of magnitude more and gets a short one.
 """
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from pathlib import Path
 
 from repro.backends.mib import MIBSolver
-from repro.problems import lasso_problem, mpc_problem
+from repro.problems import (
+    huber_problem,
+    lasso_problem,
+    mpc_problem,
+    portfolio_problem,
+    svm_problem,
+)
 from repro.solver import Settings
 
-from benchmarks.common import RESULTS_DIR
+from benchmarks.common import (
+    print_check_failures,
+    seconds_per_iteration,
+    write_json,
+)
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 C = 8
-TIMED_ITERS = 12
+FUSED_GATE = 1.5    # fused must beat replay sec/iter by this factor...
+FUSED_GATE_DOMAINS = 3  # ...on at least this many of the 5 domains
+
+# (timed iterations, min-of repeats) per mode: the differential
+# estimator needs long runs where per-iteration cost is micro-scale.
+MODE_PLAN = {
+    "interpret": (12, 3),
+    "replay": (400, 7),
+    "fused": (400, 7),
+}
 
 # Fixed-length runs: residual checks deferred past the horizon, no rho
 # adaptation, tolerances far below reach — every run executes exactly
-# max_iter iterations of exactly the same three kernels.
+# max_iter iterations of exactly the same kernels.
 BENCH_SETTINGS = Settings(
     max_iter=4000,
     check_interval=10_000,
@@ -49,9 +71,17 @@ BENCH_SETTINGS = Settings(
 )
 
 DOMAINS = {
-    "lasso": lambda: lasso_problem(6, seed=7),
+    "lasso": lambda: lasso_problem(8, seed=7),
     "mpc": lambda: mpc_problem(3, horizon=4, seed=7),
+    "portfolio": lambda: portfolio_problem(10, seed=7),
+    "svm": lambda: svm_problem(5, n_samples=15, seed=7),
+    "huber": lambda: huber_problem(8, n_samples=20, seed=7),
 }
+
+# Bit-identity runs use realistic solver behaviour (termination checks,
+# rho adaptation) so the fused path is exercised through residual
+# checks and mid-solve refactorizations, not just the steady loop.
+VERIFY_SETTINGS = Settings(max_iter=500, check_interval=25)
 
 
 def _report_key(r):
@@ -67,100 +97,155 @@ def _report_key(r):
     )
 
 
-def _time_solve(solver, max_iter: int):
-    t0 = time.perf_counter()
-    report = solver.solve_on_network(max_iter=max_iter)
-    return time.perf_counter() - t0, report
-
-
-def bench_domain(name: str, timed_iters: int = TIMED_ITERS) -> dict:
+def bench_domain(name: str, plan: dict[str, tuple[int, int]]) -> dict:
     problem = DOMAINS[name]()
     row: dict = {"n": problem.n, "m": problem.m, "nnz": problem.nnz}
-    reports = {}
-    for mode in ("interpret", "replay"):
+
+    keys = {}
+    for mode in plan:
         solver = MIBSolver(
             problem, variant="direct", c=C,
-            settings=BENCH_SETTINGS, execution=mode,
+            settings=VERIFY_SETTINGS, execution=mode,
         )
-        # Warm-up: trace compilation (replay) and allocator/cache
-        # effects (both modes) stay out of the timed runs.
-        solver.solve_on_network(max_iter=1)
-        t_one, _ = _time_solve(solver, 1)
-        t_many, reports[mode] = _time_solve(solver, timed_iters)
-        per_iter = max((t_many - t_one) / (timed_iters - 1), 1e-12)
+        keys[mode] = _report_key(solver.solve_on_network())
+    oracle = keys.get("interpret", keys["replay"])
+    bit_identical = all(k == oracle for k in keys.values())
+
+    # One timing group per (iters, repeats) flavour; modes sharing a
+    # flavour are interleaved against each other.
+    per_iter: dict[str, float] = {}
+    for timed_iters, repeats in sorted(set(plan.values())):
+        solvers = {}
+        for mode, (ti, rep) in plan.items():
+            if (ti, rep) != (timed_iters, repeats):
+                continue
+            solver = MIBSolver(
+                problem, variant="direct", c=C,
+                settings=BENCH_SETTINGS, execution=mode,
+            )
+            # Warm-up: trace compilation/fusion and allocator effects
+            # stay out of the timed runs.
+            solver.solve_on_network(max_iter=1)
+            solvers[mode] = solver
+        per_iter.update(
+            seconds_per_iteration(
+                solvers, timed_iters=timed_iters, repeats=repeats
+            )
+        )
+
+    for mode, cost in per_iter.items():
         row[mode] = {
-            "solve_seconds": t_many,
-            "seconds_per_iteration": per_iter,
-            "iterations_per_second": 1.0 / per_iter,
+            "seconds_per_iteration": cost,
+            "iterations_per_second": 1.0 / cost,
         }
-    row["speedup"] = (
-        row["interpret"]["seconds_per_iteration"]
-        / row["replay"]["seconds_per_iteration"]
-    )
-    row["bit_identical"] = _report_key(reports["interpret"]) == _report_key(
-        reports["replay"]
-    )
+    if "interpret" in per_iter:
+        row["speedup"] = per_iter["interpret"] / per_iter["replay"]
+    row["fused_speedup"] = per_iter["replay"] / per_iter["fused"]
+    row["bit_identical"] = bit_identical
     return row
 
 
-def run_benchmark(timed_iters: int = TIMED_ITERS) -> dict:
-    domains = {name: bench_domain(name, timed_iters) for name in DOMAINS}
-    return {
+def run_benchmark(plan: dict[str, tuple[int, int]] | None = None) -> dict:
+    plan = dict(MODE_PLAN) if plan is None else plan
+    domains = {name: bench_domain(name, plan) for name in DOMAINS}
+    fused_passing = sum(
+        1 for d in domains.values() if d["fused_speedup"] >= FUSED_GATE
+    )
+    doc = {
         "benchmark": "admm_iteration_loop_throughput",
         "c": C,
         "variant": "direct",
-        "timed_iterations": timed_iters,
+        "modes": list(plan),
         "domains": domains,
-        "min_speedup": min(d["speedup"] for d in domains.values()),
         "all_bit_identical": all(
             d["bit_identical"] for d in domains.values()
         ),
+        "fused_gate": {
+            "threshold": FUSED_GATE,
+            "min_domains": FUSED_GATE_DOMAINS,
+            "domains_passing": fused_passing,
+            "pass": fused_passing >= FUSED_GATE_DOMAINS,
+        },
     }
+    if all("speedup" in d for d in domains.values()):
+        doc["min_speedup"] = min(d["speedup"] for d in domains.values())
+    return doc
 
 
-def write_results(results: dict) -> Path:
-    payload = json.dumps(results, indent=2) + "\n"
-    out = REPO_ROOT / "BENCH_solve.json"
-    out.write_text(payload)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_solve.json").write_text(payload)
-    return out
-
-
-def _print_summary(results: dict) -> None:
-    for name, d in results["domains"].items():
-        print(
-            f"{name:>8}: interpret {d['interpret']['iterations_per_second']:8.2f} it/s"
-            f" | replay {d['replay']['iterations_per_second']:8.2f} it/s"
-            f" | speedup {d['speedup']:6.1f}x"
-            f" | bit-identical: {d['bit_identical']}"
+def check(doc: dict) -> list[str]:
+    """CI gate: compiled execution must pay for itself and must not
+    change the math."""
+    failures = []
+    if not doc["all_bit_identical"]:
+        bad = [
+            name
+            for name, d in doc["domains"].items()
+            if not d["bit_identical"]
+        ]
+        failures.append(f"execution modes diverge bitwise on: {bad}")
+    if "min_speedup" in doc and doc["min_speedup"] <= 1.0:
+        failures.append(
+            "replay slower than interpretive execution "
+            f"(min speedup {doc['min_speedup']:.2f}x)"
         )
-    print(f"min speedup: {results['min_speedup']:.1f}x")
+    gate = doc["fused_gate"]
+    if not gate["pass"]:
+        slow = {
+            name: f"{d['fused_speedup']:.2f}x"
+            for name, d in doc["domains"].items()
+            if d["fused_speedup"] < gate["threshold"]
+        }
+        failures.append(
+            f"fused must reach {gate['threshold']}x replay sec/iter on "
+            f">= {gate['min_domains']} of {len(doc['domains'])} domains, "
+            f"got {gate['domains_passing']}; below gate: {slow}"
+        )
+    return failures
 
 
-def test_replay_throughput():
-    """Harness entry: replay must beat the interpreter and agree
-    bit for bit on every domain."""
-    results = run_benchmark()
-    write_results(results)
-    _print_summary(results)
-    assert results["all_bit_identical"]
-    assert results["min_speedup"] > 1.0
+def _print_summary(doc: dict) -> None:
+    for name, d in doc["domains"].items():
+        cols = [f"{name:>10}:"]
+        for mode in doc["modes"]:
+            cols.append(
+                f"{mode} {d[mode]['iterations_per_second']:9.0f} it/s"
+            )
+        if "speedup" in d:
+            cols.append(f"replay {d['speedup']:6.1f}x")
+        cols.append(f"fused {d['fused_speedup']:5.2f}x")
+        cols.append(f"bit-identical: {d['bit_identical']}")
+        print(" | ".join(cols))
+    gate = doc["fused_gate"]
+    print(
+        f"fused gate: {gate['domains_passing']}/{len(doc['domains'])} "
+        f"domains >= {gate['threshold']}x -> "
+        f"{'pass' if gate['pass'] else 'FAIL'}"
+    )
+
+
+def test_solve_throughput():
+    """Harness entry: quick plan (short runs), same gates."""
+    plan = {
+        "interpret": (8, 2),
+        "replay": (120, 3),
+        "fused": (120, 3),
+    }
+    doc = run_benchmark(plan)
+    write_json("BENCH_solve.json", doc, sort_keys=False)
+    _print_summary(doc)
+    assert doc["all_bit_identical"]
+    assert doc["min_speedup"] > 1.0
 
 
 def main(argv: list[str]) -> int:
-    check = "--check" in argv
-    results = run_benchmark()
-    write_results(results)
-    _print_summary(results)
-    if check:
-        if not results["all_bit_identical"]:
-            print("FAIL: replay diverged from the interpretive oracle")
-            return 1
-        if results["min_speedup"] <= 1.0:
-            print("FAIL: replay slower than interpretive execution")
-            return 1
-        print("perf-smoke OK")
+    doc = run_benchmark()
+    write_json("BENCH_solve.json", doc, sort_keys=False)
+    _print_summary(doc)
+    if "--check" in argv:
+        failures = check(doc)
+        if not failures:
+            print("perf-smoke OK")
+        return print_check_failures(failures)
     return 0
 
 

@@ -1,14 +1,23 @@
 """Shared helpers for the benchmark harness (see conftest.py for the
-session fixtures that feed most benchmarks)."""
+session fixtures that feed most benchmarks): result emission, the
+JSON writers, percentile summaries, the MPC-style value perturbation
+and the robust fixed-iteration timing protocol used by the perf-smoke
+entry points."""
 
 from __future__ import annotations
 
+import json
 import os
+import sys
+import time
 from pathlib import Path
 
-from repro.solver import Settings
+import numpy as np
+
+from repro.solver import QPProblem, Settings
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Benchmark-harness solver settings: the paper's default tolerances.
 BENCH_SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
@@ -50,3 +59,85 @@ def emit(name: str, text: str) -> None:
     print(text)
     path = write_result(name, text)
     print(f"[saved to {path}]")
+
+
+def write_json(name: str, doc: dict, *, sort_keys: bool = True) -> Path:
+    """Persist a benchmark document to the repo root *and*
+    ``benchmarks/results/`` (the convention every ``BENCH_*.json``
+    artifact follows)."""
+    payload = json.dumps(doc, indent=2, sort_keys=sort_keys) + "\n"
+    out = REPO_ROOT / name
+    out.write_text(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(payload)
+    return out
+
+
+def print_check_failures(failures: list[str]) -> int:
+    """Report CI-gate failures to stderr; returns the exit code."""
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def percentiles(latencies: list[float]) -> dict:
+    """p50/p95/p99/mean summary of a latency sample."""
+    arr = np.asarray(latencies)
+    return {
+        "count": len(latencies),
+        "p50_s": float(np.percentile(arr, 50)),
+        "p95_s": float(np.percentile(arr, 95)),
+        "p99_s": float(np.percentile(arr, 99)),
+        "mean_s": float(arr.mean()),
+    }
+
+
+def perturbed(base: QPProblem, seed: int, scale: float = 0.05) -> QPProblem:
+    """A fresh numeric instance of ``base``'s pattern (MPC-style).
+
+    Perturbs the linear objective multiplicatively — the parametric
+    update of tracking problems: constraints and curvature persist,
+    the target moves every request.  Feasibility is untouched.
+    """
+    rng = np.random.default_rng(seed)
+    q = base.q * (1.0 + scale * rng.standard_normal(base.n))
+    return QPProblem(
+        p=base.p, q=q, a=base.a, l=base.l, u=base.u, name=base.name
+    )
+
+
+def time_solve_iters(solver, max_iter: int) -> float:
+    """Wall seconds of one fixed-length ``solve_on_network`` run."""
+    t0 = time.perf_counter()
+    solver.solve_on_network(max_iter=max_iter)
+    return time.perf_counter() - t0
+
+
+def seconds_per_iteration(
+    solvers: dict[str, object],
+    *,
+    timed_iters: int,
+    repeats: int,
+) -> dict[str, float]:
+    """Robust per-iteration cost of each solver's ADMM loop.
+
+    Per solver the cost is isolated as ``(t(N) - t(1)) / (N - 1)`` —
+    the one-time factorization, data load and final residual check
+    cancel in the difference — with each endpoint taken as the minimum
+    over ``repeats`` runs, *interleaved across solvers* so slow drifts
+    of the host (frequency scaling, competing load) hit every
+    execution mode equally rather than whichever happened to run last.
+    """
+    t_one = {m: float("inf") for m in solvers}
+    t_many = {m: float("inf") for m in solvers}
+    for _ in range(repeats):
+        for mode, solver in solvers.items():
+            t_one[mode] = min(t_one[mode], time_solve_iters(solver, 1))
+        for mode, solver in solvers.items():
+            t_many[mode] = min(
+                t_many[mode], time_solve_iters(solver, timed_iters)
+            )
+    return {
+        m: max((t_many[m] - t_one[m]) / (timed_iters - 1), 1e-12)
+        for m in solvers
+    }

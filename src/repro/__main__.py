@@ -76,7 +76,11 @@ def cmd_solve(args) -> int:
         ]
     else:
         solver = MIBSolver(
-            problem, variant=args.variant, c=args.width, settings=settings
+            problem,
+            variant=args.variant,
+            c=args.width,
+            settings=settings,
+            execution=args.execution,
         )
         if args.backend == "network":
             net = solver.solve_on_network()
@@ -86,6 +90,7 @@ def cmd_solve(args) -> int:
                 ("objective", f"{net.objective:.6f}"),
                 ("executed cycles", net.cycles),
                 ("rho refactorizations", net.rho_updates),
+                (f"host crossings ({args.execution})", net.host_crossings),
                 ("device time", f"{net.cycles / solver.clock_hz * 1e6:.1f} us"),
             ]
         else:
@@ -192,6 +197,7 @@ def cmd_suite(args) -> int:
         settings=_settings(args),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        execution=args.execution,
         batch=args.batch,
     )
     wall = time.perf_counter() - t0
@@ -215,6 +221,14 @@ def cmd_suite(args) -> int:
                 f"{solo / amortized:.2f}x" if amortized > 0 else "n/a",
             ),
         ]
+    crossing_rows: list[tuple[str, object]] = []
+    if evaluations:
+        crossing_rows = [
+            (
+                f"host crossings / iteration ({args.execution}, suite total)",
+                f"{sum(ev.iteration_crossings for ev in evaluations):,}",
+            )
+        ]
     print()
     print(
         suite_summary_block(
@@ -227,7 +241,8 @@ def cmd_suite(args) -> int:
             cache_misses=(
                 len(evaluations) - cache_hits if args.cache_dir else None
             ),
-            extra_rows=batch_rows
+            extra_rows=crossing_rows
+            + batch_rows
             + (cache.stats.rows() if cache is not None else []),
         )
     )
@@ -251,6 +266,7 @@ def cmd_serve(args) -> int:
         settings=_settings(args),
         cache_dir=args.cache_dir,
         warm_start=args.warm_start,
+        execution=args.execution,
     )
     server.start()
     print(
@@ -303,6 +319,15 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--variant", choices=("direct", "indirect"), default="direct")
         p.add_argument("--width", type=int, default=16, help="network width C")
         p.add_argument("--eps", type=float, default=1e-3)
+        p.add_argument(
+            "--execution",
+            choices=("interpret", "replay", "fused"),
+            default="replay",
+            help="how simulator-executed kernels run: 'interpret' "
+            "(cycle-stepped oracle), 'replay' (per-kernel compiled "
+            "traces), 'fused' (one whole-iteration trace per ADMM "
+            "iteration; bit-identical, fewest host dispatches)",
+        )
 
     p = sub.add_parser("solve", help="solve one benchmark problem")
     add_problem_args(p)
@@ -403,6 +428,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--variant", choices=("direct", "indirect"), default="direct")
     p.add_argument("--width", type=int, default=16, help="network width C")
     p.add_argument("--eps", type=float, default=1e-3)
+    p.add_argument(
+        "--execution",
+        choices=("interpret", "replay", "fused"),
+        default="replay",
+        help="execution mode for every pooled solver (see 'solve')",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="architecture summary")

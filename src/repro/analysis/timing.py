@@ -100,6 +100,12 @@ class ProblemEvaluation:
     # ``solve_batch`` pass over ``batch`` lanes of this pattern.
     batch: int = field(default=1, compare=False)
     batch_solve_seconds: float = field(default=0.0, compare=False)
+    # Host-dispatch observability: how the simulator-executed kernels
+    # would run and what each iteration costs the host in numpy
+    # dispatches under that mode.  Crossings are overhead bookkeeping,
+    # not simulated time, so they never participate in equality.
+    execution: str = field(default="replay", compare=False)
+    iteration_crossings: int = field(default=0, compare=False)
 
     @property
     def batch_amortized_seconds(self) -> float:
@@ -152,8 +158,10 @@ def evaluate_problem(
     indirect variant).  With ``cache``, compilation is served from the
     pattern-keyed cache when possible; the evaluation records the
     compile/solve stage wall times and whether the cache hit.
-    ``execution`` selects how any simulator-executed kernels run
-    (``"replay"`` traces or the ``"interpret"`` oracle).
+    ``execution`` selects how any simulator-executed kernels run:
+    ``"replay"`` per-kernel traces, the ``"interpret"`` oracle, or
+    ``"fused"`` whole-iteration traces; the evaluation records the
+    mode and its per-iteration host→numpy crossing cost.
 
     ``batch > 1`` (direct variant only) additionally times one
     :meth:`~repro.backends.MIBSolver.solve_batch` pass over ``batch``
@@ -226,6 +234,8 @@ def evaluate_problem(
         cache_hit=mib.cache_hit,
         batch=batch if variant == "direct" else 1,
         batch_solve_seconds=batch_solve_seconds,
+        execution=execution,
+        iteration_crossings=mib.iteration_crossings(),
     )
 
 

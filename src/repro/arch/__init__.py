@@ -29,7 +29,26 @@ from .simulator import (
     op_occupancy,
 )
 from .topology import Butterfly, NodeMode, RoutingConflict
-from .trace import CompiledTrace, TracePhase, compile_trace, stamp_matches
+from .trace import (
+    CompiledTrace,
+    TracePhase,
+    compile_trace,
+    phase_crossings,
+    run_phases,
+    run_phases_batch,
+    stamp_matches,
+)
+from .fusion import (
+    FusedBatchRun,
+    FusedRun,
+    FusedSegment,
+    FusedTrace,
+    FusionError,
+    fuse_iteration,
+    fusion_stamp_matches,
+    plan_buffer_reuse,
+    verify_buffer_plan,
+)
 
 __all__ = [
     "AlveoU50",
@@ -40,7 +59,19 @@ __all__ = [
     "CompiledTrace",
     "TracePhase",
     "compile_trace",
+    "phase_crossings",
+    "run_phases",
+    "run_phases_batch",
     "stamp_matches",
+    "FusedBatchRun",
+    "FusedRun",
+    "FusedSegment",
+    "FusedTrace",
+    "FusionError",
+    "fuse_iteration",
+    "fusion_stamp_matches",
+    "plan_buffer_reuse",
+    "verify_buffer_plan",
     "ControlWord",
     "decode_modes",
     "encode_control",

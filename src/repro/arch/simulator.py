@@ -97,6 +97,14 @@ class SimulationStats:
     latency: int = 0
     issue_width_histogram: dict[int, int] = field(default_factory=dict)
     node_cycles_busy: int = 0
+    # Host→numpy crossing accounting (observability, not priced):
+    # how many host-level dispatches (vectorized numpy calls for a
+    # replay, per-op interpreter steps for the oracle) this execution
+    # performed, and how many trace phases it advanced through.
+    # Excluded from equality: execution modes are bit-identical in
+    # results and cycles while differing exactly here, by design.
+    host_crossings: int = field(default=0, compare=False)
+    phases_executed: int = field(default=0, compare=False)
 
     @property
     def mean_issue_width(self) -> float:
@@ -291,6 +299,10 @@ class NetworkSimulator:
             self.write_loc(w.loc, w.value, w.accumulate)
         stats.cycles = len(slots) + latency
         stats.latency = latency
+        # The oracle crosses the host boundary once per instruction
+        # (every op is a Python-level dispatch) and once per bundle.
+        stats.host_crossings = stats.instructions
+        stats.phases_executed = stats.bundles
         return stats
 
     def replay(

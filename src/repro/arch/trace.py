@@ -47,7 +47,15 @@ from .simulator import (
 )
 from .topology import Butterfly
 
-__all__ = ["CompiledTrace", "TracePhase", "compile_trace", "stamp_matches"]
+__all__ = [
+    "CompiledTrace",
+    "TracePhase",
+    "compile_trace",
+    "phase_crossings",
+    "run_phases",
+    "run_phases_batch",
+    "stamp_matches",
+]
 
 # Vectorized batch opcodes (first element of every batch tuple).
 _MAC = 0  # segmented sum:   out[j] = Σ coeff·state over segment j
@@ -82,6 +90,189 @@ class TracePhase:
     cr_scale: np.ndarray | None = None
 
 
+def run_phases(
+    phases: list[TracePhase],
+    coeff: np.ndarray,
+    state: np.ndarray,
+    values: np.ndarray,
+) -> None:
+    """Execute a phase list against 1-D coeff/state/values buffers.
+
+    The shared sequential replay core: :meth:`CompiledTrace.replay` and
+    the fused-iteration replay (:mod:`repro.arch.fusion`) both drive
+    their phase programs through this exact dispatch, so the two paths
+    cannot drift numerically.
+    """
+    for ph in phases:
+        if ph.cr_state is not None:
+            coeff[ph.cr_slot] = state[ph.cr_state] * ph.cr_scale
+        for batch in ph.batches:
+            code = batch[0]
+            if code == _MAC:
+                _, out, ridx, seg, cidx, n_out = batch
+                values[out] = np.bincount(
+                    seg, weights=coeff[cidx] * state[ridx], minlength=n_out
+                )
+            elif code == _SCATTER_MUL:
+                _, out, a, cidx = batch
+                values[out] = coeff[cidx] * state[a]
+            elif code == _COPY:
+                _, out, a = batch
+                values[out] = state[a]
+            elif code == _CONST:
+                _, out, cidx = batch
+                values[out] = coeff[cidx]
+            elif code == _RECIP:
+                _, out, a = batch
+                values[out] = 1.0 / state[a]
+            elif code == _SCALE:
+                _, out, a, s0 = batch
+                values[out] = s0 * state[a]
+            elif code == _STREAM_MUL:
+                _, out, a, cidx = batch
+                values[out] = state[a] * coeff[cidx]
+            elif code == _STREAM_AXPY:
+                _, out, a, cidx, s0 = batch
+                values[out] = state[a] + s0 * coeff[cidx]
+            elif code == _CLIP:
+                _, out, a, lo, hi = batch
+                values[out] = np.minimum(
+                    np.maximum(state[a], coeff[lo]), coeff[hi]
+                )
+            elif code == _ADD:
+                _, out, a, b = batch
+                values[out] = state[a] + state[b]
+            elif code == _SUB:
+                _, out, a, b = batch
+                values[out] = state[a] - state[b]
+            elif code == _MUL:
+                _, out, a, b = batch
+                values[out] = state[a] * state[b]
+            elif code == _AXPBY:
+                _, out, a, b, s0, s1 = batch
+                values[out] = s0 * state[a] + s1 * state[b]
+            elif code == _NEGMUL:
+                _, out, a, b = batch
+                values[out] = -state[a] * state[b]
+            else:  # _FACTOR_FIN
+                _, out1, out2, yi, di = batch
+                y = state[yi]
+                dinv = state[di]
+                values[out1] = y * dinv
+                values[out2] = -y * y * dinv
+        for acc, sids, vids, has_dups in ph.commits:
+            if acc:
+                if has_dups:
+                    np.add.at(state, sids, values[vids])
+                else:
+                    state[sids] += values[vids]
+            else:
+                state[sids] = values[vids]
+
+
+def run_phases_batch(
+    phases: list[TracePhase],
+    coeff: np.ndarray,
+    state: np.ndarray,
+    values: np.ndarray,
+    lane_segments,
+) -> None:
+    """Execute a phase list over a leading batch axis.
+
+    ``lane_segments(phase_i, batch_i, seg, n_out)`` supplies the
+    per-lane-offset MAC segment map (cached by the caller).  Per lane
+    the arithmetic is bit-identical to :func:`run_phases` on that
+    lane's row: element-wise batches broadcast the identical IEEE-754
+    operations row-wise, the MAC segmented sum offsets segment ids per
+    lane so ``np.bincount`` folds each lane's reads left in input
+    order, and duplicate accumulate-commits go through ``np.add.at``
+    whose unbuffered updates visit the row-major broadcast in order —
+    per lane, the 1-D commit order.
+    """
+    b = state.shape[0]
+    for pi, ph in enumerate(phases):
+        if ph.cr_state is not None:
+            coeff[:, ph.cr_slot] = state[:, ph.cr_state] * ph.cr_scale
+        for bi, batch in enumerate(ph.batches):
+            code = batch[0]
+            if code == _MAC:
+                _, out, ridx, seg, cidx, n_out = batch
+                lane_seg = lane_segments(pi, bi, seg, n_out)
+                values[:, out] = np.bincount(
+                    lane_seg,
+                    weights=(coeff[:, cidx] * state[:, ridx]).ravel(),
+                    minlength=b * n_out,
+                ).reshape(b, n_out)
+            elif code == _SCATTER_MUL:
+                _, out, a, cidx = batch
+                values[:, out] = coeff[:, cidx] * state[:, a]
+            elif code == _COPY:
+                _, out, a = batch
+                values[:, out] = state[:, a]
+            elif code == _CONST:
+                _, out, cidx = batch
+                values[:, out] = coeff[:, cidx]
+            elif code == _RECIP:
+                _, out, a = batch
+                values[:, out] = 1.0 / state[:, a]
+            elif code == _SCALE:
+                _, out, a, s0 = batch
+                values[:, out] = s0 * state[:, a]
+            elif code == _STREAM_MUL:
+                _, out, a, cidx = batch
+                values[:, out] = state[:, a] * coeff[:, cidx]
+            elif code == _STREAM_AXPY:
+                _, out, a, cidx, s0 = batch
+                values[:, out] = state[:, a] + s0 * coeff[:, cidx]
+            elif code == _CLIP:
+                _, out, a, lo, hi = batch
+                values[:, out] = np.minimum(
+                    np.maximum(state[:, a], coeff[:, lo]), coeff[:, hi]
+                )
+            elif code == _ADD:
+                _, out, a, b_ = batch
+                values[:, out] = state[:, a] + state[:, b_]
+            elif code == _SUB:
+                _, out, a, b_ = batch
+                values[:, out] = state[:, a] - state[:, b_]
+            elif code == _MUL:
+                _, out, a, b_ = batch
+                values[:, out] = state[:, a] * state[:, b_]
+            elif code == _AXPBY:
+                _, out, a, b_, s0, s1 = batch
+                values[:, out] = s0 * state[:, a] + s1 * state[:, b_]
+            elif code == _NEGMUL:
+                _, out, a, b_ = batch
+                values[:, out] = -state[:, a] * state[:, b_]
+            else:  # _FACTOR_FIN
+                _, out1, out2, yi, di = batch
+                y = state[:, yi]
+                dinv = state[:, di]
+                values[:, out1] = y * dinv
+                values[:, out2] = -y * y * dinv
+        for acc, sids, vids, has_dups in ph.commits:
+            if acc:
+                if has_dups:
+                    np.add.at(
+                        state, (slice(None), sids), values[:, vids]
+                    )
+                else:
+                    state[:, sids] += values[:, vids]
+            else:
+                state[:, sids] = values[:, vids]
+
+
+def phase_crossings(phases: list[TracePhase]) -> int:
+    """Host→numpy crossings of one pass over a phase list: one per
+    dynamic-coefficient fill, exec batch, and commit run."""
+    total = 0
+    for ph in phases:
+        if ph.cr_state is not None:
+            total += 1
+        total += len(ph.batches) + len(ph.commits)
+    return total
+
+
 @dataclass
 class CompiledTrace:
     """A schedule lowered to flat replayable numpy arrays."""
@@ -113,6 +304,26 @@ class CompiledTrace:
     # values between calls.  Replays of one trace are not re-entrant —
     # callers serialize per solver (the pool's per-entry lock).
     _scratch: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def crossings(self) -> int:
+        """Host→numpy crossings of one full replay: stream binds,
+        gathers, per-phase exec/commit dispatches, scatters.  Memoized
+        — the phase program is immutable and replay charges this every
+        call."""
+        n = self._scratch.get("crossings")
+        if n is None:
+            n = (
+                len(self.stream_plan)
+                + (1 if self.g_rf_state.size else 0)
+                + len(self.g_other)
+                + phase_crossings(self.phases)
+                + (1 if self.s_rf_state.size else 0)
+                + len(self.s_other)
+            )
+            self._scratch["crossings"] = n
+        return n
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:
@@ -210,71 +421,7 @@ class CompiledTrace:
         for loc, s in self.g_other:
             state[s] = sim.read_loc(loc)
 
-        for ph in self.phases:
-            if ph.cr_state is not None:
-                coeff[ph.cr_slot] = state[ph.cr_state] * ph.cr_scale
-            for batch in ph.batches:
-                code = batch[0]
-                if code == _MAC:
-                    _, out, ridx, seg, cidx, n_out = batch
-                    values[out] = np.bincount(
-                        seg, weights=coeff[cidx] * state[ridx], minlength=n_out
-                    )
-                elif code == _SCATTER_MUL:
-                    _, out, a, cidx = batch
-                    values[out] = coeff[cidx] * state[a]
-                elif code == _COPY:
-                    _, out, a = batch
-                    values[out] = state[a]
-                elif code == _CONST:
-                    _, out, cidx = batch
-                    values[out] = coeff[cidx]
-                elif code == _RECIP:
-                    _, out, a = batch
-                    values[out] = 1.0 / state[a]
-                elif code == _SCALE:
-                    _, out, a, s0 = batch
-                    values[out] = s0 * state[a]
-                elif code == _STREAM_MUL:
-                    _, out, a, cidx = batch
-                    values[out] = state[a] * coeff[cidx]
-                elif code == _STREAM_AXPY:
-                    _, out, a, cidx, s0 = batch
-                    values[out] = state[a] + s0 * coeff[cidx]
-                elif code == _CLIP:
-                    _, out, a, lo, hi = batch
-                    values[out] = np.minimum(
-                        np.maximum(state[a], coeff[lo]), coeff[hi]
-                    )
-                elif code == _ADD:
-                    _, out, a, b = batch
-                    values[out] = state[a] + state[b]
-                elif code == _SUB:
-                    _, out, a, b = batch
-                    values[out] = state[a] - state[b]
-                elif code == _MUL:
-                    _, out, a, b = batch
-                    values[out] = state[a] * state[b]
-                elif code == _AXPBY:
-                    _, out, a, b, s0, s1 = batch
-                    values[out] = s0 * state[a] + s1 * state[b]
-                elif code == _NEGMUL:
-                    _, out, a, b = batch
-                    values[out] = -state[a] * state[b]
-                else:  # _FACTOR_FIN
-                    _, out1, out2, yi, di = batch
-                    y = state[yi]
-                    dinv = state[di]
-                    values[out1] = y * dinv
-                    values[out2] = -y * y * dinv
-            for acc, sids, vids, has_dups in ph.commits:
-                if acc:
-                    if has_dups:
-                        np.add.at(state, sids, values[vids])
-                    else:
-                        state[sids] += values[vids]
-                else:
-                    state[sids] = values[vids]
+        run_phases(self.phases, coeff, state, values)
 
         if self.s_rf_state.size:
             flat[self.s_rf_flat] = state[self.s_rf_state]
@@ -292,6 +439,8 @@ class CompiledTrace:
         sim.hbm.record_write(self.hbm_words_written)
 
         out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
+        out.host_crossings = self.crossings
+        out.phases_executed = len(self.phases)
         if collect_stats:
             out.instructions = self.stats.instructions
             out.bundles = self.stats.bundles
@@ -340,76 +489,15 @@ class CompiledTrace:
         for loc, s in self.g_other:
             state[:, s] = ctx.read_loc(loc)
 
-        for pi, ph in enumerate(self.phases):
-            if ph.cr_state is not None:
-                coeff[:, ph.cr_slot] = state[:, ph.cr_state] * ph.cr_scale
-            for bi, batch in enumerate(ph.batches):
-                code = batch[0]
-                if code == _MAC:
-                    _, out, ridx, seg, cidx, n_out = batch
-                    lane_seg = self._lane_segments(b, pi, bi, seg, n_out)
-                    values[:, out] = np.bincount(
-                        lane_seg,
-                        weights=(coeff[:, cidx] * state[:, ridx]).ravel(),
-                        minlength=b * n_out,
-                    ).reshape(b, n_out)
-                elif code == _SCATTER_MUL:
-                    _, out, a, cidx = batch
-                    values[:, out] = coeff[:, cidx] * state[:, a]
-                elif code == _COPY:
-                    _, out, a = batch
-                    values[:, out] = state[:, a]
-                elif code == _CONST:
-                    _, out, cidx = batch
-                    values[:, out] = coeff[:, cidx]
-                elif code == _RECIP:
-                    _, out, a = batch
-                    values[:, out] = 1.0 / state[:, a]
-                elif code == _SCALE:
-                    _, out, a, s0 = batch
-                    values[:, out] = s0 * state[:, a]
-                elif code == _STREAM_MUL:
-                    _, out, a, cidx = batch
-                    values[:, out] = state[:, a] * coeff[:, cidx]
-                elif code == _STREAM_AXPY:
-                    _, out, a, cidx, s0 = batch
-                    values[:, out] = state[:, a] + s0 * coeff[:, cidx]
-                elif code == _CLIP:
-                    _, out, a, lo, hi = batch
-                    values[:, out] = np.minimum(
-                        np.maximum(state[:, a], coeff[:, lo]), coeff[:, hi]
-                    )
-                elif code == _ADD:
-                    _, out, a, b_ = batch
-                    values[:, out] = state[:, a] + state[:, b_]
-                elif code == _SUB:
-                    _, out, a, b_ = batch
-                    values[:, out] = state[:, a] - state[:, b_]
-                elif code == _MUL:
-                    _, out, a, b_ = batch
-                    values[:, out] = state[:, a] * state[:, b_]
-                elif code == _AXPBY:
-                    _, out, a, b_, s0, s1 = batch
-                    values[:, out] = s0 * state[:, a] + s1 * state[:, b_]
-                elif code == _NEGMUL:
-                    _, out, a, b_ = batch
-                    values[:, out] = -state[:, a] * state[:, b_]
-                else:  # _FACTOR_FIN
-                    _, out1, out2, yi, di = batch
-                    y = state[:, yi]
-                    dinv = state[:, di]
-                    values[:, out1] = y * dinv
-                    values[:, out2] = -y * y * dinv
-            for acc, sids, vids, has_dups in ph.commits:
-                if acc:
-                    if has_dups:
-                        np.add.at(
-                            state, (slice(None), sids), values[:, vids]
-                        )
-                    else:
-                        state[:, sids] += values[:, vids]
-                else:
-                    state[:, sids] = values[:, vids]
+        run_phases_batch(
+            self.phases,
+            coeff,
+            state,
+            values,
+            lambda pi, bi, seg, n_out: self._lane_segments(
+                b, pi, bi, seg, n_out
+            ),
+        )
 
         if self.s_rf_state.size:
             scols = ctx.columns((self.name, id(self), "s"), self.s_rf_flat)
@@ -419,6 +507,8 @@ class CompiledTrace:
         ctx.record_hbm(self.hbm_words_read, self.hbm_words_written)
 
         out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
+        out.host_crossings = self.crossings
+        out.phases_executed = len(self.phases)
         if collect_stats:
             out.instructions = self.stats.instructions
             out.bundles = self.stats.bundles

@@ -30,10 +30,15 @@ from ..arch import (
     BatchSimState,
     BatchStreamBuffers,
     CompiledTrace,
+    FusedBatchRun,
+    FusedRun,
+    FusedTrace,
     NetworkSimulator,
     SimulationStats,
     StreamBuffers,
     compile_trace,
+    fuse_iteration,
+    fusion_stamp_matches,
     stamp_matches,
 )
 from ..arch.resources import clock_frequency_hz
@@ -66,6 +71,8 @@ from ..solver.problem import OSQP_INFTY
 
 __all__ = [
     "BatchProgress",
+    "CHECK_KERNELS",
+    "ITERATION_KERNELS",
     "MIBSolver",
     "MIBSolveReport",
     "MIBNetworkSolveReport",
@@ -76,6 +83,13 @@ __all__ = [
 
 PCIE_BANDWIDTH = 8e9  # bytes/s host link (Gen3 x8 effective)
 PCIE_LATENCY = 10e-6  # per transfer
+
+# The ADMM loop body as data: the kernels one iteration executes, in
+# order, plus the residual products appended on check iterations.  The
+# iteration engines below and the fusion pass both consume this program
+# rather than hard-coding kernel names in control flow.
+ITERATION_KERNELS = ("iter_pre", "kkt_solve", "iter_post")
+CHECK_KERNELS = ("residuals",)
 
 
 @dataclass
@@ -119,6 +133,10 @@ class MIBNetworkSolveReport:
     # Batch path only: the lane was split out by a ``progress``
     # callback's bail-out decision rather than by ρ adaptation.
     bailed: bool = False
+    # Host→numpy crossings of the whole solve (observability, not
+    # priced in cycles).  Excluded from equality: execution modes are
+    # bit-identical in results and cycles while differing exactly here.
+    host_crossings: int = field(default=0, compare=False)
 
     @property
     def solved(self) -> bool:
@@ -249,6 +267,7 @@ class _LaneGroup:
         rho: np.ndarray,
         cycles: np.ndarray,
         rho_updates: np.ndarray,
+        crossings: np.ndarray | None = None,
         start_iteration: int = 0,
         solo: bool = False,
         needs_refactor: bool = True,
@@ -261,6 +280,11 @@ class _LaneGroup:
         self.rho = rho
         self.cycles = cycles
         self.rho_updates = rho_updates
+        self.crossings = (
+            crossings
+            if crossings is not None
+            else np.zeros(ids.size, dtype=np.int64)
+        )
         self.start_iteration = start_iteration
         self.solo = solo
         # Whether the group must run the factor kernel before its first
@@ -277,6 +301,7 @@ class _LaneGroup:
         self.rho = self.rho[keep]
         self.cycles = self.cycles[keep]
         self.rho_updates = self.rho_updates[keep]
+        self.crossings = self.crossings[keep]
         for name, arr in self.arrays.items():
             self.arrays[name] = arr[keep]
         self.ctx.compact(keep)
@@ -300,11 +325,159 @@ class _LaneGroup:
             rho=self.rho[row : row + 1].copy(),
             cycles=self.cycles[row : row + 1].copy(),
             rho_updates=self.rho_updates[row : row + 1].copy(),
+            crossings=self.crossings[row : row + 1].copy(),
             start_iteration=start_iteration,
             solo=True,
             needs_refactor=needs_refactor,
             bailed=bailed or self.bailed,
         )
+
+
+class _ReplayIterationEngine:
+    """Per-kernel iteration loop body for the sequential network solve.
+
+    Runs :data:`ITERATION_KERNELS` (plus :data:`CHECK_KERNELS` on check
+    iterations) one compiled kernel at a time through the solver's
+    configured ``replay``/``interpret`` dispatch.  State lives in the
+    simulator image at all times, so the flush/invalidate hooks of the
+    engine protocol are no-ops.
+    """
+
+    def __init__(
+        self, solver: "MIBSolver", sim: NetworkSimulator, streams
+    ) -> None:
+        self.solver = solver
+        self.sim = sim
+        self.streams = streams
+
+    def run(self, *, check: bool) -> SimulationStats:
+        total = SimulationStats()
+        names = ITERATION_KERNELS + (CHECK_KERNELS if check else ())
+        for name in names:
+            stats = self.solver._run_kernel(self.sim, name, self.streams)
+            total.cycles += stats.cycles
+            total.host_crossings += stats.host_crossings
+            total.phases_executed += stats.phases_executed
+        return total
+
+    def read_view(self, view) -> np.ndarray:
+        return self.sim.rf.read_vector(view)
+
+    def flush(self) -> None:
+        pass
+
+    def invalidate(self) -> None:
+        pass
+
+
+class _FusedIterationEngine:
+    """Whole-iteration loop body: one :class:`FusedTrace` replay per
+    iteration, with persistent fused state between iterations.
+
+    ``flush`` scatters the fused-written words back to the simulator
+    image (before a refactorization or any non-fused kernel touches
+    it); ``invalidate`` marks the fused state stale so the next replay
+    re-syncs from the image and the rebound streams.
+    """
+
+    def __init__(
+        self, solver: "MIBSolver", sim: NetworkSimulator, streams
+    ) -> None:
+        self.sim = sim
+        self.streams = streams
+        self.trace = solver._fused_trace(sim)
+        self._n_iter = self.trace.segment_index(ITERATION_KERNELS)
+        self.run_state = FusedRun(self.trace)
+
+    def run(self, *, check: bool) -> SimulationStats:
+        count = None if check else self._n_iter
+        return self.trace.replay_fused(
+            self.run_state, self.sim, self.streams, count
+        )
+
+    def read_view(self, view) -> np.ndarray:
+        if not self.run_state.valid:
+            # Invalidation always follows a flush, so the image is
+            # current whenever the fused state is not.
+            return self.sim.rf.read_vector(view)
+        return self.run_state.read_view(self.sim, view)
+
+    def flush(self) -> None:
+        if self.run_state.valid:
+            self.run_state.sync_out(self.sim)
+
+    def invalidate(self) -> None:
+        self.run_state.invalidate()
+
+
+class _ReplayBatchIterationEngine:
+    """Per-kernel batched loop body (replay/interpret-free: the batch
+    path always replays traces)."""
+
+    def __init__(
+        self, solver: "MIBSolver", sim: NetworkSimulator, g: _LaneGroup
+    ) -> None:
+        self.solver = solver
+        self.sim = sim
+        self.g = g
+
+    def run(self, *, check: bool) -> SimulationStats:
+        total = SimulationStats()
+        names = ITERATION_KERNELS + (CHECK_KERNELS if check else ())
+        for name in names:
+            stats = self.solver._trace(name, self.sim).replay_batch(
+                self.g.ctx, self.g.streams
+            )
+            total.cycles += stats.cycles
+            total.host_crossings += stats.host_crossings
+            total.phases_executed += stats.phases_executed
+        return total
+
+    def read_view(self, view) -> np.ndarray:
+        return self.g.ctx.read_vector(view)
+
+    def flush(self) -> None:
+        pass
+
+    def invalidate(self) -> None:
+        pass
+
+
+class _FusedBatchIterationEngine:
+    """Whole-iteration batched loop body over a
+    :class:`~repro.arch.batch.BatchSimState`.
+
+    The solver flushes before any lane surgery (harvest compaction,
+    solo extraction, refactorization) so the context is current, then
+    invalidates; the next replay re-syncs from the surgically updated
+    context at its new width.
+    """
+
+    def __init__(
+        self, solver: "MIBSolver", sim: NetworkSimulator, g: _LaneGroup
+    ) -> None:
+        self.g = g
+        self.trace = solver._fused_trace(sim)
+        self._n_iter = self.trace.segment_index(ITERATION_KERNELS)
+        self.run_state = FusedBatchRun(self.trace)
+
+    def run(self, *, check: bool) -> SimulationStats:
+        count = None if check else self._n_iter
+        return self.trace.replay_fused_batch(
+            self.run_state, self.g.ctx, self.g.streams, count
+        )
+
+    def read_view(self, view) -> np.ndarray:
+        if not self.run_state.valid:
+            return self.g.ctx.read_vector(view)
+        return self.run_state.read_view(self.g.ctx, view)
+
+    def flush(self) -> None:
+        if self.run_state.valid:
+            self.run_state.sync_out(self.g.ctx)
+
+    def invalidate(self) -> None:
+        self.run_state.invalidate()
 
 
 class MIBSolver:
@@ -335,8 +508,13 @@ class MIBSolver:
         default) validates each schedule once, lowers it to a
         :class:`~repro.arch.trace.CompiledTrace` and re-executes the
         vectorized trace on every invocation; ``"interpret"`` runs the
-        cycle-by-cycle oracle interpreter every time.  The two are
-        bit-identical; replay is the fast path for iterative solves.
+        cycle-by-cycle oracle interpreter every time; ``"fused"``
+        additionally lowers the whole ADMM iteration into one
+        :class:`~repro.arch.fusion.FusedTrace` so
+        :meth:`solve_on_network` and :meth:`solve_batch` replay an
+        entire iteration per host dispatch.  All three are
+        bit-identical; non-iteration kernels run as ``"replay"`` under
+        ``"fused"``.
     """
 
     # Super-pipelining model (paper future work): one extra register
@@ -363,9 +541,10 @@ class MIBSolver:
         cache: ScheduleCache | None = None,
         execution: str = "replay",
     ) -> None:
-        if execution not in ("replay", "interpret"):
+        if execution not in ("replay", "interpret", "fused"):
             raise ValueError(
-                f"execution must be 'replay' or 'interpret', got {execution!r}"
+                "execution must be 'replay', 'interpret' or 'fused', "
+                f"got {execution!r}"
             )
         self.problem = problem
         self.variant = variant
@@ -374,6 +553,9 @@ class MIBSolver:
         self._sim: NetworkSimulator | None = None
         self._traces: dict[str, CompiledTrace] = {}
         self._trace_stamps: dict[str, dict] = {}
+        self._fused: FusedTrace | None = None
+        self._fusion_stamps: dict[str, dict] = {}
+        self._stamps_dirty = False
         self._batch_maps_cache: _BatchMaps | None = None
         self.super_pipelined = super_pipelined
         self.clock_hz = clock_frequency_hz(c)
@@ -455,6 +637,7 @@ class MIBSolver:
                 )
         self.kernels.schedules.update(artifact.schedules)
         self._trace_stamps = dict(artifact.traces)
+        self._fusion_stamps = dict(artifact.fusion)
         sp = self.reference.scaling.scaled
         self._a_view = row_major_view(sp.a)
         self._p_view = row_major_view(sp.p_full)
@@ -474,6 +657,7 @@ class MIBSolver:
                 for v in self.builder.alloc.views()
             ],
             traces=dict(self._trace_stamps),
+            fusion=dict(self._fusion_stamps),
         )
 
     # ------------------------------------------------------------------
@@ -523,19 +707,100 @@ class MIBSolver:
             self._traces[name] = trace
             if not validated:
                 self._trace_stamps[name] = trace.summary()
-                if self.cache is not None and self.cache_key is not None:
-                    self.cache.put(
-                        self.cache_key, self._to_artifact(self.cache_key)
-                    )
+                self._stamps_dirty = True
         return trace
 
     def _run_kernel(
         self, sim: NetworkSimulator, name: str, streams: StreamBuffers
     ) -> SimulationStats:
-        """Execute one compiled kernel in the configured mode."""
+        """Execute one compiled kernel in the configured mode.
+
+        ``"fused"`` covers the iteration loop body only; standalone
+        kernel invocations (``factor``, the validation paths) run as
+        trace replays under it.
+        """
         if self.execution == "interpret":
             return sim.run(self.kernels.schedules[name].slots, streams)
         return self._trace(name, sim).replay(sim, streams)
+
+    def _fused_trace(self, sim: NetworkSimulator) -> FusedTrace:
+        """The whole-iteration fused trace (fuse on first use).
+
+        A cached fusion stamp (restored with the artifact) proves this
+        exact kernel set already produced a verified buffer-reuse plan
+        for this configuration, so a warm solver re-fuses with the
+        overlap verification skipped.  Like kernel traces, values never
+        invalidate a fusion: streams rebind at sync-in.
+        """
+        fused = self._fused
+        if fused is None:
+            names = ITERATION_KERNELS + CHECK_KERNELS
+            traces = [self._trace(n, sim) for n in names]
+            verified = fusion_stamp_matches(
+                self._fusion_stamps.get("iteration"),
+                c=self.c,
+                depth=sim.rf.depth,
+                latency=sim.bf.latency + sim.extra_latency,
+                segments=names,
+            )
+            fused = fuse_iteration(
+                traces, name="iteration", verify=not verified
+            )
+            self._fused = fused
+            if not verified:
+                self._fusion_stamps["iteration"] = fused.summary()
+                self._stamps_dirty = True
+        return fused
+
+    def _flush_stamps(self) -> None:
+        """Persist freshly recorded validation/fusion stamps.
+
+        Lowering records stamps in memory only; the solve/compile entry
+        points flush them here so one entry point costs at most one
+        artifact write, however many traces it lowered.  Read-only
+        probes (:meth:`iteration_crossings`) never flush: observability
+        must not mutate a shared cache's store accounting.
+        """
+        if (
+            self._stamps_dirty
+            and self.cache is not None
+            and self.cache_key is not None
+        ):
+            self.cache.put(self.cache_key, self._to_artifact(self.cache_key))
+        self._stamps_dirty = False
+
+    def _iteration_engine(self, sim: NetworkSimulator, streams):
+        """The sequential ADMM loop body for the configured mode."""
+        if self.execution == "fused":
+            return _FusedIterationEngine(self, sim, streams)
+        return _ReplayIterationEngine(self, sim, streams)
+
+    def _batch_iteration_engine(self, sim: NetworkSimulator, g: _LaneGroup):
+        """The batched ADMM loop body for the configured mode."""
+        if self.execution == "fused":
+            return _FusedBatchIterationEngine(self, sim, g)
+        return _ReplayBatchIterationEngine(self, sim, g)
+
+    def iteration_crossings(self, *, check: bool = False) -> int:
+        """Steady-state host→numpy crossings of one network-executed
+        ADMM iteration in the configured mode (``check`` adds the
+        residual-product kernels).
+
+        The observability counterpart of :meth:`iteration_cycles`:
+        crossings are host dispatch overhead, not simulated time, and
+        are what ``execution="fused"`` collapses.  A read-only probe:
+        any stamps recorded while lowering stay in memory until the
+        next solve/compile entry point flushes them.
+        """
+        names = ITERATION_KERNELS + (CHECK_KERNELS if check else ())
+        if self.variant != "direct":
+            names = ("admm_vector",)
+        if self.execution == "interpret":
+            return sum(self.kernels.schedules[n].n_ops for n in names)
+        sim = self._network_sim(reset=False)
+        if self.execution == "fused" and self.variant == "direct":
+            return self._fused_trace(sim).iteration_crossings(len(names))
+        return sum(self._trace(n, sim).crossings for n in names)
 
     def compile_traces(
         self, names: list[str] | None = None
@@ -546,10 +811,12 @@ class MIBSolver:
         to front-load trace compilation before timed iteration loops.
         """
         sim = self._network_sim(reset=False)
-        return {
+        summaries = {
             name: self._trace(name, sim).summary()
             for name in (names or list(self.kernels.schedules))
         }
+        self._flush_stamps()
+        return summaries
 
     # ------------------------------------------------------------------
     # compilation
@@ -882,13 +1149,21 @@ class MIBSolver:
         sym = ks.symbolic
         alloc = self.builder.alloc
         total_cycles = 0
+        total_crossings = 0
         rho_updates = 0
+        engine = self._iteration_engine(sim, streams)
 
         def bind_rho() -> None:
             streams.bind("rho", rho_vec)
             streams.bind("rho_inv", 1.0 / rho_vec)
 
         def refactor() -> int:
+            nonlocal total_crossings
+            # The factor kernel runs outside the fused iteration: flush
+            # the fused state to the image first, and invalidate after
+            # so the next iteration re-syncs against the rebound
+            # L/Dinv/rho streams.
+            engine.flush()
             streams.bind("K", ks._permuted_upper.data)
             stats = self._run_kernel(sim, "factor", streams)
             streams.bind(
@@ -898,6 +1173,8 @@ class MIBSolver:
             streams.bind(
                 "Dinv", sim.rf.read_vector(alloc.get("factor_dinv"))
             )
+            engine.invalidate()
+            total_crossings += stats.host_crossings
             return stats.cycles
 
         bind_rho()
@@ -915,31 +1192,29 @@ class MIBSolver:
             )
             if check:
                 # Previous-iteration iterates for the δx/δy certificates.
-                x_prev = sim.rf.read_vector(alloc.get("adm_x"))
-                y_prev = sim.rf.read_vector(alloc.get("adm_y"))
-            for kernel in ("iter_pre", "kkt_solve", "iter_post"):
-                stats = self._run_kernel(sim, kernel, streams)
-                total_cycles += stats.cycles
+                x_prev = engine.read_view(alloc.get("adm_x"))
+                y_prev = engine.read_view(alloc.get("adm_y"))
+            stats = engine.run(check=check)
+            total_cycles += stats.cycles
+            total_crossings += stats.host_crossings
             if not check:
                 continue
-            stats = self._run_kernel(sim, "residuals", streams)
-            total_cycles += stats.cycles
-            ax = sim.rf.read_vector(alloc.get("res_ax"))
-            px = sim.rf.read_vector(alloc.get("res_px"))
-            aty = sim.rf.read_vector(alloc.get("res_aty"))
-            z = sim.rf.read_vector(alloc.get("adm_z"))
+            ax = engine.read_view(alloc.get("res_ax"))
+            px = engine.read_view(alloc.get("res_px"))
+            aty = engine.read_view(alloc.get("res_aty"))
+            z = engine.read_view(alloc.get("adm_z"))
             prim_res, dual_res, eps_prim, eps_dual = residuals_from_products(
                 sc, st, ax=ax, px=px, aty=aty, z=z
             )
             if prim_res <= eps_prim and dual_res <= eps_dual:
                 status = SolverStatus.SOLVED
                 break
-            dy = sim.rf.read_vector(alloc.get("adm_y")) - y_prev
+            dy = engine.read_view(alloc.get("adm_y")) - y_prev
             if self.reference._primal_infeasible(dy):
                 status = SolverStatus.PRIMAL_INFEASIBLE
                 prim_cert = sc.e * dy / sc.c
                 break
-            dx = sim.rf.read_vector(alloc.get("adm_x")) - x_prev
+            dx = engine.read_view(alloc.get("adm_x")) - x_prev
             if self.reference._dual_infeasible(dx):
                 status = SolverStatus.DUAL_INFEASIBLE
                 dual_cert = sc.d * dx
@@ -967,9 +1242,10 @@ class MIBSolver:
                     total_cycles += refactor()
                     rho_updates += 1
 
-        x = sim.rf.read_vector(alloc.get("adm_x"))
-        z = sim.rf.read_vector(alloc.get("adm_z"))
-        y = sim.rf.read_vector(alloc.get("adm_y"))
+        x = engine.read_view(alloc.get("adm_x"))
+        z = engine.read_view(alloc.get("adm_z"))
+        y = engine.read_view(alloc.get("adm_y"))
+        self._flush_stamps()
         return MIBNetworkSolveReport(
             status=status,
             x=sc.unscale_x(x),
@@ -983,6 +1259,7 @@ class MIBSolver:
             objective=self.problem.objective(sc.unscale_x(x)),
             primal_infeasibility_certificate=prim_cert,
             dual_infeasibility_certificate=dual_cert,
+            host_crossings=total_crossings,
         )
 
     def bind_instance(
@@ -1233,6 +1510,7 @@ class MIBSolver:
             )
         lanes = [reports[i] for i in range(b)]
         cycles = [r.cycles for r in lanes]
+        self._flush_stamps()
         return MIBBatchReport(
             lanes=lanes,
             batch=b,
@@ -1273,17 +1551,21 @@ class MIBSolver:
             alloc.get("res_ax"), alloc.get("res_px"), alloc.get("res_aty")
         )
 
-        def replay(name: str) -> None:
-            stats = self._trace(name, sim).replay_batch(g.ctx, g.streams)
-            g.cycles += stats.cycles
+        engine = self._batch_iteration_engine(sim, g)
 
         def refactor() -> None:
+            engine.flush()
             g.streams.bind("K", g.arrays["kdata"][:, maps.perm_map])
-            replay("factor")
+            stats = self._trace("factor", sim).replay_batch(
+                g.ctx, g.streams
+            )
+            g.cycles += stats.cycles
+            g.crossings += stats.host_crossings
             g.streams.bind("L", g.ctx.lbuf_matrix(maps.l_nnz))
             g.streams.bind(
                 "Dinv", g.ctx.read_vector(alloc.get("factor_dinv"))
             )
+            engine.invalidate()
 
         def emit(lane: int, report: MIBNetworkSolveReport) -> None:
             reports[lane] = report
@@ -1305,14 +1587,16 @@ class MIBSolver:
                 iteration % st.check_interval == 0 or iteration == max_iter
             )
             if check:
-                x_prev = g.ctx.read_vector(v_x)
-                y_prev = g.ctx.read_vector(v_y)
-            replay("iter_pre")
-            replay("kkt_solve")
-            replay("iter_post")
+                x_prev = engine.read_view(v_x)
+                y_prev = engine.read_view(v_y)
+            stats = engine.run(check=check)
+            g.cycles += stats.cycles
+            g.crossings += stats.host_crossings
             if not check:
                 continue
-            replay("residuals")
+            # Flush the fused state before the harvest/split machinery
+            # reads and surgically edits the context (no-op per-kernel).
+            engine.flush()
             ax = g.ctx.read_vector(v_ax)
             px = g.ctx.read_vector(v_px)
             aty = g.ctx.read_vector(v_aty)
@@ -1374,10 +1658,12 @@ class MIBSolver:
                     dual_infeasibility_certificate=cert_d,
                     solo=g.solo,
                     bailed=g.bailed,
+                    host_crossings=int(g.crossings[r]),
                 ))
                 keep[r] = False
             if not np.all(keep):
                 g.compact(keep)
+                engine.invalidate()
                 prim, dual, ep, ed = (
                     prim[keep], dual[keep], ep[keep], ed[keep]
                 )
@@ -1414,6 +1700,7 @@ class MIBSolver:
                             )
                             pending.append(child)
                         g.compact(~trigger)
+                        engine.invalidate()
                         prim, dual, ep, ed = (
                             prim[~trigger], dual[~trigger],
                             ep[~trigger], ed[~trigger],
@@ -1449,6 +1736,7 @@ class MIBSolver:
                                 bailed=True,
                             ))
                         g.compact(~split)
+                        engine.invalidate()
                         prim, dual, ep, ed = (
                             prim[~split], dual[~split],
                             ep[~split], ed[~split],
@@ -1475,6 +1763,7 @@ class MIBSolver:
                     objective=problems[lane].objective(xr),
                     solo=g.solo,
                     bailed=g.bailed,
+                    host_crossings=int(g.crossings[r]),
                 ))
 
     def solve_reduced_on_network(

@@ -172,6 +172,8 @@ def simulation_stats_to_dict(stats: SimulationStats) -> dict:
             str(k): int(v) for k, v in stats.issue_width_histogram.items()
         },
         "node_cycles_busy": int(stats.node_cycles_busy),
+        "host_crossings": int(stats.host_crossings),
+        "phases_executed": int(stats.phases_executed),
     }
 
 
@@ -187,4 +189,6 @@ def simulation_stats_from_dict(raw: dict) -> SimulationStats:
             for k, v in raw.get("issue_width_histogram", {}).items()
         },
         node_cycles_busy=int(raw.get("node_cycles_busy", 0)),
+        host_crossings=int(raw.get("host_crossings", 0)),
+        phases_executed=int(raw.get("phases_executed", 0)),
     )

@@ -40,6 +40,10 @@ COUNTERS = (
     "batched_lanes",       # lanes executed inside those passes
     "expired_at_pop",      # requests already dead when dequeued (no lane)
     "admm_iterations",
+    # Host→numpy dispatch crossings attributed to solves: recorded
+    # crossings on the batched replay path, per-iteration crossings of
+    # the pool's execution mode x iterations on the modeled solo path.
+    "host_crossings",
     # Adaptive batching controller (see repro.serve.controller):
     "rider_rejects_cap",       # ride-alongs refused by the learned cap
     "rider_rejects_distance",  # ride-alongs refused by value bucketing

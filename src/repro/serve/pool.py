@@ -50,6 +50,10 @@ class _PoolEntry:
     solves: int = 0
     # Last iterate of this pattern, for warm starting (x, y).
     last_iterate: tuple | None = None
+    # Per-iteration host→numpy crossings of this pattern under the
+    # pool's execution mode; computed once on first use (forces trace
+    # lowering, a one-time per-pattern cost).
+    crossings_per_iter: int | None = None
 
 
 @dataclass(frozen=True)
@@ -175,11 +179,17 @@ class SolverPool:
             entry.solves += 1
             if self.warm_start:
                 entry.last_iterate = (report.result.x, report.result.y)
+            if entry.crossings_per_iter is None:
+                entry.crossings_per_iter = entry.solver.iteration_crossings()
         metrics.observe("solve", solve_seconds)
         if warm:
             metrics.inc("warm_solve_count")
             metrics.observe("warm_solve", solve_seconds)
         metrics.inc("admm_iterations", report.result.iterations)
+        metrics.inc(
+            "host_crossings",
+            report.result.iterations * entry.crossings_per_iter,
+        )
         return PoolSolve(
             fingerprint=key,
             report=report,
@@ -286,6 +296,9 @@ class SolverPool:
                 metrics.observe("warm_solve", solved.solve_seconds)
         metrics.inc(
             "admm_iterations", sum(r.iterations for r in batch.lanes)
+        )
+        metrics.inc(
+            "host_crossings", sum(r.host_crossings for r in batch.lanes)
         )
         return solves
 
