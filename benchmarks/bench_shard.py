@@ -1,0 +1,409 @@
+"""Multi-process closed-loop benchmark of the sharded serve tier.
+
+Drives live ``ServeServer(shards=N)`` instances — real worker
+processes, real shared-memory transport, real HTTP — with a mixed
+five-pattern load (lasso / mpc / portfolio / svm / huber, values
+perturbed per request) and measures what sharding is for:
+
+* **scaling** — sustained warm closed-loop throughput at 1, 2 and 4
+  shards (8 when the host has >= 8 cores), same offered concurrency,
+  reported as requests/s plus efficiency against linear scaling from
+  the 1-shard baseline.  The linear-scaling gate only applies up to
+  the host's visible core count: processes can't scale past the
+  physical machine, and CI boxes are small.
+* **bit-identical** — the same request stream against a fresh sharded
+  server and a fresh in-process server must produce byte-identical
+  solutions (iterations, x, y, objective).  This is the transport
+  correctness gate: raw float64 slabs, no JSON on the hot path.
+* **recovery** — SIGKILL one shard worker mid-load: every in-flight
+  and subsequent request resolves within its deadline (re-routed 200
+  or fast 503, never a hang), the shard respawns, and the pattern it
+  owned serves again.
+
+Writes ``BENCH_shard.json`` (repo root + ``benchmarks/results/``).
+
+Runnable two ways:
+
+* ``pytest benchmarks/bench_shard.py`` — harness run;
+* ``python benchmarks/bench_shard.py [--smoke] [--check]`` — CI
+  entry point.  ``--smoke`` shrinks the load and skips the scaling
+  sweep (2 shards only); ``--check`` exits non-zero unless every
+  request resolved, the bit-identical and recovery gates hold, and
+  every core-covered shard count reaches 70% of linear scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.problems import (
+    huber_problem,
+    lasso_problem,
+    mpc_problem,
+    portfolio_problem,
+    svm_problem,
+)
+from repro.serve import ServeClient, ServeServer
+from repro.solver import Settings
+
+from benchmarks.common import (
+    percentiles,
+    perturbed,
+    print_check_failures,
+    write_json,
+)
+
+C = 8
+REQUEST_TIMEOUT_S = 120.0
+SCALING_GATE = 0.7  # fraction of linear scaling required (gated counts)
+
+BENCH_SETTINGS = Settings(
+    eps_abs=1e-3, eps_rel=1e-3, max_iter=4000, check_interval=5
+)
+
+# Same mixed suite as bench_serve: five sparsity patterns sized so a
+# warm solve dominates per-request HTTP/transport overhead.
+PATTERNS = {
+    "lasso": lambda: lasso_problem(16, n_samples=64, seed=0),
+    "mpc": lambda: mpc_problem(6, seed=0),
+    "portfolio": lambda: portfolio_problem(48, seed=0),
+    "svm": lambda: svm_problem(10, n_samples=40, seed=0),
+    "huber": lambda: huber_problem(10, n_samples=30, seed=0),
+}
+
+# Small-pattern suite for the smoke tier (seconds, not minutes).
+SMOKE_PATTERNS = {
+    "lasso": lambda: lasso_problem(8, n_samples=24, seed=0),
+    "mpc": lambda: mpc_problem(3, seed=0),
+    "portfolio": lambda: portfolio_problem(12, seed=0),
+    "svm": lambda: svm_problem(6, n_samples=16, seed=0),
+    "huber": lambda: huber_problem(6, n_samples=12, seed=0),
+}
+
+
+def cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def shard_counts() -> tuple[int, ...]:
+    counts = (1, 2, 4)
+    if cores() >= 8:
+        counts = counts + (8,)
+    return counts
+
+
+def _server(shards: int, **kwargs) -> ServeServer:
+    return ServeServer(
+        port=0,
+        workers=1,
+        shards=shards,
+        c=C,
+        settings=BENCH_SETTINGS,
+        capacity=8,
+        batch_policy="greedy",
+        **kwargs,
+    )
+
+
+def _mixed_stream(patterns: dict, count: int, *, seed0: int):
+    names = sorted(patterns)
+    base = {name: gen() for name, gen in patterns.items()}
+    return [
+        perturbed(base[names[i % len(names)]], seed=seed0 + i)
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# phase 1: throughput scaling
+# ----------------------------------------------------------------------
+def run_scaling(
+    *,
+    counts: tuple[int, ...],
+    clients: int = 6,
+    requests_per_client: int = 15,
+    patterns: dict = PATTERNS,
+) -> dict:
+    """Closed-loop mixed load at each shard count, same concurrency."""
+    scaling: dict[str, dict] = {}
+    for count in counts:
+        with _server(count) as server:
+            client = ServeClient(port=server.port)
+            # Warm every pattern's home shard before measuring.
+            for problem in _mixed_stream(patterns, len(patterns), seed0=0):
+                response = client.solve(problem, timeout_s=REQUEST_TIMEOUT_S)
+                assert response.ok, f"warmup failed: {response.raw}"
+
+            latencies: list[list[float]] = [[] for _ in range(clients)]
+            solved = [0] * clients
+
+            def loop(tid: int) -> None:
+                stream = _mixed_stream(
+                    patterns, requests_per_client, seed0=1000 * (tid + 1)
+                )
+                for problem in stream:
+                    t0 = time.perf_counter()
+                    response = client.solve(
+                        problem, timeout_s=REQUEST_TIMEOUT_S
+                    )
+                    latencies[tid].append(time.perf_counter() - t0)
+                    solved[tid] += bool(response.solved)
+
+            threads = [
+                threading.Thread(target=loop, args=(tid,))
+                for tid in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - t0
+            total = clients * requests_per_client
+            flat = [s for series in latencies for s in series]
+            scaling[str(count)] = {
+                "shards": count,
+                "requests": total,
+                "solved": sum(solved),
+                "wall_s": elapsed,
+                "throughput_rps": total / elapsed,
+                "latency": percentiles(flat),
+            }
+    base_rps = scaling[str(counts[0])]["throughput_rps"] if scaling else 0.0
+    for doc in scaling.values():
+        doc["efficiency_vs_linear"] = (
+            doc["throughput_rps"] / (doc["shards"] * base_rps)
+            if base_rps
+            else 0.0
+        )
+    return scaling
+
+
+# ----------------------------------------------------------------------
+# phase 2: bit-identical vs in-process
+# ----------------------------------------------------------------------
+def run_bit_identical(
+    *, requests: int = 10, patterns: dict = PATTERNS
+) -> dict:
+    """The same stream against fresh sharded and in-process servers."""
+    stream = _mixed_stream(patterns, requests, seed0=77)
+    with _server(2) as sharded_server, _server(0) as reference_server:
+        sharded = ServeClient(port=sharded_server.port)
+        reference = ServeClient(port=reference_server.port)
+        mismatches = []
+        for i, problem in enumerate(stream):
+            a = sharded.solve(problem, timeout_s=REQUEST_TIMEOUT_S)
+            b = reference.solve(problem, timeout_s=REQUEST_TIMEOUT_S)
+            assert a.ok and b.ok, (a.raw, b.raw)
+            ra, rb = a.raw["result"], b.raw["result"]
+            identical = (
+                ra["iterations"] == rb["iterations"]
+                and np.array_equal(np.asarray(ra["x"]), np.asarray(rb["x"]))
+                and np.array_equal(np.asarray(ra["y"]), np.asarray(rb["y"]))
+                and ra["objective"] == rb["objective"]
+            )
+            if not identical:
+                mismatches.append({"request": i, "name": problem.name})
+    return {
+        "requests": len(stream),
+        "mismatches": mismatches,
+        "identical": not mismatches,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 3: worker-death recovery under load
+# ----------------------------------------------------------------------
+def run_recovery(
+    *, patterns: dict = PATTERNS, load_requests: int = 12
+) -> dict:
+    """SIGKILL one shard mid-load; nothing may hang."""
+    with _server(2) as server:
+        client = ServeClient(port=server.port)
+        base = sorted(patterns)[0]
+        anchor = patterns[base]()
+        first = client.solve(anchor, timeout_s=REQUEST_TIMEOUT_S)
+        assert first.ok, first.raw
+        home = server.frontend.router.home(first.fingerprint)
+
+        outcomes: list[str] = []
+        durations: list[float] = []
+        lock = threading.Lock()
+
+        def loop(tid: int) -> None:
+            stream = _mixed_stream(
+                patterns, load_requests, seed0=5000 * (tid + 1)
+            )
+            for problem in stream:
+                t0 = time.perf_counter()
+                response = client.solve(problem, timeout_s=10.0)
+                with lock:
+                    durations.append(time.perf_counter() - t0)
+                    outcomes.append(response.status)
+
+        threads = [
+            threading.Thread(target=loop, args=(tid,)) for tid in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let the load hit the pipes
+        server.frontend.kill_shard(home)
+        for t in threads:
+            t.join()
+
+        # Nothing hung: every request resolved well inside its
+        # deadline plus the client's transport margin.
+        hung = sum(d > 15.0 for d in durations)
+
+        # The shard respawns and the pattern it owned serves again.
+        deadline = time.monotonic() + 60.0
+        health = client.health()
+        while health["status"] != "ok" and time.monotonic() < deadline:
+            time.sleep(0.2)
+            health = client.health()
+        again = client.solve(
+            perturbed(anchor, seed=123), timeout_s=REQUEST_TIMEOUT_S
+        )
+        respawns = client.metrics()["counters"]["shard_respawns"]
+        live = server.frontend.live_shards()
+        back_home = (
+            server.frontend.router.route(first.fingerprint, live=live) == home
+        )
+    counts: dict[str, int] = {}
+    for status in outcomes:
+        counts[status] = counts.get(status, 0) + 1
+    return {
+        "requests_during_outage": len(outcomes),
+        "outcomes": counts,
+        "hung": hung,
+        "max_latency_s": max(durations) if durations else 0.0,
+        "recovered": health["status"] == "ok",
+        "respawns": respawns,
+        "pattern_back_home": back_home,
+        "pattern_served_after_respawn": bool(again.ok and again.solved),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_benchmark(*, smoke: bool = False) -> dict:
+    patterns = SMOKE_PATTERNS if smoke else PATTERNS
+    counts = (2,) if smoke else shard_counts()
+    doc: dict = {
+        "benchmark": "shard",
+        "smoke": smoke,
+        "cores": cores(),
+        "config": {
+            "c": C,
+            "shard_counts": list(counts),
+            "batch_policy": "greedy",
+            "workers_per_shard": 1,
+        },
+    }
+    doc["scaling"] = run_scaling(
+        counts=counts,
+        clients=3 if smoke else 6,
+        requests_per_client=4 if smoke else 15,
+        patterns=patterns,
+    )
+    doc["bit_identical"] = run_bit_identical(
+        requests=5 if smoke else 10, patterns=patterns
+    )
+    doc["recovery"] = run_recovery(
+        patterns=patterns, load_requests=4 if smoke else 12
+    )
+    return doc
+
+
+def check(doc: dict) -> list[str]:
+    """The CI gates; returns failure strings (empty = pass)."""
+    failures: list[str] = []
+    for key, phase in doc["scaling"].items():
+        if phase["solved"] != phase["requests"]:
+            failures.append(
+                f"scaling@{key}: only {phase['solved']}/{phase['requests']}"
+                " requests solved"
+            )
+    # The linear-scaling gate applies only where the host has the
+    # cores to scale into (an N-shard tier can't beat an M-core box).
+    base = min(doc["config"]["shard_counts"])
+    for key, phase in doc["scaling"].items():
+        count = phase["shards"]
+        if count == base or count > doc["cores"]:
+            continue
+        if phase["efficiency_vs_linear"] < SCALING_GATE:
+            failures.append(
+                f"scaling@{key}: {phase['efficiency_vs_linear']:.2f} of "
+                f"linear < required {SCALING_GATE:.2f}"
+            )
+    if not doc["bit_identical"]["identical"]:
+        failures.append(
+            f"bit-identical: {len(doc['bit_identical']['mismatches'])} "
+            "mismatched requests vs in-process serve"
+        )
+    recovery = doc["recovery"]
+    if recovery["hung"]:
+        failures.append(
+            f"recovery: {recovery['hung']} requests hung past the deadline"
+        )
+    if not recovery["recovered"]:
+        failures.append("recovery: shard never reported healthy again")
+    if not recovery["pattern_served_after_respawn"]:
+        failures.append(
+            "recovery: the killed shard's pattern failed after respawn"
+        )
+    if not recovery["respawns"]:
+        failures.append("recovery: no respawn recorded in metrics")
+    for status in recovery["outcomes"]:
+        if status not in ("ok", "rejected"):
+            failures.append(f"recovery: unexpected outcome {status!r}")
+    return failures
+
+
+def test_shard_tier():
+    """Harness entry: smoke-scale run with the full gate set."""
+    doc = run_benchmark(smoke=True)
+    write_json("BENCH_shard.json", doc)
+    assert not check(doc)
+
+
+def _print_summary(doc: dict) -> None:
+    print(f"\nshard benchmark (cores={doc['cores']}, smoke={doc['smoke']})")
+    for key in sorted(doc["scaling"], key=int):
+        phase = doc["scaling"][key]
+        print(
+            f"  {key} shard(s): {phase['throughput_rps']:7.2f} req/s  "
+            f"p50 {phase['latency']['p50_s'] * 1e3:7.2f} ms  "
+            f"efficiency {phase['efficiency_vs_linear']:.2f}x linear"
+        )
+    bit = doc["bit_identical"]
+    print(
+        f"  bit-identical vs in-process: {bit['identical']} "
+        f"({bit['requests']} requests)"
+    )
+    rec = doc["recovery"]
+    print(
+        f"  recovery: outcomes={rec['outcomes']} hung={rec['hung']} "
+        f"respawns={rec['respawns']} served-after={rec['pattern_served_after_respawn']}"
+    )
+
+
+def main(argv: list[str]) -> int:
+    doc = run_benchmark(smoke="--smoke" in argv)
+    path = write_json("BENCH_shard.json", doc)
+    _print_summary(doc)
+    print(f"[saved to {path}]")
+    if "--check" in argv:
+        return print_check_failures(check(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

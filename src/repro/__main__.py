@@ -267,12 +267,18 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         warm_start=args.warm_start,
         execution=args.execution,
+        shards=args.shards,
     )
     server.start()
+    tier = (
+        f"shards={args.shards} x workers={args.workers}"
+        if args.shards
+        else f"workers={args.workers}"
+    )
     print(
         f"repro.serve listening on http://{server.host}:{server.port} "
         f"(variant={args.variant}, C={args.width}, pool={args.pool_size}, "
-        f"workers={args.workers}, max-batch={args.max_batch}, "
+        f"{tier}, max-batch={args.max_batch}, "
         f"policy={args.batch_policy})"
     )
     print("endpoints: POST /v1/solve   GET /v1/health   GET /v1/metrics")
@@ -382,6 +388,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--port", type=int, default=8000, help="0 = ephemeral")
     p.add_argument(
         "--workers", type=int, default=2, help="queue-draining solver threads"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run N shard worker processes (consistent-hash pattern "
+        "routing + shared-memory transport; 0 = in-process). "
+        "--workers then counts drain threads per shard",
     )
     p.add_argument(
         "--pool-size",

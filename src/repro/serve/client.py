@@ -8,7 +8,10 @@ three JSON endpoints.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -17,6 +20,16 @@ from ..io import problem_to_dict
 from ..solver import QPProblem, SolveResult
 
 __all__ = ["ServeClient", "SolveResponse"]
+
+# Transport failures worth one retry: the server (or a shard worker
+# restart behind it) dropped the connection without answering.  Safe
+# only for idempotent requests — a solve is a pure function of the
+# problem document, and the GET endpoints are reads.
+_RETRYABLE = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
 
 
 @dataclass(frozen=True)
@@ -70,25 +83,41 @@ class ServeClient:
         *,
         body: dict | None = None,
         timeout: float = 60.0,
+        retry: bool = True,
     ) -> tuple[int, dict]:
+        """One HTTP exchange, with a single jittered retry on a dropped
+        connection (``retry=False`` for non-idempotent callers)."""
         url = f"{self.base_url}{path}"
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            url,
-            data=data,
-            headers={"Content-Type": "application/json"} if data else {},
-            method="POST" if data is not None else "GET",
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=timeout) as resp:
-                return resp.status, json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            # Structured error responses (400/503/504) carry JSON too.
+        for attempt in (0, 1):
+            request = urllib.request.Request(
+                url,
+                data=data,
+                headers={"Content-Type": "application/json"} if data else {},
+                method="POST" if data is not None else "GET",
+            )
             try:
-                payload = json.loads(exc.read())
-            except Exception:
-                payload = {"status": "error", "detail": str(exc)}
-            return exc.code, payload
+                with urllib.request.urlopen(request, timeout=timeout) as resp:
+                    return resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                # Structured error responses (400/503/504) carry JSON too.
+                try:
+                    payload = json.loads(exc.read())
+                except Exception:
+                    payload = {"status": "error", "detail": str(exc)}
+                return exc.code, payload
+            except _RETRYABLE:
+                if not retry or attempt:
+                    raise
+            except urllib.error.URLError as exc:
+                if not retry or attempt or not isinstance(
+                    exc.reason, _RETRYABLE
+                ):
+                    raise
+            # Jitter so a burst of clients hitting one dropped worker
+            # doesn't retry in lockstep.
+            time.sleep(random.uniform(0.05, 0.15))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def solve(

@@ -1,0 +1,339 @@
+"""The serve tier's solve engine: queue drain, batching, dispatch.
+
+Everything between "a :class:`~repro.serve.queue.SolveRequest` was
+admitted" and "its response was published" lives here — worker
+threads draining the :class:`~repro.serve.queue.RequestQueue` through
+the :class:`~repro.serve.pool.SolverPool` under the
+:class:`~repro.serve.controller.BatchController`'s policy, with
+per-request deadlines, batched dispatch, early per-lane publication
+and the write-once response discipline.
+
+The engine is transport-agnostic: the HTTP front-end
+(:class:`~repro.serve.server.ServeServer`) feeds it requests parsed
+from sockets, and a shard worker process (:mod:`repro.shard.worker`)
+feeds it requests decoded from shared-memory slabs.  Both see the
+same execution stack — warm pool, adaptive batching, fused replay —
+because it *is* the same object.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..solver import SolverStatus
+from .controller import BatchController
+from .metrics import ServeMetrics
+from .pool import SolverPool
+from .queue import DispatchBatch, RequestQueue, SolveRequest
+
+__all__ = ["SolveEngine"]
+
+
+class SolveEngine:
+    """Worker threads draining one request queue through one pool.
+
+    ``workers=0`` starts no drain loop (test hook: requests queue up
+    and time out unless drained manually).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        pool: SolverPool | None = None,
+        queue_size: int = 64,
+        max_batch: int = 16,
+        batch_policy: str = "greedy",
+        controller: BatchController | None = None,
+        **pool_kwargs,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.pool = pool if pool is not None else SolverPool(**pool_kwargs)
+        self.metrics: ServeMetrics = self.pool.metrics
+        self.queue = RequestQueue(maxsize=queue_size)
+        self.max_batch = max_batch
+        # The batching policy layer: decides which lanes share a batch
+        # (``max_batch`` stays the hard cap) and when a pass bails out
+        # of lockstep.  ``batch_policy="greedy"`` reproduces the
+        # pre-controller behaviour exactly.
+        self.controller = (
+            controller
+            if controller is not None
+            else BatchController(policy=batch_policy, metrics=self.metrics)
+        )
+        self.workers = workers
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SolveEngine":
+        for i in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+        return self
+
+    def stop(self) -> None:
+        """Stop admissions, answer stragglers 503, join the workers."""
+        self.queue.close()
+        for request in self.queue.drain():
+            self._finish(
+                request,
+                503,
+                {"status": "rejected", "detail": "server shutting down"},
+            )
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def submit(self, request: SolveRequest) -> None:
+        """Admit one request (raises ``QueueFullError`` on backpressure)."""
+        self.queue.submit(request)
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch(
+                max_batch=self.max_batch,
+                rider=self.controller.rider,
+                window=self.controller.dispatch_window,
+                cap=lambda head: self.controller.max_batch_for(
+                    head.fingerprint, self.max_batch
+                ),
+            )
+            if batch is None:  # queue closed
+                return
+            for request in batch.expired:
+                # Swept at pop time: the deadline passed while queued,
+                # so the request never occupies a solve lane.
+                self.metrics.inc("expired_at_pop")
+                self._timeout_queued(request)
+            if len(batch) > 1:
+                self.metrics.inc("coalesced_batches")
+                self.metrics.inc("coalesced_requests", len(batch) - 1)
+                self._process_batch(batch)
+            elif batch:
+                self._process(batch[0])
+
+    def _timeout_queued(self, request: SolveRequest) -> None:
+        queue_wait = time.monotonic() - request.enqueued_at
+        self.metrics.observe("queue_wait", queue_wait)
+        self._finish(
+            request,
+            504,
+            {
+                "status": "timeout",
+                "detail": "deadline expired while queued",
+                "queue_seconds": queue_wait,
+            },
+        )
+
+    def _ok_payload(
+        self, solved, queue_wait: float, *, batched: bool, batch_lanes: int
+    ) -> dict:
+        result = solved.report.result
+        return {
+            "status": "ok",
+            "fingerprint": solved.fingerprint,
+            "warm": solved.warm,
+            "cache_hit": solved.cache_hit,
+            "batched": batched,
+            "batch_lanes": batch_lanes,
+            "queue_seconds": queue_wait,
+            "compile_seconds": solved.compile_seconds,
+            "solve_seconds": solved.solve_seconds,
+            "cycles": solved.report.cycles,
+            "runtime_seconds": solved.report.runtime_seconds,
+            "solved": result.status is SolverStatus.SOLVED,
+            "result": result.to_dict(),
+        }
+
+    def _process(self, request: SolveRequest) -> None:
+        queue_wait = time.monotonic() - request.enqueued_at
+        self.metrics.observe("queue_wait", queue_wait)
+        if request.expired():
+            self._finish(
+                request,
+                504,
+                {
+                    "status": "timeout",
+                    "detail": "deadline expired while queued",
+                    "queue_seconds": queue_wait,
+                },
+            )
+            return
+        self._solve_solo(request, queue_wait)
+
+    def _solve_solo(self, request: SolveRequest, queue_wait: float) -> None:
+        cpu_t0 = time.thread_time()
+        try:
+            solved = self.pool.solve(
+                request.problem, fingerprint=request.fingerprint
+            )
+        except Exception as exc:  # a poisoned request must not kill workers
+            self._finish(
+                request,
+                500,
+                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        if solved.warm:
+            # Only warm solves inform the cost model: a cold solve's
+            # cost is dominated by construction, not the pattern's
+            # per-instance solve economics.  Priced in this worker
+            # thread's CPU time so concurrent handler threads don't
+            # charge their interpreter contention to the solve.
+            self.controller.observe_solo(
+                request.fingerprint,
+                seconds=time.thread_time() - cpu_t0,
+                iterations=solved.report.result.iterations,
+            )
+        self._finish(
+            request,
+            200,
+            self._ok_payload(solved, queue_wait, batched=False, batch_lanes=1),
+        )
+
+    def _process_batch(self, batch: DispatchBatch) -> None:
+        """Dispatch a coalesced batch as one batched pool solve.
+
+        Per-request deadlines hold inside the batch: lanes already
+        expired at dispatch are answered 504 and dropped before the
+        solve, so they never displace or poison their siblings, and a
+        failure answers only the live lanes that were actually in the
+        pass.
+        """
+        now = time.monotonic()
+        live: list[SolveRequest] = []
+        waits: dict[int, float] = {}
+        for request in batch:
+            queue_wait = now - request.enqueued_at
+            self.metrics.observe("queue_wait", queue_wait)
+            if request.expired(now):
+                self._finish(
+                    request,
+                    504,
+                    {
+                        "status": "timeout",
+                        "detail": "deadline expired while queued",
+                        "queue_seconds": queue_wait,
+                    },
+                )
+            else:
+                live.append(request)
+                waits[request.request_id] = queue_wait
+        if not live:
+            return
+        if len(live) == 1:
+            request = live[0]
+            self._solve_solo(request, waits[request.request_id])
+            return
+        # Bail-out budget: the tightest live deadline bounds how long a
+        # pass may chase stragglers before splitting them out.
+        remaining = [
+            r for r in (req.remaining(now) for req in live) if r is not None
+        ]
+        progress = self.controller.make_progress(
+            batch.fingerprint,
+            deadline_remaining=min(remaining) if remaining else None,
+        )
+        published: set[int] = set()
+        pass_cpu_t0 = time.thread_time()
+
+        def lane_done(index: int, solved) -> None:
+            # Called at harvest time (fast lanes before slow ones, under
+            # the pool entry's lock): answer the request now instead of
+            # at the end of the pass — the controller's p50 lever.
+            published.add(index)
+            request = live[index]
+            self._finish(
+                request,
+                200,
+                self._ok_payload(
+                    solved,
+                    waits[request.request_id],
+                    batched=True,
+                    batch_lanes=len(live),
+                ),
+            )
+
+        try:
+            solves = self.pool.solve_batch(
+                [r.problem for r in live],
+                fingerprint=batch.fingerprint,
+                progress=progress,
+                on_lane=lane_done,
+            )
+        except Exception as exc:
+            for index, request in enumerate(live):
+                if index not in published:
+                    self._finish(
+                        request,
+                        500,
+                        {
+                            "status": "error",
+                            "detail": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+            return
+        pass_cpu = time.thread_time() - pass_cpu_t0
+        # Lanes answered before the slowest lane finished — the wait
+        # the old publish-at-pass-end behaviour would have added.
+        slowest = max(s.solve_seconds for s in solves)
+        early = sum(1 for s in solves if s.solve_seconds < slowest)
+        if early:
+            self.metrics.inc("early_responses", early)
+        # Backstop: publish any lane the callback missed (sequential
+        # fallback paths always invoke it, but stay defensive).
+        for index, (request, solved) in enumerate(zip(live, solves)):
+            if index not in published:
+                self._finish(
+                    request,
+                    200,
+                    self._ok_payload(
+                        solved,
+                        waits[request.request_id],
+                        batched=True,
+                        batch_lanes=len(live),
+                    ),
+                )
+        if self.pool.variant == "direct":
+            # Feed the cost model: per-lane iterations, pass cost in
+            # this worker's CPU time (comparable to the solo pricing —
+            # wall time would bill the pass for the handler threads it
+            # wakes with its own early responses), rho fallbacks vs
+            # controller bail-outs.
+            self.controller.observe_pass(
+                batch.fingerprint,
+                lanes=len(live),
+                seconds=pass_cpu,
+                lane_iterations=[
+                    s.report.result.iterations for s in solves
+                ],
+                solo_lanes=sum(s.solo_lane for s in solves),
+                bailed_lanes=sum(s.bailed_lane for s in solves),
+            )
+
+    def _finish(
+        self, request: SolveRequest, status_code: int, payload: dict
+    ) -> None:
+        """Publish a response exactly once and account it."""
+        if not request.respond(status_code, payload):
+            # The front-end already answered (deadline backstop); a
+            # completed solve arriving late is recorded as a timeout
+            # casualty, not a served response.
+            if status_code == 200:
+                self.metrics.inc("timeouts")
+            return
+        if status_code == 200:
+            self.metrics.inc("responses_ok")
+        elif status_code == 504:
+            self.metrics.inc("timeouts")
+        elif status_code == 503:
+            self.metrics.inc("rejected")
+        else:
+            self.metrics.inc("responses_error")
+        self.metrics.observe("total", time.monotonic() - request.enqueued_at)

@@ -49,6 +49,11 @@ COUNTERS = (
     "rider_rejects_distance",  # ride-alongs refused by value bucketing
     "bailout_lanes",           # lanes split out of lockstep mid-flight
     "early_responses",         # lanes answered before their pass ended
+    # Sharded serve tier (see repro.shard); counted front-end side:
+    "shard_respawns",          # worker deaths detected (and respawned)
+    "shard_death_503",         # in-flight requests failed fast on death
+    "shard_reroutes",          # requests routed off their home shard
+    "shard_inline_fallback",   # payloads sent inline (slab ring saturated)
 )
 
 HISTOGRAMS = (
@@ -133,11 +138,11 @@ class ServeMetrics:
         with self._lock:
             self._counters[name] += amount
 
-    def observe_batch(self, lanes: int) -> None:
-        """Record one batched solve pass of ``lanes`` lanes."""
+    def observe_batch(self, lanes: int, count: int = 1) -> None:
+        """Record ``count`` batched solve passes of ``lanes`` lanes."""
         with self._lock:
             self._batch_sizes[int(lanes)] = (
-                self._batch_sizes.get(int(lanes), 0) + 1
+                self._batch_sizes.get(int(lanes), 0) + count
             )
 
     def observe(self, name: str, seconds: float) -> None:

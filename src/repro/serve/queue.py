@@ -53,6 +53,12 @@ class SolveRequest:
     the race — a worker finishing the solve, or the waiting front-end
     declaring a timeout — publishes, and the loser's attempt is a
     no-op.  ``done`` is set after publication.
+
+    ``on_done``, when set, is invoked exactly once with the request
+    after its response publishes — the seam a shard worker uses to
+    forward the response over its transport instead of (only) waking a
+    local waiter.  It runs on the publishing thread and must not
+    block.
     """
 
     problem: QPProblem
@@ -63,6 +69,7 @@ class SolveRequest:
     done: threading.Event = field(default_factory=threading.Event)
     status_code: int | None = None
     response: dict | None = None
+    on_done: object | None = None  # callable(SolveRequest) | None
     _publish_lock: threading.Lock = field(default_factory=threading.Lock)
 
     def expired(self, now: float | None = None) -> bool:
@@ -84,7 +91,9 @@ class SolveRequest:
             self.status_code = status_code
             self.response = payload
             self.done.set()
-            return True
+        if self.on_done is not None:
+            self.on_done(self)
+        return True
 
 
 class DispatchBatch(list):

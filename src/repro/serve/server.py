@@ -2,12 +2,22 @@
 
 ``ServeServer`` composes the subsystem: a ``ThreadingHTTPServer``
 accepts connections (one handler thread per request), handlers parse
-and admit requests into the :class:`~repro.serve.queue.RequestQueue`,
-and a configurable number of worker threads drain it through the
-:class:`~repro.serve.pool.SolverPool`.  The handler thread then waits
-on the request's event up to its deadline — so a slow solve never
-wedges the listener, and an expired wait yields a structured
-``TIMEOUT`` body instead of a hung socket.
+and admit requests, and an execution tier drains them:
+
+* **in-process** (default) — a :class:`~repro.serve.engine.SolveEngine`
+  owning the warm :class:`~repro.serve.pool.SolverPool`, the bounded
+  :class:`~repro.serve.queue.RequestQueue` and the batching
+  controller, drained by worker threads;
+* **sharded** (``shards=N``) — a
+  :class:`~repro.shard.frontend.ShardFrontend` routing each request by
+  its pattern fingerprint to one of N worker *processes*, each owning
+  a private pool+engine shard (see :mod:`repro.shard`).  The GIL stops
+  being the throughput ceiling; results stay bit-identical to the
+  in-process path.
+
+The handler thread waits on the request's event up to its deadline —
+so a slow solve never wedges the listener, and an expired wait yields
+a structured ``TIMEOUT`` body instead of a hung socket.
 
 API (all JSON):
 
@@ -15,9 +25,10 @@ API (all JSON):
   "timeout_s": <float, optional>}``; 200 with the solve payload,
   400 on malformed input, 503 when the queue rejects (backpressure),
   504 on deadline expiry.
-* ``GET /v1/health`` — liveness + pool occupancy.
+* ``GET /v1/health`` — liveness + pool occupancy (per-shard liveness
+  and pattern residency when sharded; HTTP 207 while degraded).
 * ``GET /v1/metrics`` — the :class:`~repro.serve.metrics.ServeMetrics`
-  snapshot.
+  snapshot (aggregated across shards when sharded).
 """
 
 from __future__ import annotations
@@ -28,11 +39,11 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..io import problem_from_dict
-from ..solver import SolverStatus
 from .controller import BatchController
+from .engine import SolveEngine
 from .metrics import ServeMetrics
 from .pool import SolverPool
-from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
+from .queue import QueueFullError, RequestQueue, SolveRequest
 
 __all__ = ["ServeServer"]
 
@@ -60,7 +71,9 @@ class ServeServer:
             response = client.solve(problem)
 
     ``workers=0`` starts no drain loop (test hook: requests queue up
-    and time out unless drained manually).
+    and time out unless drained manually).  ``shards=N`` (N >= 1)
+    promotes execution to N worker processes; ``workers`` then counts
+    drain threads *per shard*.
     """
 
     def __init__(
@@ -75,55 +88,112 @@ class ServeServer:
         batch_policy: str = "greedy",
         controller: BatchController | None = None,
         default_timeout_s: float = 30.0,
+        shards: int = 0,
         **pool_kwargs,
     ) -> None:
-        if workers < 0:
-            raise ValueError("workers must be >= 0")
-        self.pool = pool if pool is not None else SolverPool(**pool_kwargs)
-        self.metrics: ServeMetrics = self.pool.metrics
-        self.queue = RequestQueue(maxsize=queue_size)
-        self.max_batch = max_batch
-        # The batching policy layer: decides which lanes share a batch
-        # (``max_batch`` stays the hard cap) and when a pass bails out
-        # of lockstep.  ``batch_policy="greedy"`` reproduces the
-        # pre-controller behaviour exactly.
-        self.controller = (
-            controller
-            if controller is not None
-            else BatchController(policy=batch_policy, metrics=self.metrics)
-        )
+        if shards < 0:
+            raise ValueError("shards must be >= 0 (0 = in-process)")
         self.default_timeout_s = default_timeout_s
         self.workers = workers
         self.started_at = time.monotonic()
+        self.frontend = None
+        if shards:
+            if pool is not None or controller is not None:
+                raise ValueError(
+                    "a sharded server builds its pools and controllers "
+                    "inside the shard workers; pass pool/controller "
+                    "kwargs instead"
+                )
+            from ..shard import ShardFrontend
+
+            self.frontend = ShardFrontend(
+                shards=shards,
+                workers=workers,
+                queue_size=queue_size,
+                max_batch=max_batch,
+                batch_policy=batch_policy,
+                **pool_kwargs,
+            )
+            self.engine = None
+        else:
+            self.engine = SolveEngine(
+                workers=workers,
+                pool=pool,
+                queue_size=queue_size,
+                max_batch=max_batch,
+                batch_policy=batch_policy,
+                controller=controller,
+                **pool_kwargs,
+            )
         self._threads: list[threading.Thread] = []
         self._http = _HTTPServer((host, port), _make_handler(self))
         self.host = host
         self.port = int(self._http.server_address[1])
 
     # ------------------------------------------------------------------
+    # The in-process engine's internals, re-exported for embedders and
+    # the test suite (None / raising when sharded).
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> SolverPool:
+        return self.engine.pool
+
+    @property
+    def queue(self) -> RequestQueue:
+        return self.engine.queue
+
+    @property
+    def controller(self) -> BatchController:
+        return self.engine.controller
+
+    @property
+    def max_batch(self) -> int:
+        return (
+            self.frontend.max_batch
+            if self.frontend is not None
+            else self.engine.max_batch
+        )
+
+    @property
+    def metrics(self) -> ServeMetrics:
+        """The live metrics registry (the in-process engine's, or the
+        sharded front-end's admission-side registry)."""
+        if self.frontend is not None:
+            return self.frontend.metrics
+        return self.engine.metrics
+
+    @property
+    def sharded(self) -> bool:
+        return self.frontend is not None
+
+    def _process(self, request: SolveRequest) -> None:
+        self.engine._process(request)
+
+    def _process_batch(self, batch) -> None:
+        self.engine._process_batch(batch)
+
+    def _timeout_queued(self, request: SolveRequest) -> None:
+        self.engine._timeout_queued(request)
+
+    # ------------------------------------------------------------------
     def start(self) -> "ServeServer":
+        if self.frontend is not None:
+            self.frontend.start()
+        else:
+            self.engine.start()
         listener = threading.Thread(
             target=self._http.serve_forever, name="serve-http", daemon=True
         )
         listener.start()
         self._threads.append(listener)
-        for i in range(self.workers):
-            worker = threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
-            )
-            worker.start()
-            self._threads.append(worker)
         return self
 
     def stop(self) -> None:
         """Shut down: stop admissions, answer stragglers, close HTTP."""
-        self.queue.close()
-        for request in self.queue.drain():
-            self._finish(
-                request,
-                503,
-                {"status": "rejected", "detail": "server shutting down"},
-            )
+        if self.frontend is not None:
+            self.frontend.stop()
+        else:
+            self.engine.stop()
         self._http.shutdown()
         self._http.server_close()
         for thread in self._threads:
@@ -137,263 +207,15 @@ class ServeServer:
         self.stop()
 
     # ------------------------------------------------------------------
-    # worker side
-    # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
-        while True:
-            batch = self.queue.next_batch(
-                max_batch=self.max_batch,
-                rider=self.controller.rider,
-                window=self.controller.dispatch_window,
-                cap=lambda head: self.controller.max_batch_for(
-                    head.fingerprint, self.max_batch
-                ),
-            )
-            if batch is None:  # queue closed
-                return
-            for request in batch.expired:
-                # Swept at pop time: the deadline passed while queued,
-                # so the request never occupies a solve lane.
-                self.metrics.inc("expired_at_pop")
-                self._timeout_queued(request)
-            if len(batch) > 1:
-                self.metrics.inc("coalesced_batches")
-                self.metrics.inc("coalesced_requests", len(batch) - 1)
-                self._process_batch(batch)
-            elif batch:
-                self._process(batch[0])
-
-    def _timeout_queued(self, request: SolveRequest) -> None:
-        queue_wait = time.monotonic() - request.enqueued_at
-        self.metrics.observe("queue_wait", queue_wait)
-        self._finish(
-            request,
-            504,
-            {
-                "status": "timeout",
-                "detail": "deadline expired while queued",
-                "queue_seconds": queue_wait,
-            },
-        )
-
-    def _ok_payload(
-        self, solved, queue_wait: float, *, batched: bool, batch_lanes: int
-    ) -> dict:
-        result = solved.report.result
-        return {
-            "status": "ok",
-            "fingerprint": solved.fingerprint,
-            "warm": solved.warm,
-            "cache_hit": solved.cache_hit,
-            "batched": batched,
-            "batch_lanes": batch_lanes,
-            "queue_seconds": queue_wait,
-            "compile_seconds": solved.compile_seconds,
-            "solve_seconds": solved.solve_seconds,
-            "cycles": solved.report.cycles,
-            "runtime_seconds": solved.report.runtime_seconds,
-            "solved": result.status is SolverStatus.SOLVED,
-            "result": result.to_dict(),
-        }
-
-    def _process(self, request: SolveRequest) -> None:
-        queue_wait = time.monotonic() - request.enqueued_at
-        self.metrics.observe("queue_wait", queue_wait)
-        if request.expired():
-            self._finish(
-                request,
-                504,
-                {
-                    "status": "timeout",
-                    "detail": "deadline expired while queued",
-                    "queue_seconds": queue_wait,
-                },
-            )
-            return
-        self._solve_solo(request, queue_wait)
-
-    def _solve_solo(self, request: SolveRequest, queue_wait: float) -> None:
-        cpu_t0 = time.thread_time()
-        try:
-            solved = self.pool.solve(
-                request.problem, fingerprint=request.fingerprint
-            )
-        except Exception as exc:  # a poisoned request must not kill workers
-            self._finish(
-                request,
-                500,
-                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
-            )
-            return
-        if solved.warm:
-            # Only warm solves inform the cost model: a cold solve's
-            # cost is dominated by construction, not the pattern's
-            # per-instance solve economics.  Priced in this worker
-            # thread's CPU time so concurrent handler threads don't
-            # charge their interpreter contention to the solve.
-            self.controller.observe_solo(
-                request.fingerprint,
-                seconds=time.thread_time() - cpu_t0,
-                iterations=solved.report.result.iterations,
-            )
-        self._finish(
-            request,
-            200,
-            self._ok_payload(solved, queue_wait, batched=False, batch_lanes=1),
-        )
-
-    def _process_batch(self, batch: DispatchBatch) -> None:
-        """Dispatch a coalesced batch as one batched pool solve.
-
-        Per-request deadlines hold inside the batch: lanes already
-        expired at dispatch are answered 504 and dropped before the
-        solve, so they never displace or poison their siblings, and a
-        failure answers only the live lanes that were actually in the
-        pass.
-        """
-        now = time.monotonic()
-        live: list[SolveRequest] = []
-        waits: dict[int, float] = {}
-        for request in batch:
-            queue_wait = now - request.enqueued_at
-            self.metrics.observe("queue_wait", queue_wait)
-            if request.expired(now):
-                self._finish(
-                    request,
-                    504,
-                    {
-                        "status": "timeout",
-                        "detail": "deadline expired while queued",
-                        "queue_seconds": queue_wait,
-                    },
-                )
-            else:
-                live.append(request)
-                waits[request.request_id] = queue_wait
-        if not live:
-            return
-        if len(live) == 1:
-            request = live[0]
-            self._solve_solo(request, waits[request.request_id])
-            return
-        # Bail-out budget: the tightest live deadline bounds how long a
-        # pass may chase stragglers before splitting them out.
-        remaining = [
-            r for r in (req.remaining(now) for req in live) if r is not None
-        ]
-        progress = self.controller.make_progress(
-            batch.fingerprint,
-            deadline_remaining=min(remaining) if remaining else None,
-        )
-        published: set[int] = set()
-        pass_t0 = time.perf_counter()
-        pass_cpu_t0 = time.thread_time()
-
-        def lane_done(index: int, solved) -> None:
-            # Called at harvest time (fast lanes before slow ones, under
-            # the pool entry's lock): answer the request now instead of
-            # at the end of the pass — the controller's p50 lever.
-            published.add(index)
-            request = live[index]
-            self._finish(
-                request,
-                200,
-                self._ok_payload(
-                    solved,
-                    waits[request.request_id],
-                    batched=True,
-                    batch_lanes=len(live),
-                ),
-            )
-
-        try:
-            solves = self.pool.solve_batch(
-                [r.problem for r in live],
-                fingerprint=batch.fingerprint,
-                progress=progress,
-                on_lane=lane_done,
-            )
-        except Exception as exc:
-            for index, request in enumerate(live):
-                if index not in published:
-                    self._finish(
-                        request,
-                        500,
-                        {
-                            "status": "error",
-                            "detail": f"{type(exc).__name__}: {exc}",
-                        },
-                    )
-            return
-        pass_seconds = time.perf_counter() - pass_t0
-        pass_cpu = time.thread_time() - pass_cpu_t0
-        # Lanes answered before the slowest lane finished — the wait
-        # the old publish-at-pass-end behaviour would have added.
-        slowest = max(s.solve_seconds for s in solves)
-        early = sum(1 for s in solves if s.solve_seconds < slowest)
-        if early:
-            self.metrics.inc("early_responses", early)
-        # Backstop: publish any lane the callback missed (sequential
-        # fallback paths always invoke it, but stay defensive).
-        for index, (request, solved) in enumerate(zip(live, solves)):
-            if index not in published:
-                self._finish(
-                    request,
-                    200,
-                    self._ok_payload(
-                        solved,
-                        waits[request.request_id],
-                        batched=True,
-                        batch_lanes=len(live),
-                    ),
-                )
-        if self.pool.variant == "direct":
-            # Feed the cost model: per-lane iterations, pass cost in
-            # this worker's CPU time (comparable to the solo pricing —
-            # wall time would bill the pass for the handler threads it
-            # wakes with its own early responses), rho fallbacks vs
-            # controller bail-outs.
-            self.controller.observe_pass(
-                batch.fingerprint,
-                lanes=len(live),
-                seconds=pass_cpu,
-                lane_iterations=[
-                    s.report.result.iterations for s in solves
-                ],
-                solo_lanes=sum(s.solo_lane for s in solves),
-                bailed_lanes=sum(s.bailed_lane for s in solves),
-            )
-
-    def _finish(
-        self, request: SolveRequest, status_code: int, payload: dict
-    ) -> None:
-        """Publish a response exactly once and account it."""
-        if not request.respond(status_code, payload):
-            # The front-end already answered (deadline backstop); a
-            # completed solve arriving late is recorded as a timeout
-            # casualty, not a served response.
-            if status_code == 200:
-                self.metrics.inc("timeouts")
-            return
-        if status_code == 200:
-            self.metrics.inc("responses_ok")
-        elif status_code == 504:
-            self.metrics.inc("timeouts")
-        elif status_code == 503:
-            self.metrics.inc("rejected")
-        else:
-            self.metrics.inc("responses_error")
-        self.metrics.observe("total", time.monotonic() - request.enqueued_at)
-
-    # ------------------------------------------------------------------
     # handler side
     # ------------------------------------------------------------------
     def handle_solve(self, body: dict) -> tuple[int, dict]:
         """Admit one parsed request and wait for its response."""
         self.metrics.inc("requests_total")
+        tier = self.frontend if self.frontend is not None else self.engine
         try:
             problem = problem_from_dict(body["problem"])
-            fingerprint = self.pool.fingerprint(problem)
+            fingerprint = tier.pool.fingerprint(problem)
         except Exception as exc:
             self.metrics.inc("responses_error")
             return 400, {
@@ -407,7 +229,7 @@ class ServeServer:
             deadline=time.monotonic() + timeout_s,
         )
         try:
-            self.queue.submit(request)
+            tier.submit(request)
         except QueueFullError as exc:
             payload = {"status": "rejected", "detail": str(exc)}
             request.respond(503, payload)
@@ -431,19 +253,37 @@ class ServeServer:
         assert request.status_code is not None and request.response is not None
         return request.status_code, request.response
 
-    def health(self) -> dict:
-        return {
+    def health(self) -> tuple[int, dict]:
+        """The liveness document plus its HTTP status (207 = degraded)."""
+        base = {
             "status": "ok",
             "uptime_s": time.monotonic() - self.started_at,
-            "pool_size": len(self.pool),
-            "pool_capacity": self.pool.capacity,
-            "queue_depth": len(self.queue),
-            "queue_capacity": self.queue.maxsize,
             "workers": self.workers,
-            "variant": self.pool.variant,
-            "c": self.pool.c,
-            "batch_policy": self.controller.policy,
         }
+        if self.frontend is not None:
+            doc = self.frontend.health()
+            base.update(doc)
+            return (207 if base["status"] == "degraded" else 200), base
+        base.update(
+            {
+                "pool_size": len(self.engine.pool),
+                "pool_capacity": self.engine.pool.capacity,
+                "queue_depth": len(self.engine.queue),
+                "queue_capacity": self.engine.queue.maxsize,
+                "variant": self.engine.pool.variant,
+                "c": self.engine.pool.c,
+                "batch_policy": self.engine.controller.policy,
+            }
+        )
+        return 200, base
+
+    def metrics_snapshot(self) -> dict:
+        """The /v1/metrics payload (aggregated across shards)."""
+        if self.frontend is not None:
+            return self.frontend.metrics_snapshot()
+        snap = self.engine.metrics.snapshot()
+        snap["controller"] = self.engine.controller.snapshot()
+        return snap
 
 
 def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
@@ -464,11 +304,9 @@ def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
 
         def do_GET(self) -> None:
             if self.path == "/v1/health":
-                self._send_json(200, server.health())
+                self._send_json(*server.health())
             elif self.path == "/v1/metrics":
-                snap = server.metrics.snapshot()
-                snap["controller"] = server.controller.snapshot()
-                self._send_json(200, snap)
+                self._send_json(200, server.metrics_snapshot())
             else:
                 self._send_json(
                     404, {"status": "error", "detail": "unknown endpoint"}

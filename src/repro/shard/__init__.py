@@ -1,0 +1,50 @@
+"""Sharded multi-process serve tier.
+
+Scale the serve tier past the GIL by running N worker processes, each
+owning a private warm :class:`~repro.serve.pool.SolverPool` and
+adaptive batching shard.  A consistent-hash router keyed on the
+schedule-cache pattern fingerprint pins every sparsity pattern to one
+home shard (compile-once/solve-many per *process*), a shared-memory
+slab ring moves only the numeric values per request, and a thin
+:class:`ShardFrontend` does admission, routing, deadline propagation
+and response demultiplexing — including failing in-flight requests
+fast and respawning the worker when a shard dies.
+
+Layering::
+
+    ShardFrontend        routing + admission + demux (threads)
+      ShardManager       process lifecycle, one SlabRing per shard
+        ShardWorker      pipe protocol around a SolveEngine (process)
+    ConsistentHashRouter pattern fingerprint -> home shard
+    transport            value codec + shared-memory slab ring
+"""
+
+from .frontend import ShardFrontend
+from .manager import ShardHandle, ShardManager
+from .router import ConsistentHashRouter
+from .transport import (
+    ShardValues,
+    SlabOverflow,
+    SlabRing,
+    pack_values,
+    packed_size,
+    rebuild_problem,
+    unpack_values,
+)
+from .worker import ShardWorker, shard_worker_main
+
+__all__ = [
+    "ConsistentHashRouter",
+    "ShardFrontend",
+    "ShardHandle",
+    "ShardManager",
+    "ShardValues",
+    "ShardWorker",
+    "SlabOverflow",
+    "SlabRing",
+    "pack_values",
+    "packed_size",
+    "rebuild_problem",
+    "shard_worker_main",
+    "unpack_values",
+]

@@ -1,0 +1,87 @@
+"""Consistent-hash routing of pattern fingerprints to shards.
+
+The routing invariant of the sharded serve tier: **every pattern has
+one home shard**, so each sparsity pattern compiles and stays warm in
+exactly one worker process — the per-process analogue of the pool's
+compile-once/solve-many economics, and the reason shard-local schedule
+caches never duplicate work.
+
+A classic hash ring (each shard projected onto the ring at ``replicas``
+virtual points, a fingerprint routed to the first shard point at or
+after its own hash) gives two properties a modulo router lacks:
+
+* **stability under failure** — while a shard is down, only *its*
+  patterns move (to their ring successors); every other pattern keeps
+  its warm home.  When the shard respawns, its patterns return to it.
+* **stability under resize** — growing N shards to N+1 remaps only
+  ~1/(N+1) of the patterns.
+
+Everything is derived from SHA-256, so routing is deterministic across
+processes and runs — the front-end and any external observer agree on
+a pattern's home without coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _point(token: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(token.encode()).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRouter:
+    """Map fingerprints to shard ids over a hash ring."""
+
+    def __init__(self, shard_ids: Iterable[int], *, replicas: int = 64) -> None:
+        self.shard_ids = sorted(set(int(s) for s in shard_ids))
+        if not self.shard_ids:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for sid in self.shard_ids:
+            for r in range(replicas):
+                points.append((_point(f"shard-{sid}#{r}"), sid))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [sid for _, sid in points]
+
+    # ------------------------------------------------------------------
+    def home(self, fingerprint: str) -> int:
+        """The fingerprint's home shard (ignoring liveness)."""
+        return self.route(fingerprint)
+
+    def route(
+        self, fingerprint: str, *, live: set[int] | None = None
+    ) -> int | None:
+        """The shard serving ``fingerprint`` right now.
+
+        With ``live`` given, down shards are skipped by walking the
+        ring to the next live owner — the *re-route* path while a
+        worker respawns.  Returns ``None`` when no live shard exists.
+        """
+        if live is not None and not live:
+            return None
+        start = bisect.bisect_right(self._hashes, _point(fingerprint))
+        n = len(self._owners)
+        seen: set[int] = set()
+        for step in range(n):
+            sid = self._owners[(start + step) % n]
+            if live is None or sid in live:
+                return sid
+            seen.add(sid)
+            if len(seen) == len(self.shard_ids):
+                break
+        return None
+
+    def assignments(self, fingerprints: Iterable[str]) -> dict[str, int]:
+        """Home shard of each fingerprint (diagnostics/benchmarks)."""
+        return {fp: self.home(fp) for fp in fingerprints}

@@ -1,0 +1,258 @@
+"""Shared-memory transport: the value-slab ring and its codec.
+
+The sharded serve tier's data plane.  Patterns are cached shard-side
+(the worker keeps one *skeleton* problem per fingerprint), so the only
+thing that moves per request is the numeric payload — ``q``, ``l``,
+``u`` and the non-zero values of ``P`` (upper triangle, wire
+convention) and ``A``.  Those are packed as raw little-endian float64
+into a slab of a ``multiprocessing.shared_memory`` ring, and the
+control message crossing the pipe carries just the slab index — a few
+dozen bytes per request instead of a pickled problem.
+
+Raw float64 is also the correctness seam: every value round-trips
+**bit-exactly** (±inf included — no JSON encoding on the hot path), so
+a sharded solve is bit-identical to an in-process solve of the same
+request.
+
+Ownership discipline: only the front-end allocates and frees slabs
+(single-owner free list, no cross-process atomics).  The worker copies
+the payload out during decode and never writes the ring; a slab is
+freed when its response arrives — or when the front-end fails the
+request after a worker death, which is what makes ring recovery after
+a respawn trivial (every in-flight slab is released by the same code
+path that answers the request 503).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..linalg import CSCMatrix
+from ..solver import QPProblem
+
+__all__ = [
+    "SlabOverflow",
+    "SlabRing",
+    "ShardValues",
+    "pack_values",
+    "unpack_values",
+    "rebuild_problem",
+]
+
+_MAGIC = b"MIBS"
+_VERSION = 1
+# magic, version, n, m, p_nnz, a_nnz
+_HEADER = struct.Struct("<4sIQQQQ")
+
+
+class SlabOverflow(ValueError):
+    """A payload does not fit one slab (caller falls back to inline)."""
+
+
+@dataclass(frozen=True)
+class ShardValues:
+    """One request's numeric payload, decoded (arrays own their data)."""
+
+    q: np.ndarray
+    l: np.ndarray
+    u: np.ndarray
+    p_data: np.ndarray  # upper-triangle non-zeros of P (wire convention)
+    a_data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER.size + 8 * (
+            self.q.size + self.l.size + self.u.size
+            + self.p_data.size + self.a_data.size
+        )
+
+
+def packed_size(problem: QPProblem) -> int:
+    """Bytes :func:`pack_values` will produce for ``problem``."""
+    return _HEADER.size + 8 * (
+        problem.n + 2 * problem.m + problem.p_upper.nnz + problem.a.nnz
+    )
+
+
+def pack_values(problem: QPProblem) -> bytes:
+    """Encode a problem's numeric values (pattern stays shard-side).
+
+    ``P`` values are the **upper triangle** non-zeros in canonical CSC
+    order — the same convention as the ``repro-qp-v1`` wire document,
+    so the payload matches the skeleton a worker rebuilt from the
+    registration document regardless of whether the sender stored
+    ``P`` full or upper-triangular.
+    """
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        problem.n,
+        problem.m,
+        problem.p_upper.nnz,
+        problem.a.nnz,
+    )
+    parts = [
+        header,
+        np.ascontiguousarray(problem.q, dtype="<f8").tobytes(),
+        np.ascontiguousarray(problem.l, dtype="<f8").tobytes(),
+        np.ascontiguousarray(problem.u, dtype="<f8").tobytes(),
+        np.ascontiguousarray(problem.p_upper.data, dtype="<f8").tobytes(),
+        np.ascontiguousarray(problem.a.data, dtype="<f8").tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def unpack_values(buf: bytes | memoryview) -> ShardValues:
+    """Decode a packed payload into owned arrays.
+
+    The returned arrays are **copies**: decoding directly out of a
+    shared-memory slab must not alias storage the front-end will
+    recycle for the next request.
+    """
+    view = memoryview(buf)
+    if len(view) < _HEADER.size:
+        raise ValueError("payload shorter than the value header")
+    magic, version, n, m, p_nnz, a_nnz = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad value-payload magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported value-payload version {version}")
+    need = _HEADER.size + 8 * (n + 2 * m + p_nnz + a_nnz)
+    if len(view) < need:
+        raise ValueError(
+            f"truncated value payload: need {need} bytes, have {len(view)}"
+        )
+    offset = _HEADER.size
+
+    def take(count: int) -> np.ndarray:
+        nonlocal offset
+        arr = np.frombuffer(view, dtype="<f8", count=count, offset=offset)
+        offset += 8 * count
+        # .copy() detaches from the slab (see docstring) and yields a
+        # native-endian owned array.
+        return arr.astype(np.float64, copy=True)
+
+    return ShardValues(
+        q=take(n), l=take(m), u=take(m), p_data=take(p_nnz), a_data=take(a_nnz)
+    )
+
+
+def rebuild_problem(skeleton: QPProblem, values: ShardValues) -> QPProblem:
+    """A fresh numeric instance of ``skeleton``'s pattern.
+
+    The skeleton is the problem the front-end registered for this
+    fingerprint (wire form: ``P`` stored upper-triangular), so its CSC
+    index structure is exactly the order the packed values follow.
+    Index arrays are shared with the skeleton — they are pattern
+    constants — and only the value arrays are new.
+    """
+    if values.q.size != skeleton.n or values.l.size != skeleton.m:
+        raise ValueError(
+            f"value payload sized for n={values.q.size}/m={values.l.size}, "
+            f"skeleton has n={skeleton.n}/m={skeleton.m}"
+        )
+    p_upper = skeleton.p_upper
+    if values.p_data.size != p_upper.nnz or values.a_data.size != skeleton.a.nnz:
+        raise ValueError("value payload nnz does not match the skeleton")
+    p = CSCMatrix(
+        p_upper.shape, p_upper.indptr, p_upper.indices, values.p_data,
+        check=False,
+    )
+    a = CSCMatrix(
+        skeleton.a.shape, skeleton.a.indptr, skeleton.a.indices,
+        values.a_data, check=False,
+    )
+    return QPProblem(
+        p=p, q=values.q, a=a, l=values.l, u=values.u, name=skeleton.name
+    )
+
+
+class SlabRing:
+    """A ring of fixed-size value slabs in one shared-memory segment.
+
+    One ring per shard.  The front-end side (``create=True``) owns
+    allocation: :meth:`acquire` hands out a free slab index or ``None``
+    when the ring is saturated (the caller falls back to sending the
+    payload inline over the pipe — backpressure without deadlock), and
+    :meth:`release` returns it.  The worker side attaches by name and
+    only ever reads.
+    """
+
+    def __init__(
+        self, *, slabs: int = 32, slab_size: int = 1 << 20,
+        name: str | None = None,
+    ) -> None:
+        if slabs < 1 or slab_size < _HEADER.size:
+            raise ValueError("need at least one slab of non-trivial size")
+        self.slabs = slabs
+        self.slab_size = slab_size
+        self._owner = name is None
+        if self._owner:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=slabs * slab_size
+            )
+        else:
+            # Attaching re-registers the segment with the resource
+            # tracker, but shard workers inherit the front-end's
+            # tracker process, whose cache is a set — the re-register
+            # is idempotent and the front-end's unlink() remains the
+            # single cleanup.  (Do NOT "fix" this with
+            # resource_tracker.unregister here: with a shared tracker
+            # that would erase the owner's registration instead.)
+            self.shm = shared_memory.SharedMemory(name=name)
+        self.name = self.shm.name
+        self._free = list(range(slabs - 1, -1, -1))
+        self._lock = threading.Lock()
+
+    @classmethod
+    def attach(cls, name: str, *, slabs: int, slab_size: int) -> "SlabRing":
+        return cls(slabs=slabs, slab_size=slab_size, name=name)
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> int | None:
+        with self._lock:
+            return self._free.pop() if self._free else None
+
+    def release(self, index: int) -> None:
+        with self._lock:
+            if index in self._free:  # double release is a logic error
+                raise ValueError(f"slab {index} already free")
+            self._free.append(index)
+
+    def free_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def write(self, index: int, payload: bytes) -> int:
+        """Copy ``payload`` into slab ``index``; returns its length."""
+        if len(payload) > self.slab_size:
+            raise SlabOverflow(
+                f"payload of {len(payload)} bytes exceeds the "
+                f"{self.slab_size}-byte slab"
+            )
+        start = index * self.slab_size
+        self.shm.buf[start : start + len(payload)] = payload
+        return len(payload)
+
+    def read(self, index: int, nbytes: int) -> bytes:
+        """Copy slab ``index``'s first ``nbytes`` bytes out of the ring."""
+        if nbytes > self.slab_size:
+            raise ValueError("read beyond the slab boundary")
+        start = index * self.slab_size
+        return bytes(self.shm.buf[start : start + nbytes])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -1,0 +1,142 @@
+"""Unit tests for the client's retry-once-on-dropped-connection path.
+
+No sockets: ``urllib.request.urlopen`` is monkeypatched to fail with
+transport errors on demand, so the tests pin down exactly which
+failures are retried (connection drops on idempotent requests, once)
+and which propagate (second drops, non-retryable errors,
+``retry=False``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeClient
+
+
+class FakeResponse(io.BytesIO):
+    status = 200
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(json.dumps(payload).encode())
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __enter__(self) -> "FakeResponse":
+        return self
+
+
+@pytest.fixture
+def client():
+    return ServeClient(port=1)  # never actually connected
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    naps: list[float] = []
+    monkeypatch.setattr(
+        "repro.serve.client.time.sleep", lambda s: naps.append(s)
+    )
+    return naps
+
+
+def flaky_urlopen(monkeypatch, errors: list[BaseException], payload: dict):
+    """urlopen that raises each queued error once, then succeeds."""
+    calls: list[urllib.request.Request] = []
+
+    def fake(request, timeout=None):
+        calls.append(request)
+        if errors:
+            raise errors.pop(0)
+        return FakeResponse(payload)
+
+    monkeypatch.setattr("urllib.request.urlopen", fake)
+    return calls
+
+
+class TestRetryOnce:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConnectionResetError("peer reset"),
+            BrokenPipeError("broken pipe"),
+            http.client.RemoteDisconnected("closed before response"),
+            urllib.error.URLError(ConnectionResetError("wrapped reset")),
+        ],
+    )
+    def test_dropped_connection_is_retried(
+        self, client, monkeypatch, no_sleep, error
+    ):
+        calls = flaky_urlopen(monkeypatch, [error], {"status": "ok"})
+        status, payload = client._request("/v1/health")
+        assert (status, payload) == (200, {"status": "ok"})
+        assert len(calls) == 2
+        # Backoff is jittered, not zero and not a fixed lockstep value.
+        assert len(no_sleep) == 1 and 0.05 <= no_sleep[0] <= 0.15
+
+    def test_second_drop_propagates(self, client, monkeypatch, no_sleep):
+        flaky_urlopen(
+            monkeypatch,
+            [ConnectionResetError("a"), ConnectionResetError("b")],
+            {"status": "ok"},
+        )
+        with pytest.raises(ConnectionResetError, match="b"):
+            client._request("/v1/health")
+
+    def test_retry_false_propagates_immediately(
+        self, client, monkeypatch, no_sleep
+    ):
+        calls = flaky_urlopen(
+            monkeypatch, [ConnectionResetError("a")], {"status": "ok"}
+        )
+        with pytest.raises(ConnectionResetError):
+            client._request("/v1/health", retry=False)
+        assert len(calls) == 1 and not no_sleep
+
+    def test_non_retryable_urlerror_propagates(
+        self, client, monkeypatch, no_sleep
+    ):
+        calls = flaky_urlopen(
+            monkeypatch,
+            [urllib.error.URLError(OSError("no route to host"))],
+            {"status": "ok"},
+        )
+        with pytest.raises(urllib.error.URLError):
+            client._request("/v1/health")
+        assert len(calls) == 1 and not no_sleep
+
+    def test_http_errors_are_not_retried(self, client, monkeypatch, no_sleep):
+        body = json.dumps({"status": "rejected", "detail": "full"}).encode()
+        error = urllib.error.HTTPError(
+            "http://x/v1/solve", 503, "Service Unavailable", {},
+            io.BytesIO(body),
+        )
+        calls = flaky_urlopen(monkeypatch, [error], {"status": "ok"})
+        status, payload = client._request("/v1/solve", body={"problem": {}})
+        assert status == 503 and payload["status"] == "rejected"
+        assert len(calls) == 1 and not no_sleep
+
+    def test_solve_retries_through_a_reset(self, client, monkeypatch, no_sleep):
+        """The solve path (idempotent by construction) rides the retry."""
+        from repro.problems import portfolio_problem
+
+        result_doc = {
+            "status": "ok",
+            "fingerprint": "sha256:f",
+            "warm": True,
+        }
+        calls = flaky_urlopen(
+            monkeypatch, [ConnectionResetError("mid-restart")], result_doc
+        )
+        response = client.solve(portfolio_problem(8, seed=0), timeout_s=5.0)
+        assert response.ok and response.warm
+        assert len(calls) == 2
+        # Both attempts sent the identical body (true retry, no mutation).
+        assert calls[0].data == calls[1].data

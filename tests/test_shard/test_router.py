@@ -1,0 +1,95 @@
+"""Unit tests for the consistent-hash pattern router.
+
+The routing invariant under test: every fingerprint has exactly one
+deterministic home shard, and liveness changes move only the patterns
+that *must* move (the down shard's), never anyone else's warm home.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shard import ConsistentHashRouter
+
+FINGERPRINTS = [f"sha256:{i:064x}" for i in range(200)]
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRouter(range(4))
+        b = ConsistentHashRouter(range(4))
+        assert a.assignments(FINGERPRINTS) == b.assignments(FINGERPRINTS)
+
+    def test_every_shard_gets_patterns(self):
+        router = ConsistentHashRouter(range(4))
+        homes = set(router.assignments(FINGERPRINTS).values())
+        assert homes == {0, 1, 2, 3}
+
+    def test_home_ignores_liveness(self):
+        router = ConsistentHashRouter(range(3))
+        for fp in FINGERPRINTS[:20]:
+            assert router.home(fp) == router.route(fp)
+
+    def test_reroute_moves_only_the_dead_shards_patterns(self):
+        router = ConsistentHashRouter(range(4))
+        before = router.assignments(FINGERPRINTS)
+        live = {0, 1, 3}  # shard 2 down
+        for fp, home in before.items():
+            routed = router.route(fp, live=live)
+            if home != 2:
+                assert routed == home  # untouched
+            else:
+                assert routed in live  # moved to a live successor
+
+    def test_respawn_returns_patterns_home(self):
+        router = ConsistentHashRouter(range(4))
+        displaced = [
+            fp for fp in FINGERPRINTS if router.home(fp) == 2
+        ]
+        assert displaced  # the sample is large enough to cover shard 2
+        for fp in displaced:
+            assert router.route(fp, live={0, 1, 2, 3}) == 2
+
+    def test_no_live_shard_routes_none(self):
+        router = ConsistentHashRouter(range(2))
+        assert router.route(FINGERPRINTS[0], live=set()) is None
+        # Liveness sets naming unknown shards route nowhere real.
+        assert router.route(FINGERPRINTS[0], live={7}) is None
+
+    def test_single_shard_owns_everything(self):
+        router = ConsistentHashRouter([0])
+        assert set(router.assignments(FINGERPRINTS).values()) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRouter([])
+        with pytest.raises(ValueError):
+            ConsistentHashRouter([0], replicas=0)
+
+
+class TestRingProperties:
+    @given(
+        fp=st.text(min_size=1, max_size=64),
+        shards=st.integers(2, 8),
+    )
+    def test_route_is_stable_and_live(self, fp, shards):
+        router = ConsistentHashRouter(range(shards))
+        home = router.home(fp)
+        assert 0 <= home < shards
+        live = set(range(shards)) - {home}
+        rerouted = router.route(fp, live=live)
+        assert rerouted in live
+
+    @given(
+        fp=st.text(min_size=1, max_size=64),
+        shards=st.integers(1, 6),
+        extra=st.integers(1, 3),
+    )
+    def test_resize_remaps_at_most_to_new_shards(self, fp, shards, extra):
+        """Growing the fleet either keeps a pattern home or moves it to
+        one of the newly added shards — never reshuffles among the old."""
+        small = ConsistentHashRouter(range(shards))
+        grown = ConsistentHashRouter(range(shards + extra))
+        before, after = small.home(fp), grown.home(fp)
+        assert after == before or after >= shards

@@ -1,0 +1,137 @@
+"""In-process tests of the shard worker's pipe protocol.
+
+``ShardWorker`` is deliberately testable without ``spawn``: a fake
+connection collects outbound messages while ``handle()`` is driven
+directly, so the register/solve/metrics/health protocol is covered in
+the fast tier (process-level behaviour lives in ``test_shard_e2e``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.io import problem_to_dict
+from repro.problems import portfolio_problem
+from repro.shard import ShardWorker, pack_values
+from repro.shard.transport import SlabRing
+from repro.solver import Settings
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+CONFIG = {
+    "workers": 1,
+    "queue_size": 8,
+    "max_batch": 4,
+    "batch_policy": "greedy",
+    "pool_kwargs": {"c": 8, "settings": FAST, "capacity": 4},
+}
+
+
+class FakeConn:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def of_kind(self, kind):
+        return [m for m in self.sent if m[0] == kind]
+
+    def wait_for(self, kind, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            found = self.of_kind(kind)
+            if found:
+                return found[-1]
+            time.sleep(0.005)
+        raise AssertionError(f"no {kind!r} message within {timeout_s}s")
+
+
+@pytest.fixture
+def worker():
+    conn = FakeConn()
+    w = ShardWorker(0, conn, None, CONFIG)
+    w.engine.start()
+    try:
+        yield w, conn
+    finally:
+        w.engine.stop()
+
+
+class TestProtocol:
+    def test_register_then_solve_inline(self, worker):
+        w, conn = worker
+        problem = portfolio_problem(8, seed=0)
+        fp = w.engine.pool.fingerprint(problem)
+        assert w.handle(("register", fp, problem_to_dict(problem)))
+        assert w.handle(
+            ("solve", 7, fp, None, None, 0, pack_values(problem))
+        )
+        done = conn.wait_for("done")
+        _, req_id, slab_index, status_code, payload = done
+        assert (req_id, slab_index, status_code) == (7, None, 200)
+        assert payload["status"] == "ok"
+        assert payload["result"]["status"] == "solved"
+
+    def test_solve_reads_the_slab(self, worker):
+        w, conn = worker
+        ring = SlabRing(slabs=2, slab_size=1 << 16)
+        try:
+            w.ring = SlabRing.attach(ring.name, slabs=2, slab_size=1 << 16)
+            problem = portfolio_problem(8, seed=3)
+            fp = w.engine.pool.fingerprint(problem)
+            w.handle(("register", fp, problem_to_dict(problem)))
+            index = ring.acquire()
+            nbytes = ring.write(index, pack_values(problem))
+            w.handle(("solve", 11, fp, None, index, nbytes, None))
+            done = conn.wait_for("done")
+            assert done[1:4] == (11, index, 200)  # slab echoed for release
+        finally:
+            if w.ring is not None:
+                w.ring.close()
+                w.ring = None
+            ring.close()
+            ring.unlink()
+
+    def test_unregistered_pattern_is_a_500(self, worker):
+        w, conn = worker
+        w.handle(("solve", 3, "sha256:missing", None, None, 0, b""))
+        done = conn.wait_for("done")
+        assert done[3] == 500
+        assert "never registered" in done[4]["detail"]
+
+    def test_corrupt_payload_is_a_400(self, worker):
+        w, conn = worker
+        problem = portfolio_problem(8, seed=0)
+        fp = w.engine.pool.fingerprint(problem)
+        w.handle(("register", fp, problem_to_dict(problem)))
+        w.handle(("solve", 4, fp, None, None, 0, b"not a payload"))
+        done = conn.wait_for("done")
+        assert done[3] == 400
+
+    def test_expired_deadline_times_out(self, worker):
+        w, conn = worker
+        problem = portfolio_problem(8, seed=0)
+        fp = w.engine.pool.fingerprint(problem)
+        w.handle(("register", fp, problem_to_dict(problem)))
+        past = time.monotonic() - 1.0
+        w.handle(("solve", 5, fp, past, None, 0, pack_values(problem)))
+        done = conn.wait_for("done")
+        assert done[3] == 504
+
+    def test_metrics_health_and_stop(self, worker):
+        w, conn = worker
+        assert w.handle(("metrics", 42))
+        kind, query_id, snap = conn.wait_for("metrics")
+        assert query_id == 42 and "counters" in snap and "controller" in snap
+        assert w.handle(("health", 43))
+        kind, query_id, doc = conn.wait_for("health")
+        assert query_id == 43 and doc["shard_id"] == 0
+        assert doc["patterns_resident"] == 0
+        assert not w.handle(("stop",))
+
+    def test_unknown_message_reports_error(self, worker):
+        w, conn = worker
+        assert w.handle(("warp", 1))
+        assert conn.of_kind("error")
