@@ -1,6 +1,6 @@
 """Batched trace replay throughput: B same-pattern QPs in one pass.
 
-Sweeps the batch width B over {1, 4, 16, 64} on the serving pattern
+Sweeps the batch width B over {1, 4, 16, 64, 256} on the serving pattern
 suite (lasso / mpc / portfolio / svm) and measures the aggregate ADMM
 iteration throughput of :meth:`~repro.backends.MIBSolver.solve_batch`
 against B independent passes.  Lanes are fresh numeric instances of
@@ -44,6 +44,7 @@ from repro.problems import (
     svm_problem,
 )
 from repro.solver import QPProblem, Settings
+from repro.xp import BackendPolicy
 
 from benchmarks.common import perturbed, print_check_failures, write_json
 
@@ -73,7 +74,7 @@ PATTERNS = {
     "svm": lambda: svm_problem(6, n_samples=24, seed=0),
 }
 
-FULL_SWEEP = (1, 4, 16, 64)
+FULL_SWEEP = (1, 4, 16, 64, 256)
 QUICK_SWEEP = (1, GATE_BATCH)
 
 
@@ -130,6 +131,7 @@ def run_benchmark(*, quick: bool = False) -> dict:
             wall, iterations = _time_batch(solver, lanes[:b], reps)
             batches[str(b)] = {
                 "lanes": b,
+                "backend": solver.backend_policy.for_batch(b).name,
                 "iterations": iterations,
                 "wall_s": wall,
                 "agg_iters_per_s": iterations / wall,
@@ -157,6 +159,7 @@ def run_benchmark(*, quick: bool = False) -> dict:
         "benchmark": "batched_trace_replay_throughput",
         "c": C,
         "variant": "direct",
+        "array_backend": BackendPolicy.resolve("auto").describe(),
         "iterations_per_lane": ITERS,
         "quick": quick,
         "batch_sweep": list(sweep),
@@ -207,7 +210,8 @@ def main(argv: list[str]) -> int:
     write_json("BENCH_batch.json", doc)
     for name, d in doc["domains"].items():
         per_b = " | ".join(
-            f"B={b['lanes']}: {b['agg_iters_per_s']:.0f} it/s"
+            f"B={b['lanes']}[{b['backend']}]: "
+            f"{b['agg_iters_per_s']:.0f} it/s"
             for b in d["batch"].values()
         )
         print(

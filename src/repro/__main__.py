@@ -44,6 +44,7 @@ from .compiler import (
 from .problems import DOMAINS, benchmark_suite, domain_scales
 from .problems.suite import _GENERATORS
 from .solver import Settings, solve as host_solve
+from .xp import BACKEND_CHOICES
 
 
 def _make_problem(args) -> object:
@@ -81,6 +82,7 @@ def cmd_solve(args) -> int:
             c=args.width,
             settings=settings,
             execution=args.execution,
+            array_backend=args.array_backend,
         )
         if args.backend == "network":
             net = solver.solve_on_network()
@@ -199,6 +201,7 @@ def cmd_suite(args) -> int:
         cache_dir=args.cache_dir,
         execution=args.execution,
         batch=args.batch,
+        array_backend=args.array_backend,
     )
     wall = time.perf_counter() - t0
     headers, rows = suite_rows(specs, evaluations)
@@ -267,6 +270,7 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         warm_start=args.warm_start,
         execution=args.execution,
+        array_backend=args.array_backend,
         shards=args.shards,
     )
     server.start()
@@ -333,6 +337,15 @@ def main(argv: list[str] | None = None) -> int:
             "(cycle-stepped oracle), 'replay' (per-kernel compiled "
             "traces), 'fused' (one whole-iteration trace per ADMM "
             "iteration; bit-identical, fewest host dispatches)",
+        )
+        p.add_argument(
+            "--array-backend",
+            choices=BACKEND_CHOICES,
+            default="auto",
+            help="array namespace executing replay/fused traces: "
+            "'numpy' (reference), 'torch'/'cupy' (device batch path; "
+            "must be installed), 'auto' (numpy sequentially, an "
+            "available accelerator for large batches)",
         )
 
     p = sub.add_parser("solve", help="solve one benchmark problem")
@@ -447,6 +460,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=("interpret", "replay", "fused"),
         default="replay",
         help="execution mode for every pooled solver (see 'solve')",
+    )
+    p.add_argument(
+        "--array-backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="array namespace for every pooled solver (see 'solve')",
     )
     p.set_defaults(fn=cmd_serve)
 

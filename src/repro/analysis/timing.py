@@ -150,6 +150,7 @@ def evaluate_problem(
     cache: ScheduleCache | None = None,
     execution: str = "replay",
     batch: int = 1,
+    array_backend: str = "auto",
 ) -> ProblemEvaluation:
     """Evaluate one problem across the MIB prototype and baselines.
 
@@ -180,6 +181,7 @@ def evaluate_problem(
         settings=settings,
         cache=cache,
         execution=execution,
+        array_backend=array_backend,
     )
     t_solve = time.perf_counter()
     report = mib.solve()
@@ -258,7 +260,8 @@ def process_cache(cache_dir: str | Path | None) -> ScheduleCache | None:
 
 def _evaluate_spec(task) -> ProblemEvaluation:
     """Top-level worker (picklable) for the parallel suite driver."""
-    spec, variant, c, settings, seed, cache_dir, execution, batch = task
+    (spec, variant, c, settings, seed, cache_dir, execution, batch,
+     array_backend) = task
     return evaluate_problem(
         spec.generate(seed),
         domain=spec.domain,
@@ -269,6 +272,7 @@ def _evaluate_spec(task) -> ProblemEvaluation:
         cache=process_cache(cache_dir),
         execution=execution,
         batch=batch,
+        array_backend=array_backend,
     )
 
 
@@ -283,6 +287,7 @@ def evaluate_suite(
     cache_dir: str | Path | None = None,
     execution: str = "replay",
     batch: int = 1,
+    array_backend: str = "auto",
 ) -> list[ProblemEvaluation]:
     """Evaluate a set of benchmark specs under one variant.
 
@@ -309,11 +314,12 @@ def evaluate_suite(
                 cache_dir=tmp,
                 execution=execution,
                 batch=batch,
+                array_backend=array_backend,
             )
     tasks = [
         (spec, variant, c, settings, seed,
          str(cache_dir) if cache_dir is not None else None, execution,
-         batch)
+         batch, array_backend)
         for spec in specs
     ]
     return parallel_map(_evaluate_spec, tasks, jobs=jobs)

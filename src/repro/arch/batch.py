@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..xp import NUMPY
 from .isa import Location
 from .regfile import VectorView
 
@@ -37,14 +38,17 @@ class BatchStreamBuffers:
     streams); a ``(B, len)`` array carries per-lane values (matrix
     data, bounds, per-lane rho).  ``fetch`` returns ``(len,)`` or
     ``(B, len)`` accordingly; the replay broadcasts either into its
-    ``(B, n_coeff)`` coefficient buffer.
+    ``(B, n_coeff)`` coefficient buffer.  Bound values are validated
+    on host and stored on ``xp``, so each bind is one host→backend
+    crossing and fetches stay backend-resident.
     """
 
-    def __init__(self, b: int) -> None:
+    def __init__(self, b: int, xp=NUMPY) -> None:
         if b < 1:
             raise ValueError("batch size must be >= 1")
         self.b = b
-        self.buffers: dict[str, np.ndarray] = {}
+        self.xp = xp
+        self.buffers: dict = {}
 
     def bind(self, name: str, values: np.ndarray) -> None:
         arr = np.asarray(values, dtype=np.float64)
@@ -54,12 +58,12 @@ class BatchStreamBuffers:
             )
         if arr.ndim not in (1, 2):
             raise ValueError(f"stream {name!r} must be 1-D or (B, len)")
-        self.buffers[name] = arr
+        self.buffers[name] = self.xp.from_host(arr)
 
-    def fetch(self, name: str, indices: np.ndarray) -> np.ndarray:
+    def fetch(self, name: str, indices: np.ndarray):
         if name not in self.buffers:
             raise KeyError(f"stream {name!r} not bound")
-        return self.buffers[name][..., indices]
+        return self.buffers[name][..., self.xp.index(indices)]
 
     def __contains__(self, name: str) -> bool:
         return name in self.buffers
@@ -70,13 +74,17 @@ class BatchStreamBuffers:
         self.b = int(np.count_nonzero(keep))
         for name, arr in self.buffers.items():
             if arr.ndim == 2:
-                self.buffers[name] = arr[keep]
+                self.buffers[name] = self.xp.take_rows(arr, keep)
 
     def extract(self, row: int) -> "BatchStreamBuffers":
         """A single-lane copy (shared 1-D streams stay shared)."""
-        out = BatchStreamBuffers(1)
+        out = BatchStreamBuffers(1, self.xp)
         for name, arr in self.buffers.items():
-            out.buffers[name] = arr[row : row + 1].copy() if arr.ndim == 2 else arr
+            out.buffers[name] = (
+                self.xp.copy_values(arr[row : row + 1])
+                if arr.ndim == 2
+                else arr
+            )
         return out
 
 
@@ -89,19 +97,24 @@ class BatchSimState:
     super-pipelining extra).
     """
 
-    def __init__(self, b: int, *, c: int, depth: int, latency: int) -> None:
+    def __init__(
+        self, b: int, *, c: int, depth: int, latency: int, xp=NUMPY
+    ) -> None:
         if b < 1:
             raise ValueError("batch size must be >= 1")
         self.b = b
         self.c = c
         self.depth = depth
         self.latency = latency
+        self.xp = xp
         # flat rf index (bank*depth + addr) -> column; shared (by
         # reference) with every extracted lane so cached column maps
-        # stay valid for all of them.
+        # stay valid for all of them.  Column maps are computed (and
+        # cached) on host; backends convert them on use via the
+        # memoized ``xp.index``.
         self._cols: dict[int, int] = {}
         self._col_cache: dict[tuple, np.ndarray] = {}
-        self.rf = np.zeros((b, 64), dtype=np.float64)
+        self.rf = xp.zeros((b, 64))
         # Auxiliary word spaces: (space, bank, addr) -> (B,) column.
         self._aux: dict[tuple, np.ndarray] = {}
         self.hbm_words_read = 0
@@ -123,7 +136,7 @@ class BatchSimState:
         need = len(self._cols)
         if need > self.rf.shape[1]:
             width = max(64, 2 * need)
-            grown = np.zeros((self.b, width), dtype=np.float64)
+            grown = self.xp.zeros((self.b, width))
             grown[:, : self.rf.shape[1]] = self.rf
             self.rf = grown
 
@@ -147,23 +160,23 @@ class BatchSimState:
             return ("rf", loc.bank, loc.addr)
         return (loc.space, 0, loc.addr)
 
-    def read_loc(self, loc: Location) -> np.ndarray:
+    def read_loc(self, loc: Location):
         """Per-lane value of one word (0.0 where never written)."""
         col = self._aux.get(self._aux_key(loc))
         if col is None:
-            return np.zeros(self.b, dtype=np.float64)
+            return self.xp.zeros(self.b)
         return col
 
-    def write_loc(self, loc: Location, values: np.ndarray) -> None:
-        self._aux[self._aux_key(loc)] = np.array(values, dtype=np.float64)
+    def write_loc(self, loc: Location, values) -> None:
+        self._aux[self._aux_key(loc)] = self.xp.copy_values(values)
 
     def lbuf_matrix(self, count: int) -> np.ndarray:
-        """The first ``count`` lbuf words as a dense ``(B, count)``
+        """The first ``count`` lbuf words as a dense host ``(B, count)``
         array (the factor-value stream binding after factorization)."""
         out = np.zeros((self.b, count), dtype=np.float64)
         for (space, _, addr), col in self._aux.items():
             if space == "lbuf" and addr < count:
-                out[:, addr] = col
+                out[:, addr] = self.xp.to_host(col)
         return out
 
     # -- vector views (host-side load/readback) ------------------------
@@ -179,11 +192,15 @@ class BatchSimState:
 
     def load_vector(self, view: VectorView, values: np.ndarray) -> None:
         """Bulk host-side load; ``values`` is ``(len,)`` or ``(B, len)``."""
-        self.rf[:, self._view_cols(view)] = values
+        cols = self.xp.index(self._view_cols(view))
+        self.rf[:, cols] = self.xp.from_host(
+            np.asarray(values, dtype=np.float64)
+        )
 
     def read_vector(self, view: VectorView) -> np.ndarray:
         """Bulk host-side readback, shape ``(B, len)``."""
-        return self.rf[:, self._view_cols(view)].copy()
+        cols = self.xp.index(self._view_cols(view))
+        return self.xp.to_host(self.rf[:, cols], copy=True)
 
     # -- traffic accounting --------------------------------------------
     def record_hbm(self, words_read: int, words_written: int) -> None:
@@ -199,9 +216,9 @@ class BatchSimState:
         every cached gather/scatter plan stays valid.
         """
         self.b = int(np.count_nonzero(keep))
-        self.rf = self.rf[keep]
+        self.rf = self.xp.take_rows(self.rf, keep)
         for key, col in self._aux.items():
-            self._aux[key] = col[keep]
+            self._aux[key] = self.xp.take_rows(col, keep)
 
     def extract(self, row: int) -> "BatchSimState":
         """Copy one lane into a new single-lane state.
@@ -211,12 +228,13 @@ class BatchSimState:
         using the same cached plans.
         """
         out = BatchSimState(
-            1, c=self.c, depth=self.depth, latency=self.latency
+            1, c=self.c, depth=self.depth, latency=self.latency, xp=self.xp
         )
         out._cols = self._cols
         out._col_cache = self._col_cache
-        out.rf = self.rf[row : row + 1].copy()
+        out.rf = self.xp.copy_values(self.rf[row : row + 1])
         out._aux = {
-            key: col[row : row + 1].copy() for key, col in self._aux.items()
+            key: self.xp.copy_values(col[row : row + 1])
+            for key, col in self._aux.items()
         }
         return out

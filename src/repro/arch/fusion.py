@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..xp import NUMPY
 from .isa import Location
 from .simulator import SimulationStats
 from .trace import (
@@ -77,6 +78,7 @@ from .trace import (
     _SUB,
     CompiledTrace,
     TracePhase,
+    _prepare_phase,
     phase_crossings,
     run_phases,
     run_phases_batch,
@@ -756,33 +758,38 @@ def _sub(idx) -> tuple[str, object | None]:
     return "", idx
 
 
-def compile_step(phases: list[TracePhase]):
+def compile_step(phases: list[TracePhase], xp=NUMPY):
     """Compile a phase list into one straight-line python function
     ``step(coeff, state)`` over the unified fused buffer.
 
     Emits, for every dynamic-coefficient fill, exec batch and commit
-    run, the *textually identical* numpy expression that
-    :func:`~repro.arch.trace.run_phases` would dispatch to — same
-    operations, same operand order, same dtypes — so the result is
-    bitwise equal to interpreting the phases; the generated function
-    only removes the per-batch tuple-unpack/branch overhead of the
-    interpreter loop.  Index arrays become closure constants; slice
-    operands are inlined into the subscript."""
+    run, the *textually identical* expression that
+    :func:`~repro.arch.trace.run_phases` would dispatch to on ``xp`` —
+    same operations, same operand order, same dtypes — so the result
+    is bitwise equal to interpreting the phases; the generated
+    function only removes the per-batch tuple-unpack/branch overhead
+    of the interpreter loop.  Index arrays become closure constants
+    (converted once for non-host backends); slice operands are inlined
+    into the subscript."""
     env: dict = {
-        "bincount": np.bincount,
-        "add_at": np.add.at,
-        "minimum": np.minimum,
-        "maximum": np.maximum,
+        "bincount": xp.bincount,
+        "add_at": xp.add_at,
+        "minimum": xp.minimum,
+        "maximum": xp.maximum,
     }
     n = 0
 
-    def ref(idx) -> str:
+    def ref(idx, convert=None) -> str:
         nonlocal n
         text, arr = _sub(idx)
         if arr is None:
             return text
         name = f"_a{n}"
         n += 1
+        if convert is not None:
+            arr = convert(arr)
+        elif not xp.is_host and isinstance(arr, np.ndarray):
+            arr = xp.constant(arr) if arr.dtype.kind == "f" else xp.index(arr)
         env[name] = arr
         return name
 
@@ -879,11 +886,12 @@ def compile_step(phases: list[TracePhase]):
             if acc and has_dups:
                 # sids in call position: a slice would be a syntax
                 # error inline, spell it out (cannot be contiguous
-                # anyway — duplicates preclude it).
+                # anyway — duplicates preclude it).  Backends without
+                # an unbuffered scatter take their prepared handle.
                 s_txt = (
                     f"slice({sids.start}, {sids.stop})"
                     if isinstance(sids, slice)
-                    else ref(sids)
+                    else ref(sids, convert=xp.prepare_add_at_index)
                 )
                 lines.append(
                     f"    add_at(state, {s_txt}, state[{ref(vids)}])"
@@ -912,12 +920,24 @@ class FusedSegment:
     hbm_words_read: int
     hbm_words_written: int
     _crossings: int | None = field(default=None, repr=False, compare=False)
+    _prepared: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def crossings(self) -> int:
         if self._crossings is None:
             self._crossings = phase_crossings(self.phases)
         return self._crossings
+
+    def phases_for(self, xp) -> list[TracePhase]:
+        """The segment's phases prepared for ``xp`` (cached per
+        backend; host backends get the originals)."""
+        if xp.is_host:
+            return self.phases
+        prepared = self._prepared.get(xp.name)
+        if prepared is None:
+            prepared = [_prepare_phase(ph, xp) for ph in self.phases]
+            self._prepared[xp.name] = prepared
+        return prepared
 
 
 @dataclass
@@ -953,15 +973,15 @@ class FusedTrace:
     _steps: dict = field(default_factory=dict, repr=False, compare=False)
     _aggs: dict = field(default_factory=dict, repr=False, compare=False)
 
-    def prefix_step(self, k: int):
+    def prefix_step(self, k: int, xp=NUMPY):
         """One compiled straight-line function executing the first
-        ``k`` segments (cached per ``k``)."""
-        fn = self._steps.get(k)
+        ``k`` segments (cached per ``(k, backend)``)."""
+        fn = self._steps.get((k, xp.name))
         if fn is None:
             fn = compile_step(
-                [ph for seg in self.segments[:k] for ph in seg.phases]
+                [ph for seg in self.segments[:k] for ph in seg.phases], xp
             )
-            self._steps[k] = fn
+            self._steps[(k, xp.name)] = fn
         return fn
 
     def prefix_stats(self, k: int) -> tuple:
@@ -1013,9 +1033,13 @@ class FusedTrace:
     def sync_out_crossings(self) -> int:
         return (1 if self.out_rf_state.size else 0) + len(self.out_other)
 
-    def iteration_crossings(self, count: int | None = None) -> int:
-        """Steady-state host→numpy crossings of replaying the first
-        ``count`` segments (no sync: state persists across iterations)."""
+    def iteration_crossings(self, count: int | None = None, xp=NUMPY) -> int:
+        """Steady-state host→backend crossings of replaying the first
+        ``count`` segments (no sync: state persists across iterations).
+        Device backends run the whole prefix resident, so steady-state
+        iterations cross zero times."""
+        if not xp.is_host:
+            return 0
         segs = self.segments if count is None else self.segments[:count]
         return sum(s.crossings for s in segs)
 
@@ -1299,14 +1323,13 @@ class FusedRun:
     register file outside the fused kernels.
     """
 
-    def __init__(self, trace: FusedTrace) -> None:
+    def __init__(self, trace: FusedTrace, xp=NUMPY) -> None:
         self.trace = trace
-        self.coeff = trace.coeff_template.copy()
+        self.xp = xp
+        self.coeff = xp.from_host(trace.coeff_template.copy())
         # Unified buffer: state word s at index s, pooled value slot i
         # at index n_state + i (the phase programs are pre-offset).
-        self.state = np.zeros(
-            trace.n_state + trace.n_slots, dtype=np.float64
-        )
+        self.state = xp.zeros(trace.n_state + trace.n_slots)
         self.valid = False
         self._view_plans: dict[tuple, tuple] = {}
         self._stats_cache: dict[tuple, SimulationStats] = {}
@@ -1316,12 +1339,17 @@ class FusedRun:
 
     def _sync_in(self, sim, streams) -> None:
         tr = self.trace
+        xp = self.xp
         for sname, idx, slots, scale in tr.stream_plan:
             vals = np.asarray(streams.fetch(sname, idx), dtype=np.float64)
-            self.coeff[slots] = vals * scale if scale is not None else vals
+            if scale is not None:
+                vals = vals * scale
+            self.coeff[xp.index(slots)] = xp.from_host(vals)
         flat = sim.rf.data.reshape(-1)
         if tr.in_rf_state.size:
-            self.state[tr.in_rf_state] = flat[tr.in_rf_flat]
+            self.state[xp.index(tr.in_rf_state)] = xp.from_host(
+                flat[tr.in_rf_flat]
+            )
         for loc, s in tr.in_other:
             self.state[s] = sim.read_loc(loc)
         self.valid = True
@@ -1330,10 +1358,11 @@ class FusedRun:
         """Flush every fused-written word back to the simulator image
         (before non-fused kernels or host-side bulk reads touch it)."""
         tr = self.trace
+        xp = self.xp
         if tr.out_rf_state.size:
-            sim.rf.data.reshape(-1)[tr.out_rf_flat] = self.state[
-                tr.out_rf_state
-            ]
+            sim.rf.data.reshape(-1)[tr.out_rf_flat] = xp.to_host(
+                self.state[xp.index(tr.out_rf_state)]
+            )
         for loc, s in tr.out_other:
             v = float(self.state[s])
             if loc.space == "lbuf":
@@ -1357,22 +1386,27 @@ class FusedRun:
             )
             missing = sids < 0
             if np.any(missing):
-                plan = (sids, flat, missing)
+                # Present-subset index precomputed so backend-side
+                # conversion of it can memoize on a stable array.
+                plan = (sids, flat, missing, sids[~missing])
             else:
-                plan = (_as_index(sids), flat, None)
+                plan = (_as_index(sids), flat, None, None)
             self._view_plans[key] = plan
         return plan
 
     def read_view(self, sim, view) -> np.ndarray:
         """The current value of an allocator view, served from fused
         state (with a register-file fallback for words the fused
-        kernels never touch)."""
-        sids, flat, missing = self._view_plan(view)
+        kernels never touch).  Always returns a host array."""
+        sids, flat, missing, present_sids = self._view_plan(view)
+        xp = self.xp
         if missing is None:
-            return self.state[sids].copy()
+            idx = xp.index(sids) if isinstance(sids, np.ndarray) else sids
+            return np.asarray(xp.to_host(self.state[idx], copy=True))
         out = sim.rf.data.reshape(-1)[flat]
-        present = ~missing
-        out[present] = self.state[sids[present]]
+        out[~missing] = np.asarray(
+            xp.to_host(self.state[xp.index(present_sids)])
+        )
         return out
 
     def replay(self, sim, streams, count: int | None = None) -> SimulationStats:
@@ -1389,10 +1423,12 @@ class FusedRun:
             crossings += tr.sync_in_crossings
         k = len(tr.segments) if count is None else count
         # Straight-line compiled executor over the whole prefix; emits
-        # the exact numpy statement sequence run_phases would dispatch
-        # (bitwise equal), minus the interpreter overhead.
-        tr.prefix_step(k)(self.coeff, self.state)
+        # the exact statement sequence run_phases would dispatch on
+        # this backend (bitwise equal), minus the interpreter overhead.
+        tr.prefix_step(k, self.xp)(self.coeff, self.state)
         cyc, ins, bun, ncb, hist, phx, cross, hr, hw = tr.prefix_stats(k)
+        if not self.xp.is_host:
+            cross = 0  # device-resident iteration: no per-phase crossings
         sim.hbm.record_read(hr)
         sim.hbm.record_write(hw)
         # Per-prefix stats are iteration-invariant; every consumer of
@@ -1426,8 +1462,9 @@ class FusedBatchRun:
     def __init__(self, trace: FusedTrace) -> None:
         self.trace = trace
         self.b = 0
-        self.coeff: np.ndarray | None = None
-        self.state: np.ndarray | None = None
+        self.xp = None
+        self.coeff = None
+        self.state = None
         self.valid = False
         self._view_plans: dict[tuple, tuple] = {}
         self._seg_cache: dict[tuple, np.ndarray] = {}
@@ -1438,41 +1475,49 @@ class FusedBatchRun:
     def _sync_in(self, ctx, streams) -> None:
         tr = self.trace
         b = ctx.b
-        if b != self.b or self.coeff is None:
+        xp = ctx.xp
+        if b != self.b or xp is not self.xp or self.coeff is None:
             self.b = b
-            self.coeff = np.tile(tr.coeff_template, (b, 1))
+            self.xp = xp
+            self.coeff = xp.tile(tr.coeff_template, b)
             # Unified buffer (see FusedRun): lane-major state words
             # followed by the pooled value slots.
-            self.state = np.zeros(
-                (b, tr.n_state + tr.n_slots), dtype=np.float64
-            )
+            self.state = xp.zeros((b, tr.n_state + tr.n_slots))
             self._seg_cache = {}
         for sname, idx, slots, scale in tr.stream_plan:
             vals = streams.fetch(sname, idx)
-            self.coeff[:, slots] = vals * scale if scale is not None else vals
+            if scale is not None:
+                vals = vals * xp.constant(scale)
+            self.coeff[:, xp.index(slots)] = vals
         if tr.in_rf_state.size:
             gcols = ctx.columns((tr.name, id(tr), "in"), tr.in_rf_flat)
-            self.state[:, tr.in_rf_state] = ctx.rf[:, gcols]
+            self.state[:, xp.index(tr.in_rf_state)] = ctx.rf[
+                :, xp.index(gcols)
+            ]
         for loc, s in tr.in_other:
             self.state[:, s] = ctx.read_loc(loc)
         self.valid = True
 
     def sync_out(self, ctx) -> None:
         tr = self.trace
+        xp = ctx.xp
         if tr.out_rf_state.size:
             scols = ctx.columns((tr.name, id(tr), "out"), tr.out_rf_flat)
-            ctx.rf[:, scols] = self.state[:, tr.out_rf_state]
+            ctx.rf[:, xp.index(scols)] = self.state[
+                :, xp.index(tr.out_rf_state)
+            ]
         for loc, s in tr.out_other:
             ctx.write_loc(loc, self.state[:, s])
 
-    def _lane_segments(
-        self, pi: int, bi: int, seg: np.ndarray, n_out: int
-    ) -> np.ndarray:
+    def _lane_segments(self, pi: int, bi: int, seg, n_out: int):
         key = (self.b, pi, bi)
         out = self._seg_cache.get(key)
         if out is None:
+            host_seg = np.asarray(self.xp.to_host(seg))
             offsets = np.arange(self.b, dtype=np.int64) * n_out
-            out = (seg[None, :] + offsets[:, None]).ravel()
+            out = self.xp.index(
+                (host_seg[None, :] + offsets[:, None]).ravel()
+            )
             self._seg_cache[key] = out
         return out
 
@@ -1488,16 +1533,19 @@ class FusedBatchRun:
             )
             missing = sids < 0
             if np.any(missing):
-                plan = (sids, missing)
+                plan = (sids, missing, sids[~missing])
             else:
-                plan = (_as_index(sids), None)
+                plan = (_as_index(sids), None, None)
             self._view_plans[key] = plan
-        sids, missing = plan
+        sids, missing, present_sids = plan
+        xp = self.xp
         if missing is None:
-            return self.state[:, sids].copy()
+            idx = xp.index(sids) if isinstance(sids, np.ndarray) else sids
+            return np.asarray(xp.to_host(self.state[:, idx], copy=True))
         out = ctx.read_vector(view)
-        present = ~missing
-        out[:, present] = self.state[:, sids[present]]
+        out[:, ~missing] = np.asarray(
+            xp.to_host(self.state[:, xp.index(present_sids)])
+        )
         return out
 
     def replay(self, ctx, streams, count: int | None = None) -> SimulationStats:
@@ -1508,9 +1556,10 @@ class FusedBatchRun:
                 f"{tr.depth}, batch state has C={ctx.c}/depth={ctx.depth}"
             )
         crossings = 0
-        if not self.valid or ctx.b != self.b:
+        if not self.valid or ctx.b != self.b or ctx.xp is not self.xp:
             self._sync_in(ctx, streams)
             crossings += tr.sync_in_crossings
+        xp = self.xp
         # The phase-list executor is shared with the per-kernel batch
         # replay, so per lane the fused arithmetic is the same IEEE-754
         # sequence; the global phase index keys the MAC segment cache.
@@ -1519,13 +1568,14 @@ class FusedBatchRun:
         pbase = 0
         for seg in segs:
             run_phases_batch(
-                seg.phases,
+                seg.phases_for(xp),
                 self.coeff,
                 self.state,
                 self.state,
                 lambda pi, bi, sarr, n_out, _pb=pbase: self._lane_segments(
                     _pb + pi, bi, sarr, n_out
                 ),
+                xp=xp,
             )
             out.cycles += seg.stats.cycles
             out.instructions += seg.stats.instructions
@@ -1536,7 +1586,8 @@ class FusedBatchRun:
                     out.issue_width_histogram.get(w, 0) + k
                 )
             out.phases_executed += len(seg.phases)
-            crossings += seg.crossings
+            if xp.is_host:
+                crossings += seg.crossings
             ctx.record_hbm(seg.hbm_words_read, seg.hbm_words_written)
             pbase += len(seg.phases)
         out.host_crossings = crossings

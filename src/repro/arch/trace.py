@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..xp import NUMPY
 from .hbm import StreamBuffers
 from .isa import BINARY_EWISE_FNS, EwiseFn, Location, NetOp, OpKind
 from .simulator import (
@@ -95,13 +96,18 @@ def run_phases(
     coeff: np.ndarray,
     state: np.ndarray,
     values: np.ndarray,
+    xp=NUMPY,
 ) -> None:
     """Execute a phase list against 1-D coeff/state/values buffers.
 
     The shared sequential replay core: :meth:`CompiledTrace.replay` and
     the fused-iteration replay (:mod:`repro.arch.fusion`) both drive
     their phase programs through this exact dispatch, so the two paths
-    cannot drift numerically.
+    cannot drift numerically.  ``xp`` is the array backend the buffers
+    live on; with a non-host backend the phases must have been
+    prepared for it (:meth:`CompiledTrace._phases_for`) so every index
+    array — and the duplicate-commit reduce plans — are backend
+    resident.
     """
     for ph in phases:
         if ph.cr_state is not None:
@@ -110,7 +116,7 @@ def run_phases(
             code = batch[0]
             if code == _MAC:
                 _, out, ridx, seg, cidx, n_out = batch
-                values[out] = np.bincount(
+                values[out] = xp.bincount(
                     seg, weights=coeff[cidx] * state[ridx], minlength=n_out
                 )
             elif code == _SCATTER_MUL:
@@ -136,8 +142,8 @@ def run_phases(
                 values[out] = state[a] + s0 * coeff[cidx]
             elif code == _CLIP:
                 _, out, a, lo, hi = batch
-                values[out] = np.minimum(
-                    np.maximum(state[a], coeff[lo]), coeff[hi]
+                values[out] = xp.minimum(
+                    xp.maximum(state[a], coeff[lo]), coeff[hi]
                 )
             elif code == _ADD:
                 _, out, a, b = batch
@@ -163,7 +169,7 @@ def run_phases(
         for acc, sids, vids, has_dups in ph.commits:
             if acc:
                 if has_dups:
-                    np.add.at(state, sids, values[vids])
+                    xp.add_at(state, sids, values[vids])
                 else:
                     state[sids] += values[vids]
             else:
@@ -176,6 +182,7 @@ def run_phases_batch(
     state: np.ndarray,
     values: np.ndarray,
     lane_segments,
+    xp=NUMPY,
 ) -> None:
     """Execute a phase list over a leading batch axis.
 
@@ -198,7 +205,7 @@ def run_phases_batch(
             if code == _MAC:
                 _, out, ridx, seg, cidx, n_out = batch
                 lane_seg = lane_segments(pi, bi, seg, n_out)
-                values[:, out] = np.bincount(
+                values[:, out] = xp.bincount(
                     lane_seg,
                     weights=(coeff[:, cidx] * state[:, ridx]).ravel(),
                     minlength=b * n_out,
@@ -226,8 +233,8 @@ def run_phases_batch(
                 values[:, out] = state[:, a] + s0 * coeff[:, cidx]
             elif code == _CLIP:
                 _, out, a, lo, hi = batch
-                values[:, out] = np.minimum(
-                    np.maximum(state[:, a], coeff[:, lo]), coeff[:, hi]
+                values[:, out] = xp.minimum(
+                    xp.maximum(state[:, a], coeff[:, lo]), coeff[:, hi]
                 )
             elif code == _ADD:
                 _, out, a, b_ = batch
@@ -253,9 +260,7 @@ def run_phases_batch(
         for acc, sids, vids, has_dups in ph.commits:
             if acc:
                 if has_dups:
-                    np.add.at(
-                        state, (slice(None), sids), values[:, vids]
-                    )
+                    xp.add_at_batch(state, sids, values[:, vids])
                 else:
                     state[:, sids] += values[:, vids]
             else:
@@ -271,6 +276,36 @@ def phase_crossings(phases: list[TracePhase]) -> int:
             total += 1
         total += len(ph.batches) + len(ph.commits)
     return total
+
+
+def _prepare_phase(ph: TracePhase, xp) -> TracePhase:
+    """Convert one phase's arrays for a non-host backend: int index
+    arrays upload via ``xp.index`` (memoized), float constants via
+    ``xp.constant``, and duplicate-accumulate commit targets become
+    the backend's prepared scatter handle."""
+
+    def conv(x):
+        if isinstance(x, np.ndarray):
+            if x.dtype.kind == "f":
+                return xp.constant(x)
+            return xp.index(x)
+        return x
+
+    batches = [tuple(conv(el) for el in batch) for batch in ph.batches]
+    commits = []
+    for acc, sids, vids, has_dups in ph.commits:
+        if acc and has_dups and isinstance(sids, np.ndarray):
+            handle = xp.prepare_add_at_index(sids)
+        else:  # slices (fused contiguous runs) index natively everywhere
+            handle = conv(sids)
+        commits.append((acc, handle, conv(vids), has_dups))
+    return TracePhase(
+        batches,
+        commits,
+        None if ph.cr_state is None else xp.index(ph.cr_state),
+        None if ph.cr_slot is None else xp.index(ph.cr_slot),
+        None if ph.cr_scale is None else xp.constant(ph.cr_scale),
+    )
 
 
 @dataclass
@@ -308,21 +343,33 @@ class CompiledTrace:
     # ------------------------------------------------------------------
     @property
     def crossings(self) -> int:
-        """Host→numpy crossings of one full replay: stream binds,
-        gathers, per-phase exec/commit dispatches, scatters.  Memoized
-        — the phase program is immutable and replay charges this every
-        call."""
-        n = self._scratch.get("crossings")
+        """Host→numpy crossings of one full replay on the reference
+        backend: stream binds, gathers, per-phase exec/commit
+        dispatches, scatters.  Memoized — the phase program is
+        immutable and replay charges this every call."""
+        return self.crossings_for(NUMPY)
+
+    def crossings_for(self, xp) -> int:
+        """Per-backend crossing count of one full replay.
+
+        Host backends charge one crossing per numpy call dispatched
+        (the historical formula).  Device backends charge only genuine
+        host→device transfers: the stream binds, the gathers in and
+        scatters out of the simulator image.  Phase execution is
+        device-resident and crosses nothing.
+        """
+        key = ("crossings", xp.name)
+        n = self._scratch.get(key)
         if n is None:
             n = (
                 len(self.stream_plan)
                 + (1 if self.g_rf_state.size else 0)
                 + len(self.g_other)
-                + phase_crossings(self.phases)
+                + xp.phase_crossings(self.phases)
                 + (1 if self.s_rf_state.size else 0)
                 + len(self.s_other)
             )
-            self._scratch["crossings"] = n
+            self._scratch[key] = n
         return n
 
     # ------------------------------------------------------------------
@@ -343,9 +390,11 @@ class CompiledTrace:
         }
 
     # ------------------------------------------------------------------
-    def _buffers(self, b: int | None) -> tuple:
+    def _buffers(self, b: int | None, xp=NUMPY) -> tuple:
         """Per-trace scratch: (coeff, state, values) for sequential
-        replay (``b is None``) or a ``b``-lane batched replay.
+        replay (``b is None``) or a ``b``-lane batched replay, living
+        on ``xp``.  Scratch is keyed by backend name so a numpy buffer
+        is never handed to a device pass or vice versa.
 
         Safe to reuse because a replay rewrites everything it reads:
         the stream plan and per-phase dynamic-coefficient writes cover
@@ -354,36 +403,59 @@ class CompiledTrace:
         plans), and each value id is produced by exactly one exec
         batch before any commit consumes it.
         """
-        key = "seq" if b is None else ("batch", b)
+        key = ("seq", xp.name) if b is None else ("batch", b, xp.name)
         buf = self._scratch.get(key)
         if buf is None:
             if b is None:
                 buf = (
-                    self.coeff_template.copy(),
-                    np.zeros(self.n_state, dtype=np.float64),
-                    np.empty(self.n_values, dtype=np.float64),
+                    xp.from_host(self.coeff_template.copy()),
+                    xp.zeros(self.n_state),
+                    xp.empty(self.n_values),
                 )
             else:
                 buf = (
-                    np.tile(self.coeff_template, (b, 1)),
-                    np.zeros((b, self.n_state), dtype=np.float64),
-                    np.empty((b, self.n_values), dtype=np.float64),
+                    xp.tile(self.coeff_template, b),
+                    xp.zeros((b, self.n_state)),
+                    xp.empty((b, self.n_values)),
                 )
             self._scratch[key] = buf
         return buf
 
     def _lane_segments(
-        self, b: int, phase: int, batch: int, seg: np.ndarray, n_out: int
-    ) -> np.ndarray:
-        """MAC segment ids offset per lane, so one flat ``np.bincount``
-        computes all lanes while keeping each lane's left-fold order."""
-        key = ("seg", b, phase, batch)
+        self, b: int, phase: int, batch: int, seg, n_out: int, xp=NUMPY
+    ):
+        """MAC segment ids offset per lane, so one flat ``bincount``
+        computes all lanes while keeping each lane's left-fold order.
+        Computed on host once per (b, phase, batch, backend) from the
+        possibly backend-resident ``seg``, then stored on ``xp``."""
+        key = ("seg", b, phase, batch, xp.name)
         out = self._scratch.get(key)
         if out is None:
+            host_seg = np.asarray(xp.to_host(seg))
             offsets = np.arange(b, dtype=np.int64) * n_out
-            out = (seg[None, :] + offsets[:, None]).ravel()
+            out = xp.index((host_seg[None, :] + offsets[:, None]).ravel())
             self._scratch[key] = out
         return out
+
+    def _phases_for(self, xp) -> list[TracePhase]:
+        """The phase program prepared for ``xp``.
+
+        Host backends execute the compiled phases as-is.  For device
+        backends every int index array is uploaded once via
+        ``xp.index``, float constant arrays via ``xp.constant``, and
+        duplicate-accumulate commit targets are replaced by the
+        backend's prepared scatter handle (a
+        :class:`~repro.xp.plans.ReducePlan` on backends without an
+        ordered unbuffered ``add.at``).  Cached per backend name.
+        """
+        if xp.is_host:
+            return self.phases
+        key = ("phases", xp.name)
+        prepared = self._scratch.get(key)
+        if prepared is None:
+            prepared = [_prepare_phase(ph, xp) for ph in self.phases]
+            self._scratch[key] = prepared
+        return prepared
 
     # ------------------------------------------------------------------
     def replay(
@@ -391,6 +463,7 @@ class CompiledTrace:
         sim,
         streams: StreamBuffers | None = None,
         *,
+        xp=NUMPY,
         collect_stats: bool = True,
     ) -> SimulationStats:
         """Re-execute the trace against a simulator's storage.
@@ -398,7 +471,9 @@ class CompiledTrace:
         Functionally and bit-identically equivalent to
         ``sim.run(slots, streams)`` for the schedule this trace was
         compiled from, including HBM traffic accounting and the
-        returned :class:`SimulationStats`.
+        returned :class:`SimulationStats`.  ``xp`` selects the array
+        backend the phase program executes on; the simulator image is
+        synced across the host boundary at entry and exit.
         """
         if sim.c != self.c or sim.rf.depth != self.depth:
             raise ValueError(
@@ -410,21 +485,27 @@ class CompiledTrace:
                 f"trace {self.name!r} pipeline latency mismatch"
             )
         streams = streams or StreamBuffers()
-        coeff, state, values = self._buffers(None)
+        coeff, state, values = self._buffers(None, xp)
         for name, idx, slots, scale in self.stream_plan:
             vals = np.asarray(streams.fetch(name, idx), dtype=np.float64)
-            coeff[slots] = vals * scale if scale is not None else vals
+            if scale is not None:
+                vals = vals * scale
+            coeff[xp.index(slots)] = xp.from_host(vals)
 
         flat = sim.rf.data.reshape(-1)
         if self.g_rf_state.size:
-            state[self.g_rf_state] = flat[self.g_rf_flat]
+            state[xp.index(self.g_rf_state)] = xp.from_host(
+                flat[self.g_rf_flat]
+            )
         for loc, s in self.g_other:
             state[s] = sim.read_loc(loc)
 
-        run_phases(self.phases, coeff, state, values)
+        run_phases(self._phases_for(xp), coeff, state, values, xp)
 
         if self.s_rf_state.size:
-            flat[self.s_rf_flat] = state[self.s_rf_state]
+            flat[self.s_rf_flat] = xp.to_host(
+                state[xp.index(self.s_rf_state)]
+            )
         for loc, s in self.s_other:
             v = float(state[s])
             if loc.space == "lbuf":
@@ -439,7 +520,7 @@ class CompiledTrace:
         sim.hbm.record_write(self.hbm_words_written)
 
         out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
-        out.host_crossings = self.crossings
+        out.host_crossings = self.crossings_for(xp)
         out.phases_executed = len(self.phases)
         if collect_stats:
             out.instructions = self.stats.instructions
@@ -478,36 +559,40 @@ class CompiledTrace:
                 f"trace {self.name!r} pipeline latency mismatch"
             )
         b = ctx.b
-        coeff, state, values = self._buffers(b)
+        xp = ctx.xp
+        coeff, state, values = self._buffers(b, xp)
         for name, idx, slots, scale in self.stream_plan:
             vals = streams.fetch(name, idx)
-            coeff[:, slots] = vals * scale if scale is not None else vals
+            if scale is not None:
+                vals = vals * xp.constant(scale)
+            coeff[:, xp.index(slots)] = vals
 
         if self.g_rf_state.size:
             gcols = ctx.columns((self.name, id(self), "g"), self.g_rf_flat)
-            state[:, self.g_rf_state] = ctx.rf[:, gcols]
+            state[:, xp.index(self.g_rf_state)] = ctx.rf[:, xp.index(gcols)]
         for loc, s in self.g_other:
             state[:, s] = ctx.read_loc(loc)
 
         run_phases_batch(
-            self.phases,
+            self._phases_for(xp),
             coeff,
             state,
             values,
             lambda pi, bi, seg, n_out: self._lane_segments(
-                b, pi, bi, seg, n_out
+                b, pi, bi, seg, n_out, xp
             ),
+            xp=xp,
         )
 
         if self.s_rf_state.size:
             scols = ctx.columns((self.name, id(self), "s"), self.s_rf_flat)
-            ctx.rf[:, scols] = state[:, self.s_rf_state]
+            ctx.rf[:, xp.index(scols)] = state[:, xp.index(self.s_rf_state)]
         for loc, s in self.s_other:
             ctx.write_loc(loc, state[:, s])
         ctx.record_hbm(self.hbm_words_read, self.hbm_words_written)
 
         out = SimulationStats(cycles=self.stats.cycles, latency=self.stats.latency)
-        out.host_crossings = self.crossings
+        out.host_crossings = self.crossings_for(xp)
         out.phases_executed = len(self.phases)
         if collect_stats:
             out.instructions = self.stats.instructions

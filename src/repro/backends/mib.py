@@ -43,6 +43,7 @@ from ..arch import (
 )
 from ..arch.resources import clock_frequency_hz
 from ..linalg import CSCMatrix
+from ..xp import BackendPolicy
 from ..compiler import (
     CompiledArtifact,
     KernelBuilder,
@@ -387,7 +388,7 @@ class _FusedIterationEngine:
         self.streams = streams
         self.trace = solver._fused_trace(sim)
         self._n_iter = self.trace.segment_index(ITERATION_KERNELS)
-        self.run_state = FusedRun(self.trace)
+        self.run_state = FusedRun(self.trace, solver._xp_seq)
 
     def run(self, *, check: bool) -> SimulationStats:
         count = None if check else self._n_iter
@@ -540,6 +541,7 @@ class MIBSolver:
         super_pipelined: bool = False,
         cache: ScheduleCache | None = None,
         execution: str = "replay",
+        array_backend="auto",
     ) -> None:
         if execution not in ("replay", "interpret", "fused"):
             raise ValueError(
@@ -550,6 +552,10 @@ class MIBSolver:
         self.variant = variant
         self.c = c
         self.execution = execution
+        # Resolved once: forcing an unavailable accelerator fails here,
+        # at configuration time, not mid-solve.
+        self.backend_policy = BackendPolicy.resolve(array_backend)
+        self._xp_seq = self.backend_policy.sequential()
         self._sim: NetworkSimulator | None = None
         self._traces: dict[str, CompiledTrace] = {}
         self._trace_stamps: dict[str, dict] = {}
@@ -721,7 +727,7 @@ class MIBSolver:
         """
         if self.execution == "interpret":
             return sim.run(self.kernels.schedules[name].slots, streams)
-        return self._trace(name, sim).replay(sim, streams)
+        return self._trace(name, sim).replay(sim, streams, xp=self._xp_seq)
 
     def _fused_trace(self, sim: NetworkSimulator) -> FusedTrace:
         """The whole-iteration fused trace (fuse on first use).
@@ -781,17 +787,22 @@ class MIBSolver:
             return _FusedBatchIterationEngine(self, sim, g)
         return _ReplayBatchIterationEngine(self, sim, g)
 
-    def iteration_crossings(self, *, check: bool = False) -> int:
-        """Steady-state host→numpy crossings of one network-executed
+    def iteration_crossings(self, *, check: bool = False, xp=None) -> int:
+        """Steady-state host→backend crossings of one network-executed
         ADMM iteration in the configured mode (``check`` adds the
         residual-product kernels).
 
         The observability counterpart of :meth:`iteration_cycles`:
         crossings are host dispatch overhead, not simulated time, and
-        are what ``execution="fused"`` collapses.  A read-only probe:
-        any stamps recorded while lowering stay in memory until the
-        next solve/compile entry point flushes them.
+        are what ``execution="fused"`` collapses.  ``xp`` selects the
+        backend accounted for (default: the sequential backend the
+        policy resolved) — host backends count numpy call dispatches,
+        device backends count genuine host→device transfers.  A
+        read-only probe: any stamps recorded while lowering stay in
+        memory until the next solve/compile entry point flushes them.
         """
+        if xp is None:
+            xp = self._xp_seq
         names = ITERATION_KERNELS + (CHECK_KERNELS if check else ())
         if self.variant != "direct":
             names = ("admm_vector",)
@@ -799,8 +810,10 @@ class MIBSolver:
             return sum(self.kernels.schedules[n].n_ops for n in names)
         sim = self._network_sim(reset=False)
         if self.execution == "fused" and self.variant == "direct":
-            return self._fused_trace(sim).iteration_crossings(len(names))
-        return sum(self._trace(n, sim).crossings for n in names)
+            return self._fused_trace(sim).iteration_crossings(
+                len(names), xp=xp
+            )
+        return sum(self._trace(n, sim).crossings_for(xp) for n in names)
 
     def compile_traces(
         self, names: list[str] | None = None
@@ -1465,13 +1478,15 @@ class MIBSolver:
         kdata[:, maps.rho_positions] = -1.0 / rho_vec
 
         sim = self._network_sim(reset=False)
+        xp = self.backend_policy.for_batch(b)
         ctx = BatchSimState(
             b,
             c=self.c,
             depth=sim.rf.depth,
             latency=sim.bf.latency + sim.extra_latency,
+            xp=xp,
         )
-        streams = BatchStreamBuffers(b)
+        streams = BatchStreamBuffers(b, xp)
         streams.bind("q", q_s)
         streams.bind("A", a_s)
         streams.bind("P", pf_s)

@@ -38,6 +38,7 @@ from ..backends.mib import (
 )
 from ..compiler import ScheduleCache, ScheduleOptions
 from ..solver import OpTrace, QPProblem, Settings, SolveResult
+from ..xp import BackendPolicy
 from .metrics import ServeMetrics
 
 __all__ = ["PoolSolve", "SolverPool"]
@@ -111,6 +112,7 @@ class SolverPool:
         cache_dir: str | None = None,
         metrics: ServeMetrics | None = None,
         warm_start: bool = False,
+        array_backend: str = "auto",
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -119,6 +121,10 @@ class SolverPool:
         self.c = c
         self.settings = settings if settings is not None else Settings()
         self.execution = execution
+        # Resolved eagerly so a forced-but-missing accelerator fails at
+        # pool construction, not on the first request.
+        self.array_backend = array_backend
+        self.backend_policy = BackendPolicy.resolve(array_backend)
         self.cache = cache if cache is not None else ScheduleCache(cache_dir)
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.warm_start = warm_start
@@ -148,6 +154,23 @@ class SolverPool:
         """Resident patterns, least- to most-recently used."""
         with self._lock:
             return list(self._entries)
+
+    def entries_info(self) -> list[dict]:
+        """Per-entry observability for ``/v1/metrics``: fingerprint,
+        solve count, the entry's resolved array-backend selection, and
+        the per-iteration crossing count (``None`` until the first
+        solve lowers the traces)."""
+        with self._lock:
+            items = list(self._entries.items())
+        return [
+            {
+                "fingerprint": key,
+                "solves": entry.solves,
+                "array_backend": entry.solver.backend_policy.describe(),
+                "crossings_per_iter": entry.crossings_per_iter,
+            }
+            for key, entry in items
+        ]
 
     # ------------------------------------------------------------------
     def solve(
@@ -399,6 +422,7 @@ class SolverPool:
                 settings=self.settings,
                 cache=self.cache,
                 execution=self.execution,
+                array_backend=self.backend_policy,
             )
             compile_seconds = time.perf_counter() - t0
             if solver.cache_key != key:

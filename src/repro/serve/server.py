@@ -283,6 +283,7 @@ class ServeServer:
             return self.frontend.metrics_snapshot()
         snap = self.engine.metrics.snapshot()
         snap["controller"] = self.engine.controller.snapshot()
+        snap["pool_entries"] = self.engine.pool.entries_info()
         return snap
 
 

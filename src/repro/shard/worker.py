@@ -117,6 +117,7 @@ class ShardWorker:
             query_id = message[1]
             snap = self.engine.metrics.snapshot()
             snap["controller"] = self.engine.controller.snapshot()
+            snap["pool_entries"] = self.engine.pool.entries_info()
             self._send(("metrics", query_id, snap))
             return True
         if kind == "health":

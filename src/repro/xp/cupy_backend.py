@@ -1,0 +1,80 @@
+"""Opt-in cupy backend (CUDA device arrays via the numpy-like API).
+
+Import-gated like torch.  cupy mirrors the numpy API closely enough
+that the phase programs run unchanged on device arrays; the two
+ordering-sensitive ops are replaced: MAC segmented sums use
+``cupy.bincount`` (atomic on device — no cross-backend bit guarantee,
+DESIGN.md §5.7) and duplicate-index commits run the
+:class:`~repro.xp.plans.ReducePlan` rounds rather than
+``cupyx.scatter_add``, whose atomics reduce in arrival order.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayBackend, BackendUnavailable
+from .plans import ReducePlan, compile_reduce_plan
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+    name = "cupy"
+    is_host = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailable(
+                "array backend 'cupy' requires cupy (pip install "
+                "'repro[gpu]' or cupy-cuda12x)"
+            ) from exc
+        self.cupy = cupy
+
+    def from_host(self, a):
+        return self.cupy.asarray(a, dtype=self.cupy.float64)
+
+    def to_host(self, a, copy: bool = False):
+        return self.cupy.asnumpy(a)  # always a fresh host buffer
+
+    def copy_values(self, a):
+        return self.cupy.array(a, dtype=self.cupy.float64)
+
+    def _index_convert(self, a):
+        return self.cupy.asarray(a, dtype=self.cupy.int64)
+
+    def zeros(self, shape):
+        return self.cupy.zeros(shape, dtype=self.cupy.float64)
+
+    def empty(self, shape):
+        return self.cupy.empty(shape, dtype=self.cupy.float64)
+
+    def tile(self, template, b: int):
+        return self.cupy.tile(self.from_host(template), (b, 1))
+
+    def bincount(self, seg, weights, minlength: int):
+        return self.cupy.bincount(seg, weights=weights, minlength=minlength)
+
+    def prepare_add_at_index(self, sids):
+        return self._plan_memo.get(sids, compile_reduce_plan)
+
+    def _plan_of(self, idx) -> ReducePlan:
+        if isinstance(idx, ReducePlan):
+            return idx
+        return self._plan_memo.get(idx, compile_reduce_plan)
+
+    def add_at(self, target, idx, vals) -> None:
+        self._plan_of(idx).apply(target, vals, self)
+
+    def add_at_batch(self, target, idx, vals) -> None:
+        self._plan_of(idx).apply_batch(target, vals, self)
+
+    def minimum(self, a, b):
+        return self.cupy.minimum(a, b)
+
+    def maximum(self, a, b):
+        return self.cupy.maximum(a, b)
+
+    def take_rows(self, a, keep):
+        return a[self.cupy.asarray(keep)]

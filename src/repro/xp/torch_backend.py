@@ -1,0 +1,97 @@
+"""Opt-in torch backend (CPU or CUDA device tensors).
+
+Import-gated: constructing :class:`TorchBackend` raises
+:class:`~repro.xp.base.BackendUnavailable` when torch is not
+installed, and the policy layer degrades to numpy.  Duplicate-index
+commits never use ``index_put_(accumulate=True)`` — on CUDA its
+atomics reduce duplicates in nondeterministic order — but execute the
+precompiled :class:`~repro.xp.plans.ReducePlan` rounds, whose
+unique-index scatters are deterministic, reproducing the CPU left
+fold's *ordering* on every device.  MAC segmented sums map to
+``torch.bincount``; on CUDA that is atomic-based, so cross-backend
+bitwise equality is not guaranteed there (DESIGN.md §5.7).
+"""
+
+from __future__ import annotations
+
+from .base import ArrayBackend, BackendUnavailable
+from .plans import ReducePlan, compile_reduce_plan
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    name = "torch"
+    is_host = False
+
+    def __init__(self, device: str | None = None) -> None:
+        super().__init__()
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailable(
+                "array backend 'torch' requires torch (pip install "
+                "'repro[gpu]' or torch)"
+            ) from exc
+        self.torch = torch
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = torch.device(device)
+        self._f64 = torch.float64
+        self._i64 = torch.int64
+
+    def from_host(self, a):
+        return self.torch.as_tensor(
+            a, dtype=self._f64, device=self.device
+        )
+
+    def to_host(self, a, copy: bool = False):
+        host = a.detach().cpu().numpy()
+        # .numpy() aliases CPU tensor memory; honour the copy request
+        # and never hand out an alias of device-backed staging.
+        return host.copy() if copy or a.device.type == "cpu" else host
+
+    def copy_values(self, a):
+        if isinstance(a, self.torch.Tensor):
+            return a.to(dtype=self._f64, device=self.device).clone()
+        return self.from_host(a).clone()
+
+    def _index_convert(self, a):
+        return self.torch.as_tensor(
+            a, dtype=self._i64, device=self.device
+        )
+
+    def zeros(self, shape):
+        return self.torch.zeros(shape, dtype=self._f64, device=self.device)
+
+    def empty(self, shape):
+        return self.torch.empty(shape, dtype=self._f64, device=self.device)
+
+    def tile(self, template, b: int):
+        return self.from_host(template).repeat(b, 1)
+
+    def bincount(self, seg, weights, minlength: int):
+        return self.torch.bincount(seg, weights=weights, minlength=minlength)
+
+    def prepare_add_at_index(self, sids):
+        return self._plan_memo.get(sids, compile_reduce_plan)
+
+    def _plan_of(self, idx) -> ReducePlan:
+        if isinstance(idx, ReducePlan):
+            return idx
+        return self._plan_memo.get(idx, compile_reduce_plan)
+
+    def add_at(self, target, idx, vals) -> None:
+        self._plan_of(idx).apply(target, vals, self)
+
+    def add_at_batch(self, target, idx, vals) -> None:
+        self._plan_of(idx).apply_batch(target, vals, self)
+
+    def minimum(self, a, b):
+        return self.torch.minimum(a, b)
+
+    def maximum(self, a, b):
+        return self.torch.maximum(a, b)
+
+    def take_rows(self, a, keep):
+        return a[self.torch.as_tensor(keep, device=self.device)]

@@ -26,6 +26,7 @@ from repro.arch import (
 from repro.compiler import KernelBuilder, row_major_view, schedule_program
 from repro.compiler import NetworkProgram
 from repro.linalg import ldl_factor
+from repro.xp import NUMPY
 from tests.conftest import random_quasidefinite_upper, random_sparse
 
 C = 8
@@ -121,11 +122,15 @@ def replay_solo(kernel, trace, vals) -> NetworkSimulator:
     return sim
 
 
-def make_batch(kernel, trace, lanes) -> tuple:
+def make_batch(kernel, trace, lanes, xp=NUMPY) -> tuple:
     ctx = BatchSimState(
-        len(lanes), c=C, depth=trace.depth, latency=trace.stats.latency
+        len(lanes),
+        c=C,
+        depth=trace.depth,
+        latency=trace.stats.latency,
+        xp=xp,
     )
-    streams = BatchStreamBuffers(len(lanes))
+    streams = BatchStreamBuffers(len(lanes), xp)
     for name, data in kernel["shared"].items():
         streams.bind(name, data)  # 1-D: shared across lanes
     for name in ("A", "B", "bounds"):
@@ -223,25 +228,67 @@ class TestReplayBatchDifferential:
             trace.replay_batch(ctx, BatchStreamBuffers(2))
 
 
+class TestBackendDifferential:
+    """Every available array backend must reproduce the numpy replay
+    bit-for-bit once results are read back at the host boundary."""
+
+    def test_batch_replay_bit_identical_across_backends(
+        self, kernel, trace, backend
+    ):
+        lanes = [lane_values(kernel, seed) for seed in range(B)]
+        ref_ctx, ref_streams = make_batch(kernel, trace, lanes)
+        trace.replay_batch(ref_ctx, ref_streams)
+        ctx, streams = make_batch(kernel, trace, lanes, xp=backend)
+        stats = trace.replay_batch(ctx, streams)
+        assert stats.cycles == trace.stats.cycles
+        for name, view in kernel["views"].items():
+            assert np.array_equal(
+                ctx.read_vector(view), ref_ctx.read_vector(view)
+            ), name
+
+    def test_sequential_replay_bit_identical_across_backends(
+        self, kernel, trace, backend
+    ):
+        vals = lane_values(kernel, 17)
+        ref = replay_solo(kernel, trace, vals)
+        sim = NetworkSimulator(C)
+        sim.rf.load_vector(kernel["views"]["x"], vals["x"])
+        sim.rf.load_vector(kernel["views"]["y"], vals["y"])
+        streams = StreamBuffers()
+        for name, data in kernel["shared"].items():
+            streams.bind(name, data)
+        for name in ("A", "B", "bounds"):
+            streams.bind(name, vals[name])
+        trace.replay(sim, streams, xp=backend)
+        for name, view in kernel["views"].items():
+            assert np.array_equal(
+                sim.rf.read_vector(view), ref.rf.read_vector(view)
+            ), name
+        assert sim.hbm_out == ref.hbm_out
+
+    def test_crossings_accounting_per_backend(self, trace, backend):
+        """Host backends price every numpy dispatch; device backends
+        price genuine host<->device transfers only — never more."""
+        crossings = trace.crossings_for(backend)
+        assert crossings >= 0
+        if backend.is_host:
+            assert crossings == trace.crossings
+        else:
+            assert crossings <= trace.crossings
+
+
 class TestSequentialScratchReuse:
     def test_repeated_replays_reuse_buffers_and_stay_correct(
         self, kernel, trace
     ):
         vals = lane_values(kernel, 31)
         first = replay_solo(kernel, trace, vals)
-        assert ("seq" in trace._scratch) or trace._scratch
-        scratch_ids = {
-            k: tuple(id(a) for a in v)
-            for k, v in trace._scratch.items()
-            if k == "seq"
-        }
+        key = ("seq", NUMPY.name)
+        assert key in trace._scratch
+        scratch_ids = tuple(id(a) for a in trace._scratch[key])
         again = replay_solo(kernel, trace, vals)
         # Same buffers, same results: reuse must not leak state.
-        assert scratch_ids == {
-            k: tuple(id(a) for a in v)
-            for k, v in trace._scratch.items()
-            if k == "seq"
-        }
+        assert scratch_ids == tuple(id(a) for a in trace._scratch[key])
         for view in kernel["views"].values():
             assert np.array_equal(
                 first.rf.read_vector(view), again.rf.read_vector(view)

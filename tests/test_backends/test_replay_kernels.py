@@ -17,6 +17,7 @@ from repro.backends.mib import MIBSolver
 from repro.compiler import ScheduleCache
 from repro.problems import mpc_problem
 from repro.solver import Settings
+from repro.xp import NUMPY
 
 C = 8
 
@@ -123,6 +124,42 @@ class TestExecutionModeEquivalence:
         x_r, it_r = replay.solve_reduced_on_network(b)
         assert it_i == it_r
         assert np.array_equal(x_i, x_r)
+
+
+class TestBackendEquivalence:
+    """Replay through any available array backend must stay bit-identical
+    to the interpretive oracle (numpy lane equality is the contract; the
+    mock/device backends read back at the host boundary)."""
+
+    def test_solve_on_network_bit_identical_per_backend(
+        self, problem, settings, backend
+    ):
+        interp = MIBSolver(
+            problem, variant="direct", c=C, settings=settings,
+            execution="interpret",
+        )
+        replay = MIBSolver(
+            problem, variant="direct", c=C, settings=settings,
+            execution="replay", array_backend=backend,
+        )
+        r_int = interp.solve_on_network(max_iter=8)
+        r_rep = replay.solve_on_network(max_iter=8)
+        assert report_key(r_int) == report_key(r_rep)
+
+    def test_crossings_shrink_on_device_backends(
+        self, problem, settings, backend
+    ):
+        solver = MIBSolver(
+            problem, variant="direct", c=C, settings=settings,
+            execution="replay", array_backend=backend,
+        )
+        solver.solve_on_network(max_iter=2)
+        crossings = solver.iteration_crossings(xp=backend)
+        numpy_crossings = solver.iteration_crossings(xp=NUMPY)
+        if backend.is_host:
+            assert crossings == numpy_crossings
+        else:
+            assert 0 <= crossings < numpy_crossings
 
 
 class TestAmortization:

@@ -169,6 +169,26 @@ class TestBitwiseDifferential:
             ), f"lane {i}"
 
 
+class TestBackendLaneEquality:
+    def test_every_lane_bit_identical_per_backend(
+        self, base, batch_and_solo, backend
+    ):
+        """The full lockstep gauntlet (early harvest, solo fallback,
+        infeasible lane) re-run through each available array backend
+        must reproduce the numpy solo oracles bytes-exactly."""
+        problems, _, solos = batch_and_solo
+        solver = MIBSolver(
+            base, variant="direct", c=C, settings=SETTINGS,
+            array_backend=backend,
+        )
+        batch = solver.solve_batch(problems)
+        for i, (lane, solo) in enumerate(zip(batch.lanes, solos)):
+            assert report_key(lane) == report_key(solo), f"lane {i}"
+            assert cert_bytes(lane.primal_infeasibility_certificate) == (
+                cert_bytes(solo.primal_infeasibility_certificate)
+            ), f"lane {i}"
+
+
 class TestAgainstHostReference:
     def test_solved_lanes_match_cpu_reference(self, batch_and_solo):
         """The independent host solves (own scaling, to-tolerance) must

@@ -111,11 +111,26 @@ class TestObservability:
         metrics = client.metrics()
         assert set(metrics) == {
             "counters", "latency", "batch_sizes", "pool_hit_rate",
-            "controller",
+            "controller", "pool_entries",
         }
         assert metrics["controller"]["policy"] in ("adaptive", "greedy", "off")
         assert metrics["counters"]["responses_ok"] >= 1
         assert metrics["latency"]["total"]["count"] >= 1
+
+    def test_metrics_name_active_backend_per_pool_entry(self, client):
+        """Satellite observability: every resident solver reports which
+        array backend its policy resolved to."""
+        client.solve(portfolio_problem(8, seed=2), timeout_s=60.0)
+        entries = client.metrics()["pool_entries"]
+        assert entries, "warm pool must have at least one resident solver"
+        for entry in entries:
+            assert set(entry) >= {
+                "fingerprint", "solves", "array_backend",
+                "crossings_per_iter",
+            }
+            # CPU-only default policy: auto resolves to the numpy path.
+            assert entry["array_backend"].startswith(("auto", "numpy"))
+            assert entry["solves"] >= 0
 
 
 class TestFiveDomainSmoke:
