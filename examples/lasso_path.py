@@ -8,7 +8,17 @@ Warm-starting each solve from the previous λ's solution (the standard
 homotopy trick) cuts iteration counts, and the MIB backend prices each
 solve in exact cycles.
 
+Only ``q`` changes along the path (λ scales the linear term), so when
+the sweep is streamed through a server session every step after the
+first rides the *delta-bind* fast path: no matrix rescale, no KKT
+refactorization.
+
 Run:  python examples/lasso_path.py
+      python examples/lasso_path.py --serve http://127.0.0.1:8000
+
+With ``--serve`` the sweep is sent as one ``POST /v1/sequence`` to a
+live ``python -m repro serve`` instance — this file then doubles as a
+streaming workload generator (see benchmarks/bench_stream.py).
 """
 
 from __future__ import annotations
@@ -21,43 +31,36 @@ from repro.problems import lasso_problem
 
 N_FEATURES = 16
 N_SAMPLES = 64
-LAMBDA_FRACTIONS = [0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02]
+# A geometric grid, as homotopy practice prescribes: small relative
+# steps keep consecutive solutions close, which is what makes the
+# warm-started path cheap.
+LAMBDA_FRACTIONS = [
+    round(float(f), 4) for f in np.geomspace(0.9, 0.02, 16)
+]
+SETTINGS = Settings(eps_abs=1e-4, eps_rel=1e-4)
 
 
-def main() -> None:
-    settings = Settings(eps_abs=1e-4, eps_rel=1e-4)
-    rows = []
-    x_warm = y_warm = None
-    total_cycles = 0
-    # Compile the pattern once; every lambda rebinds values in place.
-    solver = MIBSolver(
-        lasso_problem(N_FEATURES, n_samples=N_SAMPLES, seed=0),
-        variant="direct",
-        c=32,
-        settings=settings,
-    )
-    for frac in LAMBDA_FRACTIONS:
-        problem = lasso_problem(
-            N_FEATURES, n_samples=N_SAMPLES, lam_fraction=frac, seed=0
+def lambda_steps(
+    fractions=tuple(LAMBDA_FRACTIONS),
+    *,
+    n_features: int = N_FEATURES,
+    n_samples: int = N_SAMPLES,
+    seed: int = 0,
+) -> list:
+    """The path's ordered QP instances (one sparsity pattern).
+
+    Importable workload generator: every instance shares the seed-0
+    pattern; only ``q`` varies with λ.
+    """
+    return [
+        lasso_problem(
+            n_features, n_samples=n_samples, lam_fraction=frac, seed=seed
         )
-        solver.update_values(problem)
-        report = solver.solve(x0=x_warm, y0=y_warm)
-        res = report.result
-        coeffs = res.x[:N_FEATURES]
-        active = int((np.abs(coeffs) > 1e-4).sum())
-        rows.append(
-            [
-                f"{frac:.2f}",
-                res.iterations,
-                report.cycles,
-                f"{report.runtime_seconds * 1e6:.0f}",
-                active,
-                f"{np.abs(coeffs).max():.4f}",
-            ]
-        )
-        x_warm, y_warm = res.x, res.y
-        total_cycles += report.cycles
+        for frac in fractions
+    ]
 
+
+def _print_path(rows: list, total_cycles: int | None) -> None:
     print(
         ascii_table(
             [
@@ -80,8 +83,89 @@ def main() -> None:
         f"\nsparsity path: {actives} — more coefficients activate as λ "
         "shrinks, as theory predicts"
     )
-    print(f"total device cycles for the path: {total_cycles}")
+    if total_cycles is not None:
+        print(f"total device cycles for the path: {total_cycles}")
+
+
+def run_local() -> None:
+    rows = []
+    x_warm = y_warm = None
+    total_cycles = 0
+    steps = lambda_steps()
+    # Compile the pattern once; every lambda rebinds values in place.
+    solver = MIBSolver(steps[0], variant="direct", c=32, settings=SETTINGS)
+    for frac, problem in zip(LAMBDA_FRACTIONS, steps):
+        solver.update_values(problem)
+        report = solver.solve(x0=x_warm, y0=y_warm)
+        res = report.result
+        coeffs = res.x[:N_FEATURES]
+        active = int((np.abs(coeffs) > 1e-4).sum())
+        rows.append(
+            [
+                f"{frac:.2f}",
+                res.iterations,
+                report.cycles,
+                f"{report.runtime_seconds * 1e6:.0f}",
+                active,
+                f"{np.abs(coeffs).max():.4f}",
+            ]
+        )
+        x_warm, y_warm = res.x, res.y
+        total_cycles += report.cycles
+    _print_path(rows, total_cycles)
+
+
+def run_serve(url: str) -> None:
+    """Stream the same path through a live server as one sequence."""
+    from repro.serve import ServeClient
+
+    client = ServeClient(base_url=url)
+    steps = lambda_steps()
+    response = client.sequence(
+        steps[0], steps, session="lasso-path", timeout_s=120.0
+    )
+    if not response.ok:
+        raise SystemExit(f"sequence failed: {response.raw}")
+    rows = []
+    for frac, block, result in zip(
+        LAMBDA_FRACTIONS, response.steps, response.results
+    ):
+        coeffs = result.x[:N_FEATURES]
+        rows.append(
+            [
+                f"{frac:.2f}",
+                result.iterations,
+                block.get("cycles", 0),
+                f"{block['solve_seconds'] * 1e6:.0f}",
+                int((np.abs(coeffs) > 1e-4).sum()),
+                f"{np.abs(coeffs).max():.4f}",
+            ]
+        )
+    _print_path(rows, None)
+    binds = sum(1 for b in response.steps if b.get("delta_bind"))
+    print(
+        f"served via {url}: {len(response.results)} steps, "
+        f"{binds} delta-bind fast-path rebinds"
+    )
+
+
+def main(serve_url: str | None = None) -> None:
+    if serve_url:
+        run_serve(serve_url)
+    else:
+        run_local()
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="lasso regularization path example"
+    )
+    parser.add_argument(
+        "--serve",
+        metavar="URL",
+        help="stream the path through a live repro.serve instance "
+        "(POST /v1/sequence) instead of solving in-process",
+    )
+    main(parser.parse_args().serve)

@@ -7,11 +7,19 @@ stability demands the solve finish before the next sample, so *runtime
 jitter* is as important as mean runtime (Section V-D / Fig. 11).
 
 This example runs a closed-loop simulation where every period's QP is
-solved on the MIB backend (warm-started), records exact per-period
-device cycles, and contrasts the deadline behaviour against the
-jittering CPU/GPU baseline models.
+solved on one compiled MIB pattern (warm-started), records exact
+per-period device cycles, and contrasts the deadline behaviour against
+the jittering CPU/GPU baseline models.
+
+The loop is inherently *stateful*: each period's QP depends on the
+previous solve's result, so it cannot be shipped as one batch.  With
+``--serve`` each period becomes a session-keyed ``POST /v1/solve`` —
+the server carries the warm-start iterate (and ρ) across requests, and
+because only the initial-state bounds change between periods every
+request after the first rides the delta-bind fast path.
 
 Run:  python examples/mpc_control_loop.py
+      python examples/mpc_control_loop.py --serve http://127.0.0.1:8000
 """
 
 from __future__ import annotations
@@ -32,38 +40,81 @@ from repro.problems.seeding import stable_seed
 
 NX, NU, HORIZON = 6, 3, 8
 N_PERIODS = 25
+# Embedded MPC practice: fix ρ (no mid-flight refactorization), so the
+# per-period work — and on MIB the per-period *cycle count* — is a
+# known constant.
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3, adaptive_rho=False)
 
 
-def main() -> None:
-    # Embedded MPC practice: fix ρ (no mid-flight refactorization), so
-    # the per-period work — and on MIB the per-period *cycle count* —
-    # is a known constant.
-    settings = Settings(eps_abs=1e-3, eps_rel=1e-3, adaptive_rho=False)
-    pattern_rng = np.random.default_rng(
-        stable_seed("mpc", NX, NU, HORIZON)
-    )
+def make_plant():
+    """The fixed plant ``(A_d, B_d)`` and the disturbed initial state."""
+    pattern_rng = np.random.default_rng(stable_seed("mpc", NX, NU, HORIZON))
     ad, bd = random_linear_system(NX, NU, pattern_rng)
+    state0 = np.random.default_rng(7).standard_normal(NX)
+    return ad, bd, state0
 
-    state = np.random.default_rng(7).standard_normal(NX)
-    runtimes, cycles_trace, norms = [], [], []
-    x_warm = y_warm = None
-    solver = None
 
-    for period in range(N_PERIODS):
-        problem = mpc_problem(NX, nu=NU, horizon=HORIZON, seed=period)
-        # Overwrite the initial-state equality rows with the *measured*
-        # state (same pattern, new values — no recompilation).
-        problem.l[:NX] = -state
-        problem.u[:NX] = -state
-        solver = MIBSolver(problem, variant="direct", c=32, settings=settings)
-        report = solver.solve(x0=x_warm, y0=y_warm)
-        result = report.result
+def step_problem(state: np.ndarray):
+    """The next period's QP with the measured state bound in.
+
+    A regulation loop re-solves one fixed problem family — same
+    dynamics, same cost, same reference — with only the measured
+    state changing, so consecutive instances differ purely in the
+    initial-state bounds ``l``/``u``: the delta-bind condition.
+    """
+    problem = mpc_problem(NX, nu=NU, horizon=HORIZON, seed=0)
+    # Overwrite the initial-state equality rows with the *measured*
+    # state (same pattern, new values — no recompilation).
+    problem.l[:NX] = -state
+    problem.u[:NX] = -state
+    return problem
+
+
+def run_closed_loop(solve, n_periods: int = N_PERIODS):
+    """Drive the plant for ``n_periods`` through ``solve(problem)``.
+
+    ``solve`` maps one QP to an object with an ``x`` attribute (a
+    :class:`~repro.solver.SolveResult` works, local or decoded off the
+    wire).  Returns the visited problems, results and state norms —
+    the importable closed-loop workload generator used by
+    benchmarks/bench_stream.py.
+    """
+    ad, bd, state = make_plant()
+    problems, results, norms = [], [], []
+    for _ in range(n_periods):
+        problem = step_problem(state)
+        result = solve(problem)
         u0 = result.x[(HORIZON + 1) * NX : (HORIZON + 1) * NX + NU]
         state = ad @ state + bd @ u0
-        x_warm, y_warm = result.x, result.y
+        problems.append(problem)
+        results.append(result)
+        norms.append(float(np.linalg.norm(state)))
+    return problems, results, norms
+
+
+def run_local() -> None:
+    runtimes, cycles_trace = [], []
+    solver_box = {}
+    warm = {"x": None, "y": None}
+
+    def solve(problem):
+        solver = solver_box.get("solver")
+        if solver is None:
+            # Compile the pattern once; later periods rebind values.
+            solver = MIBSolver(
+                problem, variant="direct", c=32, settings=SETTINGS
+            )
+            solver_box["solver"] = solver
+        else:
+            solver.update_values(problem)
+        report = solver.solve(x0=warm["x"], y0=warm["y"])
+        warm["x"], warm["y"] = report.result.x, report.result.y
         runtimes.append(report.runtime_seconds)
         cycles_trace.append(report.cycles)
-        norms.append(float(np.linalg.norm(state)))
+        return report.result
+
+    _, _, norms = run_closed_loop(solve)
+    solver = solver_box["solver"]
 
     rows = [
         [p, cycles_trace[p], f"{runtimes[p] * 1e6:.1f}", f"{norms[p]:.3f}"]
@@ -83,16 +134,17 @@ def main() -> None:
     rng = np.random.default_rng(0)
     # Period 0 is a cold solve; the steady state is the warm-started
     # loop, which is what a deployed controller runs.
-    warm = np.asarray(runtimes[1:])
+    warm_times = np.asarray(runtimes[1:])
     print(f"\nMIB cold-start (period 0)     : {runtimes[0] * 1e6:.1f} us")
     print(
-        f"MIB warm periods              : mean {warm.mean() * 1e6:.1f} us, "
-        f"worst {warm.max() * 1e6:.1f} us (cycle-exact, zero device jitter)"
+        f"MIB warm periods              : mean {warm_times.mean() * 1e6:.1f}"
+        f" us, worst {warm_times.max() * 1e6:.1f} us "
+        "(cycle-exact, zero device jitter)"
     )
 
     # Jitter + deadline analysis (Fig. 11's concern): repeated solves of
     # the steady-state QP on each platform.
-    ref_result = solver.reference.solve(x0=x_warm, y0=y_warm)
+    ref_result = solver.reference.solve(x0=warm["x"], y0=warm["y"])
     platforms = {
         "CPU (QDLDL)": PLATFORMS["cpu_qdldl"],
         "GPU (cuSparse)": PLATFORMS["gpu"],
@@ -104,7 +156,7 @@ def main() -> None:
             mean, plat.jitter_cv, 10_000, rng
         )
     samples["MIB C=32"] = sample_jittered_runtimes(
-        float(warm.mean()), 0.005, 10_000, rng  # residual PCIe-only noise
+        float(warm_times.mean()), 0.005, 10_000, rng  # residual PCIe noise
     )
     rows = []
     deadlines = [250e-6, 300e-6, 400e-6]
@@ -131,5 +183,61 @@ def main() -> None:
     print(f"\njitter reduction vs CPU: {cpu_j / mib_j:.1f}x (paper: 13.8x)")
 
 
+def run_serve(url: str) -> None:
+    """Run the same closed loop against a live server session."""
+    from repro.serve import ServeClient
+
+    client = ServeClient(base_url=url)
+    stats = []
+
+    def solve(problem):
+        response = client.solve(
+            problem, session="mpc-loop", timeout_s=120.0
+        )
+        if not response.ok:
+            raise SystemExit(f"solve failed: {response.raw}")
+        stats.append(response.raw)
+        return response.result
+
+    _, _, norms = run_closed_loop(solve)
+    rows = [
+        [
+            p,
+            stats[p]["result"]["iterations"],
+            f"{stats[p]['solve_seconds'] * 1e6:.1f}",
+            f"{norms[p]:.3f}",
+        ]
+        for p in range(0, N_PERIODS, 4)
+    ]
+    print(
+        ascii_table(
+            ["period", "iters", "solve us", "|state|"],
+            rows,
+            title=f"closed-loop MPC via {url} (session-keyed warm start)",
+        )
+    )
+    warm = sum(1 for s in stats if s.get("warm"))
+    print(
+        f"\nfinal |state| = {norms[-1]:.4f}; "
+        f"{warm}/{len(stats)} requests rode the warm session"
+    )
+
+
+def main(serve_url: str | None = None) -> None:
+    if serve_url:
+        run_serve(serve_url)
+    else:
+        run_local()
+
+
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description="closed-loop MPC example")
+    parser.add_argument(
+        "--serve",
+        metavar="URL",
+        help="drive the loop against a live repro.serve instance "
+        "(session-keyed POST /v1/solve) instead of solving in-process",
+    )
+    main(parser.parse_args().serve)

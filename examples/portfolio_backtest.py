@@ -1,15 +1,29 @@
 #!/usr/bin/env python3
 """Portfolio backtesting: compile once, solve many (Section II-B).
 
-Backtesting solves sets of QPs that share one sparsity pattern while
-the risk-aversion parameter γ and the market data vary — the paper's
-motivating amortization case ("millions of QPs with the same sparsity
-pattern must be solved each trading day").  This example compiles the
-pattern once on the MIB backend and sweeps γ over many instances,
-reporting per-solve device time and how quickly the one-off compile
-cost amortizes against the modeled CPU baseline.
+Backtesting replays trading days against a strategy, solving one QP
+per rebalance — the paper's motivating amortization case ("millions of
+QPs with the same sparsity pattern must be solved each trading day").
+Each market day fixes a risk model (the covariance factors — the QP's
+*matrices*); within the day, expected returns drift tick by tick and
+only the linear term ``q`` moves.  The stream is therefore day-major:
+
+* a **day boundary** rebinds matrix values (full rebind, and a regime
+  change for warm-start purposes — yesterday's trajectory is stale);
+* every **intraday tick** is a vectors-only rebind — the delta-bind
+  fast path when streamed through a server session, warm started from
+  the previous tick's solution.
+
+This example compiles the pattern once on the MIB backend and replays
+the backtest, reporting per-solve device time and how quickly the
+one-off compile cost amortizes against the modeled CPU baseline.
 
 Run:  python examples/portfolio_backtest.py
+      python examples/portfolio_backtest.py --serve http://127.0.0.1:8000
+
+With ``--serve`` the backtest is sent as one ``POST /v1/sequence`` to a
+live ``python -m repro serve`` instance — this file then doubles as a
+streaming workload generator (see benchmarks/bench_stream.py).
 """
 
 from __future__ import annotations
@@ -20,59 +34,100 @@ from repro import MIBSolver, Settings
 from repro.analysis import ascii_table, geomean
 from repro.backends import cpu_platform_for, model_runtime
 from repro.problems import portfolio_problem
+from repro.solver import QPProblem
 
 N_ASSETS = 40
-GAMMAS = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0]
-N_MARKET_DAYS = 4  # value seeds per gamma
+GAMMA = 1.0
+N_MARKET_DAYS = 4
+TICKS_PER_DAY = 12
+DRIFT = 0.02  # per-tick multiplicative drift of expected returns
+SETTINGS = Settings(eps_abs=1e-3, eps_rel=1e-3)
 
 
-def main() -> None:
-    settings = Settings(eps_abs=1e-3, eps_rel=1e-3)
+def backtest_steps(
+    *,
+    n_assets: int = N_ASSETS,
+    n_days: int = N_MARKET_DAYS,
+    ticks_per_day: int = TICKS_PER_DAY,
+    drift: float = DRIFT,
+    gamma: float = GAMMA,
+) -> list:
+    """The backtest's ordered QP instances, day-major.
 
+    Importable workload generator: each day draws a fresh risk model
+    (new matrix values, same pattern), then ``ticks_per_day`` intraday
+    instances whose expected returns random-walk multiplicatively —
+    consecutive ticks differ only in ``q``.
+    """
+    steps = []
+    for day in range(n_days):
+        base = portfolio_problem(n_assets, gamma=gamma, seed=day)
+        rng = np.random.default_rng(1000 + day)
+        q = base.q
+        for tick in range(ticks_per_day):
+            if tick:
+                # Multiplicative drift keeps the factor block of q at
+                # exactly zero — the pattern is untouched.
+                q = q * (1.0 + drift * rng.standard_normal(base.n))
+            steps.append(
+                QPProblem(
+                    p=base.p,
+                    q=np.asarray(q, dtype=np.float64),
+                    a=base.a,
+                    l=base.l,
+                    u=base.u,
+                    name=base.name,
+                )
+            )
+    return steps
+
+
+def run_local() -> None:
     # Compile the pattern once (any instance of the family will do:
     # the compiled program depends only on the sparsity structure).
-    pattern_problem = portfolio_problem(N_ASSETS, gamma=1.0, seed=0)
-    mib = MIBSolver(pattern_problem, variant="direct", c=32, settings=settings)
+    pattern_problem = portfolio_problem(N_ASSETS, gamma=GAMMA, seed=0)
+    mib = MIBSolver(
+        pattern_problem, variant="direct", c=32, settings=SETTINGS
+    )
     print(
         f"compiled portfolio pattern (n={N_ASSETS} assets, "
         f"nnz={pattern_problem.nnz}) in {mib.compile_seconds:.2f}s"
     )
-    print(f"kernels: {{k: s.cycles for ...}} = "
-          f"{ {k: s.cycles for k, s in mib.kernels.schedules.items()} }")
 
     rows = []
     mib_times = []
     cpu_times = []
     cpu = cpu_platform_for("direct")
-    for gamma in GAMMAS:
-        for day in range(N_MARKET_DAYS):
-            problem = portfolio_problem(N_ASSETS, gamma=gamma, seed=day)
-            # Rebind the compiled solver to the new instance: identical
-            # pattern, new stream values — no recompilation, just a
-            # numeric refactorization on-device.
-            mib.update_values(problem)
-            report = mib.solve()
-            weights = report.result.x[:N_ASSETS]
-            cpu_t = model_runtime(cpu, report.result)
-            mib_times.append(report.runtime_seconds)
-            cpu_times.append(cpu_t)
-            if day == 0:
-                rows.append(
-                    [
-                        f"{gamma:.1f}",
-                        report.result.iterations,
-                        f"{report.runtime_seconds * 1e6:.0f}",
-                        f"{cpu_t * 1e6:.0f}",
-                        f"{weights.max():.3f}",
-                        f"{(weights > 1e-4).sum()}",
-                    ]
-                )
+    steps = backtest_steps()
+    for index, problem in enumerate(steps):
+        day, tick = divmod(index, TICKS_PER_DAY)
+        # Rebind the compiled solver to the new instance: identical
+        # pattern, new stream values — no recompilation, just a
+        # numeric refactorization on-device (and within a day only
+        # q changes, which update_values rebinds for free).
+        mib.update_values(problem)
+        report = mib.solve()
+        weights = report.result.x[:N_ASSETS]
+        cpu_t = model_runtime(cpu, report.result)
+        mib_times.append(report.runtime_seconds)
+        cpu_times.append(cpu_t)
+        if day == 0 and tick % 2 == 0:
+            rows.append(
+                [
+                    tick,
+                    report.result.iterations,
+                    f"{report.runtime_seconds * 1e6:.0f}",
+                    f"{cpu_t * 1e6:.0f}",
+                    f"{weights.max():.3f}",
+                    f"{(weights > 1e-4).sum()}",
+                ]
+            )
 
     print()
     print(
         ascii_table(
             [
-                "gamma",
+                "tick",
                 "iters",
                 "MIB us",
                 "CPU(model) us",
@@ -80,7 +135,10 @@ def main() -> None:
                 "assets held",
             ],
             rows,
-            title=f"gamma sweep over the fixed pattern ({len(mib_times)} solves)",
+            title=(
+                f"day 0 of {N_MARKET_DAYS}, every 2nd tick "
+                f"({len(mib_times)} solves total)"
+            ),
         )
     )
     speedups = [c / m for c, m in zip(cpu_times, mib_times)]
@@ -93,5 +151,66 @@ def main() -> None:
     )
 
 
+def run_serve(url: str) -> None:
+    """Stream the day-major backtest through a live server session."""
+    from repro.serve import ServeClient
+
+    client = ServeClient(base_url=url)
+    steps = backtest_steps()
+    response = client.sequence(
+        steps[0], steps, session="portfolio-backtest", timeout_s=300.0
+    )
+    if not response.ok:
+        raise SystemExit(f"sequence failed: {response.raw}")
+    rows = []
+    for index, (block, result) in enumerate(
+        zip(response.steps, response.results)
+    ):
+        day, tick = divmod(index, TICKS_PER_DAY)
+        if day != 0 or tick % 2:
+            continue
+        weights = result.x[:N_ASSETS]
+        rows.append(
+            [
+                tick,
+                result.iterations,
+                f"{block['solve_seconds'] * 1e6:.0f}",
+                "delta" if block.get("delta_bind") else "full",
+                f"{weights.max():.3f}",
+                f"{(weights > 1e-4).sum()}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["tick", "iters", "solve us", "bind", "max weight", "assets held"],
+            rows,
+            title=f"served backtest, day 0 of {N_MARKET_DAYS} "
+            f"({len(response.results)} solves total)",
+        )
+    )
+    binds = sum(1 for b in response.steps if b.get("delta_bind"))
+    print(
+        f"\nserved via {url}: {len(response.results)} steps, "
+        f"{binds} delta-bind fast-path rebinds "
+        f"(expected: all but one per market day)"
+    )
+
+
+def main(serve_url: str | None = None) -> None:
+    if serve_url:
+        run_serve(serve_url)
+    else:
+        run_local()
+
+
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description="portfolio backtest example")
+    parser.add_argument(
+        "--serve",
+        metavar="URL",
+        help="stream the backtest through a live repro.serve instance "
+        "(POST /v1/sequence) instead of solving in-process",
+    )
+    main(parser.parse_args().serve)

@@ -272,6 +272,8 @@ def cmd_serve(args) -> int:
         execution=args.execution,
         array_backend=args.array_backend,
         shards=args.shards,
+        session_capacity=args.session_capacity,
+        session_ttl_s=args.session_ttl,
     )
     server.start()
     tier = (
@@ -285,7 +287,10 @@ def cmd_serve(args) -> int:
         f"{tier}, max-batch={args.max_batch}, "
         f"policy={args.batch_policy})"
     )
-    print("endpoints: POST /v1/solve   GET /v1/health   GET /v1/metrics")
+    print(
+        "endpoints: POST /v1/solve   POST /v1/sequence   "
+        "POST /v1/scenarios   GET /v1/health   GET /v1/metrics"
+    )
     try:
         while True:
             time.sleep(1.0)
@@ -451,6 +456,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="seed each solve from the pattern's previous solution "
         "(MPC-style serving; tolerances unchanged)",
+    )
+    p.add_argument(
+        "--session-capacity",
+        type=int,
+        default=256,
+        help="client warm-start sessions kept resident per pool "
+        "(LRU beyond this; see POST /v1/solve 'session')",
+    )
+    p.add_argument(
+        "--session-ttl",
+        type=float,
+        default=300.0,
+        help="idle seconds before a warm-start session expires",
     )
     p.add_argument("--variant", choices=("direct", "indirect"), default="direct")
     p.add_argument("--width", type=int, default=16, help="network width C")

@@ -20,6 +20,7 @@ from .models import (
     model_runtime,
     sample_jittered_runtimes,
 )
+from .session import SessionStep, SolveSession
 
 __all__ = [
     "MIBBatchReport",
@@ -35,4 +36,6 @@ __all__ = [
     "run_reference",
     "run_reference_batch",
     "sample_jittered_runtimes",
+    "SessionStep",
+    "SolveSession",
 ]

@@ -552,6 +552,12 @@ class MIBSolver:
         self.variant = variant
         self.c = c
         self.execution = execution
+        # Construction-time Ruiz scaling applies the equilibration
+        # iteratively, which can differ in the last ulp from the
+        # one-shot rescale update_values performs; the delta bind may
+        # only skip matrix work once the scaled state has
+        # update_values provenance.
+        self._delta_bindable = False
         # Resolved once: forcing an unavailable accelerator fails here,
         # at configuration time, not mid-solve.
         self.backend_policy = BackendPolicy.resolve(array_backend)
@@ -1025,6 +1031,57 @@ class MIBSolver:
         """
         self.reference.update_values(problem)
         self.problem = problem
+        self._delta_bindable = True
+
+    # ------------------------------------------------------------------
+    def bind_values(self, problem: QPProblem) -> str:
+        """Bind a same-pattern instance, taking the delta fast path
+        when only vectors changed.
+
+        Returns ``"delta"`` when ``A.data`` and ``P.data`` (upper
+        triangle) are bitwise equal to the bound instance's — then the
+        matrix rescale, KKT assembly and numeric refactorization are
+        all skipped and only ``q``/``l``/``u`` rescale (the streaming
+        MPC / homotopy-path shape: new measured state, new penalty,
+        same plant).  Returns ``"full"`` after an ordinary
+        :meth:`update_values` otherwise.  Both paths are bitwise
+        equivalent: the skipped recomputation is a deterministic
+        function of inputs that did not change.
+        """
+        cur = self.problem
+        if (
+            self._delta_bindable
+            and problem.a.pattern_equal(cur.a)
+            and problem.p_upper.pattern_equal(cur.p_upper)
+            and np.array_equal(problem.a.data, cur.a.data)
+            and np.array_equal(problem.p_upper.data, cur.p_upper.data)
+        ):
+            self.reference.update_vectors(problem)
+            self.problem = problem
+            return "delta"
+        self.update_values(problem)
+        return "full"
+
+    # ------------------------------------------------------------------
+    def bind_rho(self, rho: float) -> bool:
+        """Install a carried ρ (session state) on the bound instance.
+
+        The session equivalent of the ρ-reset half of
+        :meth:`bind_instance`: the per-constraint vector is rebuilt
+        under the *current* bounds' equality/loose masks, but the KKT
+        refactorization only runs when that vector actually changed
+        bitwise — in the steady state of a parametric stream (same ρ,
+        same constraint classes) it never does.  Returns ``True`` when
+        the system refactorized.
+        """
+        ref = self.reference
+        ref.rho = float(rho)
+        new_vec = ref._build_rho_vec(ref.rho)
+        changed = not np.array_equal(new_vec, ref.rho_vec)
+        ref.rho_vec = new_vec
+        if changed:
+            ref.kkt_solver.update_rho(new_vec)
+        return changed
 
     # ------------------------------------------------------------------
     # cycle accounting

@@ -17,14 +17,40 @@ from .linalg import CSCMatrix
 from .solver import OSQP_INFTY, QPProblem
 
 __all__ = [
+    "decode_bounds",
+    "encode_bounds",
     "read_matrix_market",
     "write_matrix_market",
     "load_problem",
     "problem_from_dict",
     "problem_to_dict",
+    "problem_with_values",
     "save_problem",
     "read_qps",
 ]
+
+
+def encode_bounds(v: np.ndarray) -> list:
+    """JSON-safe bound vector: ±infinity as ``"inf"``/``"-inf"``."""
+    return [
+        "inf" if x >= OSQP_INFTY else "-inf" if x <= -OSQP_INFTY else x
+        for x in v.tolist()
+    ]
+
+
+def decode_bounds(raw) -> np.ndarray:
+    """Inverse of :func:`encode_bounds` (accepts plain numerics too)."""
+    return np.array(
+        [
+            OSQP_INFTY
+            if x == "inf"
+            else -OSQP_INFTY
+            if x == "-inf"
+            else float(x)
+            for x in raw
+        ],
+        dtype=np.float64,
+    )
 
 
 def write_matrix_market(matrix: CSCMatrix, path: str | Path) -> Path:
@@ -264,13 +290,6 @@ def problem_to_dict(problem: QPProblem) -> dict:
     infinite bounds are encoded as the strings ``"inf"``/``"-inf"``
     (JSON has no infinity literal).
     """
-
-    def encode_bounds(v: np.ndarray) -> list:
-        return [
-            "inf" if x >= OSQP_INFTY else "-inf" if x <= -OSQP_INFTY else x
-            for x in v.tolist()
-        ]
-
     return {
         "format": "repro-qp-v1",
         "name": problem.name,
@@ -286,20 +305,6 @@ def problem_from_dict(doc: dict) -> QPProblem:
     """Rebuild a QP from its ``repro-qp-v1`` document form."""
     if doc.get("format") != "repro-qp-v1":
         raise ValueError("unrecognized problem file format")
-
-    def decode_bounds(raw: list) -> np.ndarray:
-        return np.array(
-            [
-                OSQP_INFTY
-                if x == "inf"
-                else -OSQP_INFTY
-                if x == "-inf"
-                else float(x)
-                for x in raw
-            ],
-            dtype=np.float64,
-        )
-
     return QPProblem(
         p=_matrix_from_obj(doc["P"]),
         q=np.asarray(doc["q"], dtype=np.float64),
@@ -307,6 +312,75 @@ def problem_from_dict(doc: dict) -> QPProblem:
         l=decode_bounds(doc["l"]),
         u=decode_bounds(doc["u"]),
         name=doc.get("name", "qp"),
+    )
+
+
+def problem_with_values(
+    base: QPProblem,
+    *,
+    q=None,
+    l=None,
+    u=None,
+    a_data=None,
+    p_data=None,
+) -> QPProblem:
+    """A same-pattern variant of ``base`` with some values replaced.
+
+    The materialization step behind ``/v1/sequence`` and
+    ``/v1/scenarios`` step overrides: every field left ``None``
+    *shares* the base's array object, so an override that only touches
+    ``q``/``l``/``u`` keeps the matrix value arrays bitwise identical
+    to the base — exactly the condition the solver's delta-bind fast
+    path tests for.  ``p_data`` replaces the non-zeros of the **upper
+    triangle** of ``P`` in canonical CSC order (the wire convention);
+    ``a_data`` likewise replaces ``A``'s non-zeros.  Index arrays are
+    pattern constants and always shared.
+    """
+    p_upper = base.p_upper
+    if p_data is None:
+        p = p_upper
+    else:
+        p_data = np.asarray(p_data, dtype=np.float64)
+        if p_data.size != p_upper.nnz:
+            raise ValueError(
+                f"p_data has {p_data.size} values, pattern has "
+                f"{p_upper.nnz} non-zeros"
+            )
+        p = CSCMatrix(
+            p_upper.shape, p_upper.indptr, p_upper.indices, p_data,
+            check=False,
+        )
+    if a_data is None:
+        a = base.a
+    else:
+        a_data = np.asarray(a_data, dtype=np.float64)
+        if a_data.size != base.a.nnz:
+            raise ValueError(
+                f"a_data has {a_data.size} values, pattern has "
+                f"{base.a.nnz} non-zeros"
+            )
+        a = CSCMatrix(
+            base.a.shape, base.a.indptr, base.a.indices, a_data, check=False
+        )
+
+    def vector(override, current: np.ndarray, name: str) -> np.ndarray:
+        if override is None:
+            return current
+        arr = np.asarray(override, dtype=np.float64)
+        if arr.shape != current.shape:
+            raise ValueError(
+                f"{name} override has shape {arr.shape}, "
+                f"expected {current.shape}"
+            )
+        return arr
+
+    return QPProblem(
+        p=p,
+        q=vector(q, base.q, "q"),
+        a=a,
+        l=vector(l, base.l, "l"),
+        u=vector(u, base.u, "u"),
+        name=base.name,
     )
 
 

@@ -16,7 +16,11 @@ and the cheap ``update_values`` rebind — into a long-running service:
 * :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the
   stdlib HTTP/JSON front-end and its Python client;
 * :mod:`~repro.serve.metrics` — live counters and latency histograms
-  (``/v1/metrics``).
+  (``/v1/metrics``);
+* :mod:`~repro.serve.session` — sticky warm-start sessions: carried
+  ``(x, y, ρ)`` per client session key, behind ``session=`` on
+  ``/v1/solve``, the ordered ``/v1/sequence`` endpoint and the
+  ``/v1/scenarios`` batch fan-out (DESIGN.md §5.8).
 
 Start it with ``python -m repro serve`` or embed it::
 
@@ -28,12 +32,13 @@ Start it with ``python -m repro serve`` or embed it::
         assert response.solved
 """
 
-from .client import ServeClient, SolveResponse
+from .client import ServeClient, SolveResponse, StreamResponse
 from .controller import POLICIES, BatchController, PatternStats, value_distance
 from .metrics import LatencyHistogram, ServeMetrics
 from .pool import PoolSolve, SolverPool
 from .queue import DispatchBatch, QueueFullError, RequestQueue, SolveRequest
 from .server import ServeServer
+from .session import SessionState, SessionStore
 
 __all__ = [
     "BatchController",
@@ -47,8 +52,11 @@ __all__ = [
     "ServeClient",
     "ServeMetrics",
     "ServeServer",
+    "SessionState",
+    "SessionStore",
     "SolveRequest",
     "SolveResponse",
     "SolverPool",
+    "StreamResponse",
     "value_distance",
 ]

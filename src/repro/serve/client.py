@@ -16,10 +16,12 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass
 
-from ..io import problem_to_dict
+import numpy as np
+
+from ..io import encode_bounds, problem_to_dict
 from ..solver import QPProblem, SolveResult
 
-__all__ = ["ServeClient", "SolveResponse"]
+__all__ = ["ServeClient", "SolveResponse", "StreamResponse"]
 
 # Transport failures worth one retry: the server (or a shard worker
 # restart behind it) dropped the connection without answering.  Safe
@@ -62,6 +64,55 @@ class SolveResponse:
     @property
     def fingerprint(self) -> str | None:
         return self.raw.get("fingerprint")
+
+
+@dataclass(frozen=True)
+class StreamResponse:
+    """One ``/v1/sequence`` or ``/v1/scenarios`` exchange, decoded.
+
+    ``results`` holds the decoded per-step (per-lane) results, in
+    order, for every step the server completed — a mid-sequence 504
+    still carries the completed prefix, so ``len(results)`` may be
+    shorter than the request.
+    """
+
+    http_status: int
+    status: str
+    raw: dict
+    results: list[SolveResult]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def steps(self) -> list[dict]:
+        return self.raw.get("steps") or self.raw.get("scenarios") or []
+
+    @property
+    def delta_binds(self) -> int:
+        return sum(1 for step in self.steps if step.get("delta_bind"))
+
+
+def _step_override(base: QPProblem, step: QPProblem) -> dict:
+    """The wire-form override turning ``base`` into ``step``.
+
+    Vectors are always sent (they are small and almost always what
+    changed); matrix values ride along only when they actually differ —
+    an override without ``a_data``/``p_data`` inherits the base arrays
+    *bitwise* server-side, which is what keeps the delta-bind fast path
+    reachable through the JSON transport.
+    """
+    override: dict = {
+        "q": step.q.tolist(),
+        "l": encode_bounds(step.l),
+        "u": encode_bounds(step.u),
+    }
+    if not np.array_equal(step.a.data, base.a.data):
+        override["a_data"] = step.a.data.tolist()
+    if not np.array_equal(step.p_upper.data, base.p_upper.data):
+        override["p_data"] = step.p_upper.data.tolist()
+    return override
 
 
 class ServeClient:
@@ -121,12 +172,23 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def solve(
-        self, problem: QPProblem, *, timeout_s: float | None = None
+        self,
+        problem: QPProblem,
+        *,
+        timeout_s: float | None = None,
+        session: str | None = None,
     ) -> SolveResponse:
-        """Submit one QP; blocks until the response (or its timeout)."""
+        """Submit one QP; blocks until the response (or its timeout).
+
+        ``session`` pins the solve to a server-side session: the warm
+        start restores that session's carried iterate instead of
+        whatever request last touched the pattern.
+        """
         body: dict = {"problem": problem_to_dict(problem)}
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        if session is not None:
+            body["session"] = session
         http_status, payload = self._request(
             "/v1/solve",
             body=body,
@@ -142,6 +204,71 @@ class ServeClient:
             status=str(payload.get("status", "error")),
             raw=payload,
             result=result,
+        )
+
+    def _stream(
+        self,
+        path: str,
+        field: str,
+        base: QPProblem,
+        variants: list[QPProblem],
+        *,
+        session: str | None,
+        timeout_s: float | None,
+    ) -> StreamResponse:
+        body: dict = {
+            "problem": problem_to_dict(base),
+            field: [_step_override(base, v) for v in variants],
+        }
+        if session is not None:
+            body["session"] = session
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        http_status, payload = self._request(
+            path, body=body, timeout=(timeout_s or 30.0) + 10.0
+        )
+        results = [
+            SolveResult.from_dict(block["result"])
+            for block in (payload.get("steps") or payload.get("scenarios") or [])
+            if "result" in block
+        ]
+        return StreamResponse(
+            http_status=http_status,
+            status=str(payload.get("status", "error")),
+            raw=payload,
+            results=results,
+        )
+
+    def sequence(
+        self,
+        base: QPProblem,
+        steps: list[QPProblem],
+        *,
+        session: str | None = None,
+        timeout_s: float | None = None,
+    ) -> StreamResponse:
+        """Run ordered same-pattern steps on one session, one response.
+
+        Each step is diffed against ``base`` client-side so unchanged
+        matrix values never cross the wire (and stay bitwise identical
+        server-side — the delta-bind condition).
+        """
+        return self._stream(
+            "/v1/sequence", "steps", base, steps,
+            session=session, timeout_s=timeout_s,
+        )
+
+    def scenarios(
+        self,
+        base: QPProblem,
+        variants: list[QPProblem],
+        *,
+        timeout_s: float | None = None,
+    ) -> StreamResponse:
+        """Fan N same-pattern variants onto the server's batch lanes."""
+        return self._stream(
+            "/v1/scenarios", "scenarios", base, variants,
+            session=None, timeout_s=timeout_s,
         )
 
     def health(self) -> dict:

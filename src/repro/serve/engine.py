@@ -139,6 +139,8 @@ class SolveEngine:
             "status": "ok",
             "fingerprint": solved.fingerprint,
             "warm": solved.warm,
+            "delta_bind": solved.delta_bind,
+            "session": solved.session_key,
             "cache_hit": solved.cache_hit,
             "batched": batched,
             "batch_lanes": batch_lanes,
@@ -165,13 +167,20 @@ class SolveEngine:
                 },
             )
             return
-        self._solve_solo(request, queue_wait)
+        if request.steps is not None:
+            self._process_sequence(request, queue_wait)
+        elif request.scenarios is not None:
+            self._process_scenarios(request, queue_wait)
+        else:
+            self._solve_solo(request, queue_wait)
 
     def _solve_solo(self, request: SolveRequest, queue_wait: float) -> None:
         cpu_t0 = time.thread_time()
         try:
             solved = self.pool.solve(
-                request.problem, fingerprint=request.fingerprint
+                request.problem,
+                fingerprint=request.fingerprint,
+                session=request.session_key,
             )
         except Exception as exc:  # a poisoned request must not kill workers
             self._finish(
@@ -180,7 +189,7 @@ class SolveEngine:
                 {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
             )
             return
-        if solved.warm:
+        if solved.warm and request.session_key is None:
             # Only warm solves inform the cost model: a cold solve's
             # cost is dominated by construction, not the pattern's
             # per-instance solve economics.  Priced in this worker
@@ -195,6 +204,98 @@ class SolveEngine:
             request,
             200,
             self._ok_payload(solved, queue_wait, batched=False, batch_lanes=1),
+        )
+
+    def _step_payload(self, solved) -> dict:
+        """The per-step/per-lane block inside a streaming response."""
+        result = solved.report.result
+        return {
+            "warm": solved.warm,
+            "delta_bind": solved.delta_bind,
+            "compile_seconds": solved.compile_seconds,
+            "solve_seconds": solved.solve_seconds,
+            "cycles": solved.report.cycles,
+            "solved": result.status is SolverStatus.SOLVED,
+            "result": result.to_dict(),
+        }
+
+    def _process_sequence(self, request: SolveRequest, queue_wait: float) -> None:
+        """Run an ordered step list on one session, answer once.
+
+        The deadline is honoured *between* steps: ``should_stop`` is
+        the request's own expiry check, so an expired sequence stops
+        after the step in flight and answers 504 carrying the steps it
+        did complete — the client replays only the tail.
+        """
+        self.metrics.inc("sequence_requests")
+        try:
+            solves = self.pool.solve_sequence(
+                request.steps,
+                fingerprint=request.fingerprint,
+                session=request.session_key,
+                should_stop=request.expired,
+            )
+        except Exception as exc:
+            self._finish(
+                request,
+                500,
+                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        self.metrics.inc("sequence_steps", len(solves))
+        steps = [self._step_payload(s) for s in solves]
+        if len(solves) < len(request.steps):
+            self._finish(
+                request,
+                504,
+                {
+                    "status": "timeout",
+                    "detail": "deadline expired mid-sequence",
+                    "queue_seconds": queue_wait,
+                    "steps_requested": len(request.steps),
+                    "steps_completed": len(solves),
+                    "steps": steps,
+                },
+            )
+            return
+        self._finish(
+            request,
+            200,
+            {
+                "status": "ok",
+                "fingerprint": request.fingerprint,
+                "session": request.session_key,
+                "queue_seconds": queue_wait,
+                "steps_completed": len(solves),
+                "steps": steps,
+            },
+        )
+
+    def _process_scenarios(self, request: SolveRequest, queue_wait: float) -> None:
+        """Fan N perturbed variants of one pattern onto batch lanes."""
+        self.metrics.inc("scenario_requests")
+        try:
+            solves = self.pool.solve_batch(
+                request.scenarios, fingerprint=request.fingerprint
+            )
+        except Exception as exc:
+            self._finish(
+                request,
+                500,
+                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        self.metrics.inc("scenario_lanes", len(solves))
+        self._finish(
+            request,
+            200,
+            {
+                "status": "ok",
+                "fingerprint": request.fingerprint,
+                "queue_seconds": queue_wait,
+                "lanes": len(solves),
+                "scenarios": [self._step_payload(s) for s in solves],
+            },
         )
 
     def _process_batch(self, batch: DispatchBatch) -> None:

@@ -54,6 +54,17 @@ COUNTERS = (
     "shard_death_503",         # in-flight requests failed fast on death
     "shard_reroutes",          # requests routed off their home shard
     "shard_inline_fallback",   # payloads sent inline (slab ring saturated)
+    # Streaming sessions and scenario fan-out (see repro.serve.session):
+    "session_created",         # new session keys admitted to the store
+    "session_resets",          # keys reused with a different pattern
+    "session_evictions",       # TTL expiries + LRU capacity evictions
+    "session_solves",          # solves served with carried session state
+    "session_503",             # session requests failed fast (shard down)
+    "sequence_requests",       # POST /v1/sequence bodies admitted
+    "sequence_steps",          # steps solved inside those sequences
+    "delta_binds",             # vector-only rebinds (matrix work skipped)
+    "scenario_requests",       # POST /v1/scenarios bodies admitted
+    "scenario_lanes",          # perturbed variants fanned onto batch lanes
 )
 
 HISTOGRAMS = (

@@ -36,10 +36,12 @@ from ..backends.mib import (
     MIBSolveReport,
     MIBSolver,
 )
+from ..backends.session import SolveSession
 from ..compiler import ScheduleCache, ScheduleOptions
 from ..solver import OpTrace, QPProblem, Settings, SolveResult
 from ..xp import BackendPolicy
 from .metrics import ServeMetrics
+from .session import SessionStore
 
 __all__ = ["PoolSolve", "SolverPool"]
 
@@ -49,7 +51,10 @@ class _PoolEntry:
     solver: MIBSolver
     lock: threading.Lock = field(default_factory=threading.Lock)
     solves: int = 0
-    # Last iterate of this pattern, for warm starting (x, y).
+    # Last iterate of this pattern, for warm starting: (x, y, rho).
+    # rho rides along so a pool-level warm start resumes the adapted
+    # penalty even when interleaved sessions or batch passes moved the
+    # resident solver's rho in between (it used to re-learn it).
     last_iterate: tuple | None = None
     # Per-iteration host→numpy crossings of this pattern under the
     # pool's execution mode; computed once on first use (forces trace
@@ -71,6 +76,10 @@ class PoolSolve:
     # or controller bail-out); ``bailed_lane`` isolates the latter.
     solo_lane: bool = False
     bailed_lane: bool = False
+    # Streaming path only: the rebind skipped matrix work (vectors-only
+    # delta), and the session key whose carried state seeded the solve.
+    delta_bind: bool = False
+    session_key: str | None = None
 
 
 class SolverPool:
@@ -113,6 +122,8 @@ class SolverPool:
         metrics: ServeMetrics | None = None,
         warm_start: bool = False,
         array_backend: str = "auto",
+        session_capacity: int = 256,
+        session_ttl_s: float = 300.0,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -134,6 +145,13 @@ class SolverPool:
         self._entries: OrderedDict[str, _PoolEntry] = OrderedDict()
         self._lock = threading.RLock()
         self._building: dict[str, threading.Lock] = {}
+        # Client-keyed carried iterates for the streaming API (sticky
+        # warm start on /v1/solve, /v1/sequence steps).
+        self.sessions = SessionStore(
+            capacity=session_capacity,
+            ttl_s=session_ttl_s,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     def fingerprint(self, problem: QPProblem) -> str:
@@ -178,13 +196,20 @@ class SolverPool:
         problem: QPProblem,
         *,
         fingerprint: str | None = None,
+        session: str | None = None,
     ) -> PoolSolve:
         """Solve one numeric instance through the pool.
 
         ``fingerprint`` may be passed when the caller already computed
         it (the serve queue keys requests by it); it must equal
-        :meth:`fingerprint` of the problem.
+        :meth:`fingerprint` of the problem.  ``session`` routes the
+        solve through that key's carried ``(x, y, ρ)`` state instead of
+        the anonymous path (sticky warm start, one step of a stream).
         """
+        if session is not None:
+            return self.solve_sequence(
+                [problem], fingerprint=fingerprint, session=session
+            )[0]
         key = fingerprint or self.fingerprint(problem)
         entry, warm, cache_hit, compile_seconds = self._get_or_create(
             key, problem
@@ -196,12 +221,20 @@ class SolverPool:
                 entry.solver.update_values(problem)
             x0 = y0 = None
             if self.warm_start and entry.last_iterate is not None:
-                x0, y0 = entry.last_iterate
+                x0, y0, rho0 = entry.last_iterate
+                # Resume the adapted penalty too: sessions and batch
+                # passes may have moved the resident solver's rho since
+                # this pattern's last anonymous solve.
+                entry.solver.bind_rho(rho0)
             report = entry.solver.solve(x0=x0, y0=y0)
             solve_seconds = time.perf_counter() - t0
             entry.solves += 1
             if self.warm_start:
-                entry.last_iterate = (report.result.x, report.result.y)
+                entry.last_iterate = (
+                    report.result.x,
+                    report.result.y,
+                    float(entry.solver.reference.rho),
+                )
             if entry.crossings_per_iter is None:
                 entry.crossings_per_iter = entry.solver.iteration_crossings()
         metrics.observe("solve", solve_seconds)
@@ -221,6 +254,113 @@ class SolverPool:
             compile_seconds=compile_seconds,
             solve_seconds=solve_seconds,
         )
+
+    # ------------------------------------------------------------------
+    def solve_sequence(
+        self,
+        problems: list[QPProblem],
+        *,
+        fingerprint: str | None = None,
+        session: str | None = None,
+        should_stop=None,
+    ) -> list[PoolSolve]:
+        """Solve an ordered parametric stream on one pinned solver.
+
+        All steps run on the pattern's resident solver under one entry
+        lock, carrying ``(x, y, ρ)`` from step to step through a
+        :class:`~repro.backends.session.SolveSession`; vectors-only
+        steps ride the delta bind.  With ``session`` set, the carried
+        state is restored from — and saved back to — that key's
+        :class:`~repro.serve.session.SessionState`, and the session
+        lock is held for the whole span so concurrent requests on one
+        key serialize.  ``should_stop``, when given, is polled before
+        every step (the engine's deadline hook); a truthy return ends
+        the sequence early with the steps solved so far.
+
+        Returns one :class:`PoolSolve` per *completed* step, in order.
+        """
+        if not problems:
+            return []
+        key = fingerprint or self.fingerprint(problems[0])
+        state = (
+            self.sessions.acquire(session, key)
+            if session is not None
+            else None
+        )
+        metrics = self.metrics
+        solves: list[PoolSolve] = []
+        if state is not None:
+            state.lock.acquire()
+        try:
+            entry, warm, cache_hit, compile_seconds = self._get_or_create(
+                key, problems[0]
+            )
+            with entry.lock:
+                sess = SolveSession(entry.solver)
+                if state is not None and state.warm:
+                    sess.restore(
+                        state.x,
+                        state.y,
+                        state.rho,
+                        a_data=state.a_data,
+                        p_data=state.p_data,
+                    )
+                for i, problem in enumerate(problems):
+                    if should_stop is not None and should_stop():
+                        break
+                    t0 = time.perf_counter()
+                    step = sess.step(problem)
+                    solve_seconds = time.perf_counter() - t0
+                    entry.solves += 1
+                    if entry.crossings_per_iter is None:
+                        entry.crossings_per_iter = (
+                            entry.solver.iteration_crossings()
+                        )
+                    solves.append(
+                        PoolSolve(
+                            fingerprint=key,
+                            report=step.report,
+                            # Step 0 pays any construction; later steps
+                            # always ride the now-resident solver.
+                            warm=warm if i == 0 else True,
+                            cache_hit=cache_hit,
+                            compile_seconds=(
+                                compile_seconds if i == 0 else 0.0
+                            ),
+                            solve_seconds=solve_seconds,
+                            delta_bind=step.delta_bind,
+                            session_key=session,
+                        )
+                    )
+                crossings = entry.crossings_per_iter or 0
+                if state is not None:
+                    state.x, state.y, state.rho = sess.x, sess.y, sess.rho
+                    state.a_data = sess.last_a_data
+                    state.p_data = sess.last_p_data
+                    state.steps += sess.steps
+                    state.delta_binds += sess.delta_binds
+        finally:
+            if state is not None:
+                state.lock.release()
+                self.sessions.touch(session)
+        for solved in solves:
+            metrics.observe("solve", solved.solve_seconds)
+            if solved.warm:
+                metrics.inc("warm_solve_count")
+                metrics.observe("warm_solve", solved.solve_seconds)
+            metrics.inc(
+                "admm_iterations", solved.report.result.iterations
+            )
+            metrics.inc(
+                "host_crossings",
+                solved.report.result.iterations * crossings,
+            )
+        delta = sum(s.delta_bind for s in solves)
+        if delta:
+            metrics.inc("delta_binds", delta)
+        if session is not None and solves:
+            metrics.inc("session_solves", len(solves))
+        return solves
 
     # ------------------------------------------------------------------
     def solve_batch(

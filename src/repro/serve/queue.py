@@ -70,7 +70,25 @@ class SolveRequest:
     status_code: int | None = None
     response: dict | None = None
     on_done: object | None = None  # callable(SolveRequest) | None
+    # Streaming extensions (see repro.serve.session / DESIGN.md §5.8):
+    # a sticky warm-start key, an ordered step list (/v1/sequence;
+    # ``problem`` is then steps[0], kept for routing/registration), or
+    # a scenario fan-out (/v1/scenarios; ``problem`` is the base).
+    session_key: str | None = None
+    steps: list | None = None  # list[QPProblem] | None
+    scenarios: list | None = None  # list[QPProblem] | None
     _publish_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def streaming(self) -> bool:
+        """Stateful or multi-solve requests dispatch alone: they hold
+        session state or a whole pass, so they neither ride along in a
+        coalesced batch nor accept riders."""
+        return (
+            self.session_key is not None
+            or self.steps is not None
+            or self.scenarios is not None
+        )
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -250,6 +268,10 @@ class RequestQueue:
             batch = DispatchBatch(
                 [head], fingerprint=head.fingerprint, expired=expired
             )
+            if head.streaming:
+                # Session/sequence/scenario heads dispatch alone —
+                # their pass shape is fixed by the request itself.
+                return batch
             self._collect_riders(batch, head, limit, rider)
             hold = float(window(head) or 0.0) if window is not None else 0.0
             if hold > 0.0 and len(batch) < limit:
@@ -284,6 +306,9 @@ class RequestQueue:
                 # the batch is full or the policy would reject it — it
                 # can only ever be answered TIMEOUT, so fail it fast.
                 batch.expired.append(req)
+            elif req.streaming:
+                # Never a rider: stays queued to head its own dispatch.
+                keep.append(req)
             elif len(batch) < max_batch and (
                 rider is None or rider(head, req, len(batch))
             ):

@@ -22,13 +22,31 @@ a structured ``TIMEOUT`` body instead of a hung socket.
 API (all JSON):
 
 * ``POST /v1/solve`` — body ``{"problem": <repro-qp-v1 doc>,
-  "timeout_s": <float, optional>}``; 200 with the solve payload,
-  400 on malformed input, 503 when the queue rejects (backpressure),
-  504 on deadline expiry.
+  "timeout_s": <float, optional>, "session": <str, optional>}``; 200
+  with the solve payload, 400 on malformed input, 503 when the queue
+  rejects (backpressure), 504 on deadline expiry.  A ``session`` key
+  makes the warm start *sticky*: the solve restores that session's
+  carried ``(x, y, ρ)`` and saves the new iterate back (see
+  DESIGN.md §5.8).
+* ``POST /v1/sequence`` — body ``{"problem": <doc>, "steps":
+  [<override>, ...], "session": <str, optional>, "timeout_s":
+  <float, optional>}`` where each override is an object with any of
+  ``q``/``l``/``u`` (bounds use the ``"inf"`` encoding) and
+  ``a_data``/``p_data`` (new non-zero values in canonical CSC order,
+  ``P`` upper-triangular).  The steps run *in order* on one session
+  (fields left out inherit the base document bitwise — the delta-bind
+  fast path), answered as one response with per-step payloads; 504
+  mid-sequence carries ``steps_completed`` so the client replays only
+  the tail.
+* ``POST /v1/scenarios`` — body ``{"problem": <doc>, "scenarios":
+  [<override>, ...], "timeout_s": <float, optional>}``; fans N
+  perturbed variants of one pattern onto the pool's batch lanes and
+  answers once with per-lane payloads.
 * ``GET /v1/health`` — liveness + pool occupancy (per-shard liveness
   and pattern residency when sharded; HTTP 207 while degraded).
 * ``GET /v1/metrics`` — the :class:`~repro.serve.metrics.ServeMetrics`
-  snapshot (aggregated across shards when sharded).
+  snapshot (aggregated across shards when sharded), including the
+  session-store block.
 """
 
 from __future__ import annotations
@@ -38,7 +56,10 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..io import problem_from_dict
+import numpy as np
+
+from ..io import decode_bounds, problem_from_dict, problem_with_values
+from ..solver import QPProblem
 from .controller import BatchController
 from .engine import SolveEngine
 from .metrics import ServeMetrics
@@ -50,6 +71,53 @@ __all__ = ["ServeServer"]
 # Grace added to the handler's event wait beyond the request deadline:
 # the worker owns deadline bookkeeping; the handler only backstops it.
 _WAIT_GRACE_S = 0.05
+
+# Streaming caps: a sequence holds a session lock for its whole span
+# and a scenario fan-out occupies a full batched pass, so both are
+# bounded per request (clients chunk longer streams across requests —
+# the session carries the state over).
+MAX_SEQUENCE_STEPS = 512
+MAX_SCENARIO_LANES = 64
+
+_OVERRIDE_FIELDS = frozenset({"q", "l", "u", "a_data", "p_data"})
+
+
+def _materialize_variants(
+    base: QPProblem, raw, cap: int, what: str
+) -> list[QPProblem]:
+    """Apply a list of wire-form overrides to the base problem."""
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(f"{what!r} must be a non-empty list")
+    if len(raw) > cap:
+        raise ValueError(
+            f"at most {cap} {what} per request (got {len(raw)})"
+        )
+    variants: list[QPProblem] = []
+    for index, override in enumerate(raw):
+        if override is None:
+            override = {}
+        if not isinstance(override, dict):
+            raise ValueError(f"{what}[{index}] must be an override object")
+        unknown = set(override) - _OVERRIDE_FIELDS
+        if unknown:
+            raise ValueError(
+                f"{what}[{index}] has unknown fields {sorted(unknown)}"
+            )
+        variants.append(
+            problem_with_values(
+                base,
+                q=(
+                    np.asarray(override["q"], dtype=np.float64)
+                    if "q" in override
+                    else None
+                ),
+                l=decode_bounds(override["l"]) if "l" in override else None,
+                u=decode_bounds(override["u"]) if "u" in override else None,
+                a_data=override.get("a_data"),
+                p_data=override.get("p_data"),
+            )
+        )
+    return variants
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -209,25 +277,17 @@ class ServeServer:
     # ------------------------------------------------------------------
     # handler side
     # ------------------------------------------------------------------
-    def handle_solve(self, body: dict) -> tuple[int, dict]:
-        """Admit one parsed request and wait for its response."""
-        self.metrics.inc("requests_total")
+    def _parse_base(self, body: dict) -> tuple[QPProblem, str]:
+        """Decode the base problem document and fingerprint it."""
         tier = self.frontend if self.frontend is not None else self.engine
-        try:
-            problem = problem_from_dict(body["problem"])
-            fingerprint = tier.pool.fingerprint(problem)
-        except Exception as exc:
-            self.metrics.inc("responses_error")
-            return 400, {
-                "status": "error",
-                "detail": f"malformed problem payload: {exc}",
-            }
-        timeout_s = float(body.get("timeout_s") or self.default_timeout_s)
-        request = SolveRequest(
-            problem=problem,
-            fingerprint=fingerprint,
-            deadline=time.monotonic() + timeout_s,
-        )
+        problem = problem_from_dict(body["problem"])
+        return problem, tier.pool.fingerprint(problem)
+
+    def _admit_and_wait(
+        self, request: SolveRequest, timeout_s: float
+    ) -> tuple[int, dict]:
+        """Submit one request to the execution tier and await it."""
+        tier = self.frontend if self.frontend is not None else self.engine
         try:
             tier.submit(request)
         except QueueFullError as exc:
@@ -253,6 +313,75 @@ class ServeServer:
         assert request.status_code is not None and request.response is not None
         return request.status_code, request.response
 
+    def handle_solve(self, body: dict) -> tuple[int, dict]:
+        """Admit one parsed request and wait for its response."""
+        self.metrics.inc("requests_total")
+        try:
+            problem, fingerprint = self._parse_base(body)
+        except Exception as exc:
+            self.metrics.inc("responses_error")
+            return 400, {
+                "status": "error",
+                "detail": f"malformed problem payload: {exc}",
+            }
+        session = body.get("session")
+        timeout_s = float(body.get("timeout_s") or self.default_timeout_s)
+        request = SolveRequest(
+            problem=problem,
+            fingerprint=fingerprint,
+            deadline=time.monotonic() + timeout_s,
+            session_key=str(session) if session is not None else None,
+        )
+        return self._admit_and_wait(request, timeout_s)
+
+    def handle_sequence(self, body: dict) -> tuple[int, dict]:
+        """Admit an ordered step list onto one session, answer once."""
+        self.metrics.inc("requests_total")
+        try:
+            base, fingerprint = self._parse_base(body)
+            steps = _materialize_variants(
+                base, body.get("steps"), MAX_SEQUENCE_STEPS, "steps"
+            )
+        except Exception as exc:
+            self.metrics.inc("responses_error")
+            return 400, {
+                "status": "error",
+                "detail": f"malformed sequence payload: {exc}",
+            }
+        session = body.get("session")
+        timeout_s = float(body.get("timeout_s") or self.default_timeout_s)
+        request = SolveRequest(
+            problem=steps[0],
+            fingerprint=fingerprint,
+            deadline=time.monotonic() + timeout_s,
+            session_key=str(session) if session is not None else None,
+            steps=steps,
+        )
+        return self._admit_and_wait(request, timeout_s)
+
+    def handle_scenarios(self, body: dict) -> tuple[int, dict]:
+        """Admit a scenario fan-out (N variants, one batched pass)."""
+        self.metrics.inc("requests_total")
+        try:
+            base, fingerprint = self._parse_base(body)
+            scenarios = _materialize_variants(
+                base, body.get("scenarios"), MAX_SCENARIO_LANES, "scenarios"
+            )
+        except Exception as exc:
+            self.metrics.inc("responses_error")
+            return 400, {
+                "status": "error",
+                "detail": f"malformed scenarios payload: {exc}",
+            }
+        timeout_s = float(body.get("timeout_s") or self.default_timeout_s)
+        request = SolveRequest(
+            problem=scenarios[0],
+            fingerprint=fingerprint,
+            deadline=time.monotonic() + timeout_s,
+            scenarios=scenarios,
+        )
+        return self._admit_and_wait(request, timeout_s)
+
     def health(self) -> tuple[int, dict]:
         """The liveness document plus its HTTP status (207 = degraded)."""
         base = {
@@ -273,6 +402,7 @@ class ServeServer:
                 "variant": self.engine.pool.variant,
                 "c": self.engine.pool.c,
                 "batch_policy": self.engine.controller.policy,
+                "sessions": len(self.engine.pool.sessions),
             }
         )
         return 200, base
@@ -284,6 +414,7 @@ class ServeServer:
         snap = self.engine.metrics.snapshot()
         snap["controller"] = self.engine.controller.snapshot()
         snap["pool_entries"] = self.engine.pool.entries_info()
+        snap["sessions"] = self.engine.pool.sessions.snapshot()
         return snap
 
 
@@ -314,7 +445,13 @@ def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
                 )
 
         def do_POST(self) -> None:
-            if self.path != "/v1/solve":
+            handlers = {
+                "/v1/solve": server.handle_solve,
+                "/v1/sequence": server.handle_sequence,
+                "/v1/scenarios": server.handle_scenarios,
+            }
+            handler = handlers.get(self.path)
+            if handler is None:
                 self._send_json(
                     404, {"status": "error", "detail": "unknown endpoint"}
                 )
@@ -330,7 +467,7 @@ def _make_handler(server: ServeServer) -> type[BaseHTTPRequestHandler]:
                     400, {"status": "error", "detail": f"bad request: {exc}"}
                 )
                 return
-            status_code, payload = server.handle_solve(body)
+            status_code, payload = handler(body)
             self._send_json(status_code, payload)
 
     return Handler

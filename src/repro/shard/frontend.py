@@ -216,6 +216,21 @@ class ShardFrontend:
             raise
 
     def _dispatch(self, request: SolveRequest) -> None:
+        if request.session_key is not None:
+            # Session affinity is strict: carried state lives only in
+            # the pattern's *home* shard, so re-routing would silently
+            # fork the stream onto a cold session.  While the home
+            # shard respawns the request fails fast as a 503 — the
+            # client replays it and the stream re-warms on the fresh
+            # incarnation (sessions are advisory state; see
+            # repro.serve.session).
+            home = self.router.home(request.fingerprint)
+            if home in self.live_shards() and self._ship(home, request):
+                return
+            self.metrics.inc("session_503")
+            raise QueueFullError(
+                "session home shard unavailable (respawning); retry shortly"
+            )
         # Two attempts: the routed shard can die between the liveness
         # snapshot and the send; the retry re-routes around it.
         for _ in range(2):
@@ -234,7 +249,8 @@ class ShardFrontend:
     def _ship(self, shard_id: int, request: SolveRequest) -> bool:
         """Send one request to one shard; ``False`` = pick another."""
         handle = self.manager.handles[shard_id]
-        payload = pack_values(request.problem)
+        streaming = request.steps is not None or request.scenarios is not None
+        payload = None if streaming else pack_values(request.problem)
         with handle.lock:
             if not handle.alive or handle.conn is None:
                 return False
@@ -252,6 +268,40 @@ class ShardFrontend:
                         )
                     )
                     handle.registered.add(request.fingerprint)
+                if streaming:
+                    # Multi-instance payloads ride the pipe inline: the
+                    # response is singular, so there is no per-step
+                    # slab-recycling cadence worth the ring accounting.
+                    entry = _InFlight(
+                        request=request,
+                        shard_id=shard_id,
+                        generation=handle.generation,
+                        slab_index=None,
+                    )
+                    with self._inflight_lock:
+                        self._inflight[request.request_id] = entry
+                    if request.steps is not None:
+                        handle.conn.send(
+                            (
+                                "sequence",
+                                request.request_id,
+                                request.fingerprint,
+                                request.deadline,
+                                request.session_key,
+                                [pack_values(p) for p in request.steps],
+                            )
+                        )
+                    else:
+                        handle.conn.send(
+                            (
+                                "scenarios",
+                                request.request_id,
+                                request.fingerprint,
+                                request.deadline,
+                                [pack_values(p) for p in request.scenarios],
+                            )
+                        )
+                    return True
                 if len(payload) <= handle.ring.slab_size:
                     slab_index = handle.ring.acquire()
                 if slab_index is None:
@@ -280,6 +330,7 @@ class ShardFrontend:
                         slab_index,
                         nbytes,
                         inline,
+                        request.session_key,
                     )
                 )
                 return True
@@ -375,6 +426,10 @@ class ShardFrontend:
             self._release_slab(entry)
             self.metrics.inc("shard_death_503")
             self.metrics.inc("rejected")
+            if entry.request.session_key is not None:
+                # The home shard's sessions died with it; the client's
+                # replay will start a fresh cold session there.
+                self.metrics.inc("session_503")
             entry.request.respond(
                 503,
                 {
@@ -498,6 +553,12 @@ class ShardFrontend:
             for size, count in snap.get("batch_sizes", {}).items():
                 batch_sizes[size] = batch_sizes.get(size, 0) + count
         lookups = counters["pool_hits"] + counters["pool_misses"]
+        sessions = {"active": 0, "steps_total": 0, "delta_binds_total": 0}
+        for snap in shard_snaps.values():
+            block = snap.get("sessions")
+            if block:
+                for key in sessions:
+                    sessions[key] += block.get(key, 0)
         return {
             "counters": counters,
             "latency": front["latency"],
@@ -507,4 +568,5 @@ class ShardFrontend:
             ),
             "sharded": True,
             "shards": shard_snaps,
+            "sessions": sessions,
         }

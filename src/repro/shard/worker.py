@@ -15,11 +15,18 @@ Protocol (parent → worker):
   worker incarnation; pipe ordering guarantees it precedes the
   pattern's first solve.
 * ``("solve", req_id, fingerprint, deadline, slab_index, nbytes,
-  inline)`` — solve one instance; values come from the shared-memory
-  slab (``inline=None``) or inline bytes (ring saturated / oversized
-  payload).  ``deadline`` is an absolute ``time.monotonic()`` value —
-  comparable across processes on the platforms this serves (Linux
-  CLOCK_MONOTONIC is system-wide).
+  inline, session)`` — solve one instance; values come from the
+  shared-memory slab (``inline=None``) or inline bytes (ring
+  saturated / oversized payload).  ``deadline`` is an absolute
+  ``time.monotonic()`` value — comparable across processes on the
+  platforms this serves (Linux CLOCK_MONOTONIC is system-wide).
+  ``session`` pins the solve to the worker's session store (sticky
+  warm start); session state lives and dies with the incarnation.
+* ``("sequence", req_id, fingerprint, deadline, session, payloads)`` /
+  ``("scenarios", req_id, fingerprint, deadline, payloads)`` — an
+  ordered step list on one session / a scenario fan-out; ``payloads``
+  are packed value blobs (one per step), inline on the pipe — the
+  response is singular so no slab cadence applies.
 * ``("metrics", query_id)`` / ``("health", query_id)`` — observability
   snapshots.
 * ``("stop",)`` — drain and exit.
@@ -113,11 +120,22 @@ class ShardWorker:
         if kind == "solve":
             self._handle_solve(*message[1:])
             return True
+        if kind == "sequence":
+            self._handle_stream(*message[1:], scenarios=False)
+            return True
+        if kind == "scenarios":
+            req_id, fingerprint, deadline, payloads = message[1:]
+            self._handle_stream(
+                req_id, fingerprint, deadline, None, payloads,
+                scenarios=True,
+            )
+            return True
         if kind == "metrics":
             query_id = message[1]
             snap = self.engine.metrics.snapshot()
             snap["controller"] = self.engine.controller.snapshot()
             snap["pool_entries"] = self.engine.pool.entries_info()
+            snap["sessions"] = self.engine.pool.sessions.snapshot()
             self._send(("metrics", query_id, snap))
             return True
         if kind == "health":
@@ -139,6 +157,7 @@ class ShardWorker:
             "fingerprints": self.engine.pool.fingerprints(),
             "queue_depth": len(self.engine.queue),
             "solved": self.solved,
+            "sessions": len(self.engine.pool.sessions),
         }
 
     # ------------------------------------------------------------------
@@ -150,6 +169,7 @@ class ShardWorker:
         slab_index: int | None,
         nbytes: int,
         inline: bytes | None,
+        session: str | None = None,
     ) -> None:
         def finish(status_code: int, payload: dict) -> None:
             self._send(("done", req_id, slab_index, status_code, payload))
@@ -187,12 +207,71 @@ class ShardWorker:
             fingerprint=fingerprint,
             deadline=deadline,
             on_done=forward,
+            session_key=session,
         )
         try:
             self.engine.submit(request)
         except QueueFullError as exc:
             # on_done fires through respond(), keeping the response
             # path single.
+            request.respond(503, {"status": "rejected", "detail": str(exc)})
+
+    def _handle_stream(
+        self,
+        req_id: int,
+        fingerprint: str,
+        deadline: float | None,
+        session: str | None,
+        payloads: list,
+        *,
+        scenarios: bool,
+    ) -> None:
+        """Rebuild a multi-instance request and hand it to the engine."""
+
+        def finish(status_code: int, payload: dict) -> None:
+            self._send(("done", req_id, None, status_code, payload))
+
+        try:
+            skeleton = self._skeletons.get(fingerprint)
+            if skeleton is None:
+                finish(
+                    500,
+                    {
+                        "status": "error",
+                        "detail": "pattern was never registered with "
+                        "this shard incarnation",
+                    },
+                )
+                return
+            problems = [
+                rebuild_problem(skeleton, unpack_values(blob))
+                for blob in payloads
+            ]
+            if not problems:
+                raise ValueError("empty step list")
+        except Exception as exc:
+            finish(
+                400,
+                {"status": "error", "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+
+        def forward(request: SolveRequest) -> None:
+            self.solved += request.status_code == 200
+            finish(request.status_code, request.response)
+
+        request = SolveRequest(
+            problem=problems[0],
+            fingerprint=fingerprint,
+            deadline=deadline,
+            on_done=forward,
+            session_key=session,
+            steps=None if scenarios else problems,
+            scenarios=problems if scenarios else None,
+        )
+        try:
+            self.engine.submit(request)
+        except QueueFullError as exc:
             request.respond(503, {"status": "rejected", "detail": str(exc)})
 
 

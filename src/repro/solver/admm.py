@@ -248,6 +248,33 @@ class OSQPSolver:
         self.kkt_solver.update_values(scaled)
 
     # ------------------------------------------------------------------
+    def update_vectors(self, problem: QPProblem) -> None:
+        """Delta-bind: rebind only ``q``/``l``/``u`` of a same-pattern
+        instance whose matrix values are unchanged.
+
+        The streaming fast path (parametric MPC / homotopy sweeps):
+        when ``P.data`` and ``A.data`` are bitwise those of the bound
+        instance, the scaled matrices, the assembled KKT system and its
+        numeric factorization are all bitwise what :meth:`update_values`
+        would recompute — recomputation from identical inputs is
+        deterministic — so only the vector rescale runs.  The caller
+        (:meth:`repro.backends.mib.MIBSolver.bind_values`) owns the
+        equality check; calling this with changed matrix values solves
+        the wrong problem.
+        """
+        sc = self.scaling
+        sp = sc.scaled
+        sc.scaled = QPProblem(
+            p=sp.p,
+            q=sc.c * sc.d * problem.q,
+            a=sp.a,
+            l=sc.e * problem.l,
+            u=sc.e * problem.u,
+            name=problem.name,
+        )
+        self.problem = problem
+
+    # ------------------------------------------------------------------
     def solve(
         self,
         *,

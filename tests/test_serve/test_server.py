@@ -111,7 +111,7 @@ class TestObservability:
         metrics = client.metrics()
         assert set(metrics) == {
             "counters", "latency", "batch_sizes", "pool_hit_rate",
-            "controller", "pool_entries",
+            "controller", "pool_entries", "sessions",
         }
         assert metrics["controller"]["policy"] in ("adaptive", "greedy", "off")
         assert metrics["counters"]["responses_ok"] >= 1

@@ -1,0 +1,99 @@
+"""Session behaviour of the sharded tier: strict home affinity, fast
+503 while the home shard is down, and a clean re-warm on the respawned
+incarnation (sessions are advisory state — losing a shard loses its
+sessions, never correctness)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.problems import lasso_problem
+from repro.serve import ServeClient, ServeServer
+from repro.solver import Settings
+
+pytestmark = [pytest.mark.serve_e2e, pytest.mark.stream]
+
+FAST = Settings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+
+
+def q_stream(n_steps: int = 3) -> list:
+    fractions = np.geomspace(0.9, 0.1, n_steps)
+    return [
+        lasso_problem(10, n_samples=30, lam_fraction=float(f), seed=0)
+        for f in fractions
+    ]
+
+
+def _wait_healthy(client: ServeClient, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if client.health()["status"] == "ok":
+            return
+        time.sleep(0.2)
+    raise AssertionError("shard did not respawn in time")
+
+
+class TestShardSessions:
+    def test_session_streams_route_to_the_home_shard(self):
+        with ServeServer(
+            port=0, workers=1, shards=2, c=8, settings=FAST, capacity=4
+        ) as srv:
+            client = ServeClient(port=srv.port)
+            steps = q_stream(3)
+            response = client.sequence(
+                steps[0], steps, session="affine", timeout_s=60.0
+            )
+            assert response.ok and response.delta_binds == len(steps) - 1
+            fingerprint = response.raw["fingerprint"]
+            home = srv.frontend.router.home(fingerprint)
+            health = client.health()
+            # Only the home shard holds the pattern (and the session).
+            assert fingerprint in health["shards"][str(home)]["fingerprints"]
+            other = str(1 - home)
+            assert fingerprint not in health["shards"][other]["fingerprints"]
+            assert client.metrics()["sessions"]["active"] >= 1
+
+    def test_dead_home_fails_fast_then_session_rewarns_on_respawn(self):
+        """Kill the home shard mid-stream: session requests 503
+        immediately (no re-route — carried state lives only at home),
+        and the replayed stream re-warms on the fresh incarnation."""
+        with ServeServer(
+            port=0, workers=1, shards=2, c=8, settings=FAST, capacity=4
+        ) as srv:
+            client = ServeClient(port=srv.port)
+            steps = q_stream(3)
+            first = client.solve(
+                steps[0], session="re-home", timeout_s=60.0
+            )
+            assert first.ok and first.solved
+            fingerprint = first.raw["fingerprint"]
+            home = srv.frontend.router.home(fingerprint)
+
+            srv.frontend.kill_shard(home)
+            # Session affinity is strict: while home is down the
+            # request fails fast as a structured 503 instead of
+            # re-routing onto a shard without the carried state.
+            t0 = time.monotonic()
+            during = client.solve(
+                steps[1], session="re-home", timeout_s=10.0
+            )
+            elapsed = time.monotonic() - t0
+            assert during.http_status == 503
+            assert during.raw["status"] == "rejected"
+            assert elapsed < 5.0
+            assert client.metrics()["counters"]["session_503"] >= 1
+
+            _wait_healthy(client)
+            # The respawned incarnation lost the session: the client's
+            # replay starts a cold stream that warms right back up.
+            replay = [
+                client.solve(p, session="re-home", timeout_s=60.0)
+                for p in steps
+            ]
+            assert all(r.ok and r.solved for r in replay)
+            assert replay[0].raw["delta_bind"] is False
+            assert all(r.raw["delta_bind"] for r in replay[1:])
+            assert replay[0].raw["fingerprint"] == fingerprint
